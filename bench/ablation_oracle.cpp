@@ -1,0 +1,101 @@
+//===- bench/ablation_oracle.cpp - Regret vs clairvoyant baselines -------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// How much do the paper's feedback policies lose to clairvoyance? The
+// opt-pause / opt-mem baselines (core/OptimalPolicies.h) recompute the
+// greedy best boundary from oracle demographics before every scavenge;
+// DTBFM approximates opt-pause with one multiplicative window adjustment,
+// DTBMEM approximates opt-mem with a linear-garbage model and the L_est
+// guess. The gaps are the policies' regret: memory regret for DTBFM
+// (same pause budget, how much more memory), tracing regret for DTBMEM
+// (same memory budget, how much more collector work).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OptimalPolicies.h"
+#include "report/Experiments.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+#include "support/Units.h"
+
+#include <cstdio>
+
+using namespace dtb;
+
+int main(int Argc, char **Argv) {
+  uint64_t TraceMax = 50'000;
+  uint64_t MemMax = 3'000'000;
+  OptionParser Parser("Measures DTBFM/DTBMEM regret against clairvoyant "
+                      "per-scavenge-optimal baselines");
+  Parser.addUInt("trace-max", "Pause budget in traced bytes", &TraceMax);
+  Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  std::printf("Regret vs clairvoyant baselines (pause budget %.0f ms, "
+              "memory budget %.0f KB)\n\n",
+              core::MachineModel().pauseMillisForTracedBytes(TraceMax),
+              bytesToKB(MemMax));
+
+  Table PauseTbl({"Workload", "DTBFM mem mean", "opt-pause mem mean",
+                  "regret", "DTBFM median", "opt median"});
+  Table MemTbl({"Workload", "DTBMEM traced", "opt-mem traced", "regret",
+                "DTBMEM mem max", "opt mem max"});
+  for (const workload::WorkloadSpec &Spec : workload::paperWorkloads()) {
+    trace::Trace T = workload::generateTrace(Spec);
+    sim::SimulatorConfig SimConfig;
+    SimConfig.ProgramSeconds = Spec.ProgramSeconds;
+
+    core::DtbPausePolicy DtbFm(TraceMax);
+    core::OptimalPausePolicy OptPause(TraceMax);
+    sim::SimulationResult RFm = sim::simulate(T, DtbFm, SimConfig);
+    sim::SimulationResult ROptP = sim::simulate(T, OptPause, SimConfig);
+    double MemRegret =
+        ROptP.MemMeanBytes > 0
+            ? (RFm.MemMeanBytes / ROptP.MemMeanBytes - 1.0) * 100.0
+            : 0.0;
+    PauseTbl.addRow({Spec.DisplayName,
+                     Table::cell(bytesToKB(RFm.MemMeanBytes)),
+                     Table::cell(bytesToKB(ROptP.MemMeanBytes)),
+                     Table::cell(MemRegret, 1) + "%",
+                     Table::cell(RFm.PauseMillis.median(), 0),
+                     Table::cell(ROptP.PauseMillis.median(), 0)});
+
+    core::DtbMemoryPolicy DtbMem(MemMax);
+    // opt-mem bounds *post-scavenge* residency; the heap then grows by up
+    // to one trigger interval before the next scavenge. Discount the
+    // interval so both policies chase the same observed maximum.
+    uint64_t PostBudget = MemMax > SimConfig.TriggerBytes
+                              ? MemMax - SimConfig.TriggerBytes
+                              : MemMax;
+    core::OptimalMemoryPolicy OptMem(PostBudget);
+    sim::SimulationResult RMem = sim::simulate(T, DtbMem, SimConfig);
+    sim::SimulationResult ROptM = sim::simulate(T, OptMem, SimConfig);
+    double TraceRegret =
+        ROptM.TotalTracedBytes > 0
+            ? (static_cast<double>(RMem.TotalTracedBytes) /
+                   static_cast<double>(ROptM.TotalTracedBytes) -
+               1.0) *
+                  100.0
+            : 0.0;
+    MemTbl.addRow({Spec.DisplayName,
+                   Table::cell(bytesToKB(RMem.TotalTracedBytes)),
+                   Table::cell(bytesToKB(ROptM.TotalTracedBytes)),
+                   Table::cell(TraceRegret, 1) + "%",
+                   Table::cell(bytesToKB(RMem.MemMaxBytes)),
+                   Table::cell(bytesToKB(ROptM.MemMaxBytes))});
+  }
+
+  std::printf("DTBFM vs opt-pause (memory regret at equal pause "
+              "budget):\n");
+  PauseTbl.print(stdout);
+  std::printf("\nDTBMEM vs opt-mem (tracing regret at equal memory "
+              "budget):\n");
+  MemTbl.print(stdout);
+  std::printf("\nReading: single-digit regret means the paper's one-knob "
+              "feedback rules\nextract most of the value clairvoyance "
+              "could; large regret marks where\nthe simple models break "
+              "(e.g. abrupt demographic shifts).\n");
+  return 0;
+}

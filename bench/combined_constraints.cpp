@@ -1,0 +1,94 @@
+//===- bench/combined_constraints.cpp - Dual-constraint collectors -------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// The paper offers memory OR pause-time constraints ("depending upon
+// which is more important to the user"). Because policies are just
+// boundary functions, both can be imposed at once by composing them
+// (core/Combinators.h):
+//
+//   oldest(dtbmem, dtbfm)   — memory is the hard constraint; the pause
+//                             budget is honoured only when compatible.
+//   youngest(dtbfm, dtbmem) — the pause budget is hard; memory is
+//                             best-effort.
+//
+// This bench runs both compositions against the single-constraint
+// policies on every workload and reports which constraints held.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Combinators.h"
+#include "report/Experiments.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+#include "support/Units.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace dtb;
+
+int main(int Argc, char **Argv) {
+  uint64_t TraceMax = 50'000;
+  uint64_t MemMax = 3'000'000;
+  OptionParser Parser("Imposes the paper's memory and pause constraints "
+                      "simultaneously via policy composition");
+  Parser.addUInt("trace-max", "Pause budget in traced bytes", &TraceMax);
+  Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  core::MachineModel Machine;
+  std::printf("Dual constraints: %.0f ms pauses AND %.0f KB memory\n\n",
+              Machine.pauseMillisForTracedBytes(TraceMax),
+              bytesToKB(MemMax));
+
+  auto MakePolicy =
+      [&](const std::string &Kind) -> std::unique_ptr<core::BoundaryPolicy> {
+    core::PolicyConfig Config;
+    Config.TraceMaxBytes = TraceMax;
+    Config.MemMaxBytes = MemMax;
+    if (Kind == "mem-first")
+      return std::make_unique<core::OldestBoundaryPolicy>(
+          core::createPolicy("dtbmem", Config),
+          core::createPolicy("dtbfm", Config));
+    if (Kind == "pause-first")
+      return std::make_unique<core::YoungestBoundaryPolicy>(
+          core::createPolicy("dtbfm", Config),
+          core::createPolicy("dtbmem", Config));
+    return core::createPolicy(Kind, Config);
+  };
+
+  for (const workload::WorkloadSpec &Spec : workload::paperWorkloads()) {
+    trace::Trace T = workload::generateTrace(Spec);
+    sim::SimulatorConfig SimConfig;
+    SimConfig.ProgramSeconds = Spec.ProgramSeconds;
+
+    Table Tbl({"Policy", "Mem max (KB)", "mem ok", "Median (ms)",
+               "pause ok", "Traced (KB)"});
+    for (const char *Kind :
+         {"dtbmem", "dtbfm", "mem-first", "pause-first"}) {
+      auto Policy = MakePolicy(Kind);
+      sim::SimulationResult R = sim::simulate(T, *Policy, SimConfig);
+      double MedianMs = R.PauseMillis.median();
+      double BudgetMs = Machine.pauseMillisForTracedBytes(TraceMax);
+      Tbl.addRow({Kind, Table::cell(bytesToKB(R.MemMaxBytes)),
+                  R.MemMaxBytes <= MemMax ? "yes" : "NO",
+                  Table::cell(MedianMs, 0),
+                  MedianMs <= BudgetMs * 1.3 ? "yes" : "NO",
+                  Table::cell(bytesToKB(R.TotalTracedBytes))});
+    }
+    std::printf("%s:\n", Spec.DisplayName.c_str());
+    Tbl.print(stdout);
+    std::printf("\n");
+  }
+
+  std::printf("Reading: where both constraints are simultaneously "
+              "satisfiable the two\ncompositions agree; where they "
+              "conflict (SIS: live data alone exceeds the\nmemory "
+              "budget), mem-first inherits DTBMEM's full-collection "
+              "pauses while\npause-first keeps pauses bounded and lets "
+              "memory exceed the budget —\nthe user picks which promise "
+              "is hard.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- bench/constraint_sweep.cpp - Constraint-tracking sweeps -----------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// The paper's central claim is that the two tuning knobs map *directly*
+// onto user-visible resource constraints. This bench quantifies that
+// beyond the single published operating point (100 ms / 3000 KB):
+//
+//   * sweep Trace_max and report DTBFM's (and FEEDMED's) median pause —
+//     the median should track the constraint;
+//   * sweep Mem_max and report DTBMEM's maximum memory — the maximum
+//     should hug the constraint until it crosses the live floor, then
+//     saturate at FULL's requirement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Experiments.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+#include "support/Units.h"
+
+#include <cstdio>
+
+using namespace dtb;
+
+int main(int Argc, char **Argv) {
+  std::string WorkloadName = "ghost1";
+  OptionParser Parser("Sweeps the pause and memory constraints to show "
+                      "how closely the DTB policies track them");
+  Parser.addString("workload", "Workload name", &WorkloadName);
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  const workload::WorkloadSpec *Spec = workload::findWorkload(WorkloadName);
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown workload '%s'\n",
+                 WorkloadName.c_str());
+    return 1;
+  }
+  trace::Trace T = workload::generateTrace(*Spec);
+
+  sim::SimulatorConfig SimConfig;
+  SimConfig.ProgramSeconds = Spec->ProgramSeconds;
+  core::MachineModel Machine;
+
+  // --- Pause-constraint sweep -------------------------------------------
+  std::printf("Pause-constraint sweep on %s (median should track the "
+              "budget):\n\n",
+              Spec->DisplayName.c_str());
+  Table PauseTable({"Budget (ms)", "DTBFM median", "DTBFM 90th",
+                    "DTBFM mem mean (KB)", "FEEDMED median",
+                    "FEEDMED mem mean (KB)"});
+  for (double BudgetMs : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+    uint64_t TraceMax = Machine.tracedBytesForPauseMillis(BudgetMs);
+    core::DtbPausePolicy DtbFm(TraceMax);
+    core::FeedbackMediationPolicy FeedMed(TraceMax);
+    sim::SimulationResult RFm = sim::simulate(T, DtbFm, SimConfig);
+    sim::SimulationResult RMed = sim::simulate(T, FeedMed, SimConfig);
+    PauseTable.addRow({Table::cell(BudgetMs, 0),
+                       Table::cell(RFm.PauseMillis.median(), 0),
+                       Table::cell(RFm.PauseMillis.percentile90(), 0),
+                       Table::cell(bytesToKB(RFm.MemMeanBytes)),
+                       Table::cell(RMed.PauseMillis.median(), 0),
+                       Table::cell(bytesToKB(RMed.MemMeanBytes))});
+  }
+  PauseTable.print(stdout);
+
+  // --- Memory-constraint sweep ------------------------------------------
+  core::FullPolicy Full;
+  sim::SimulationResult FullResult = sim::simulate(T, Full, SimConfig);
+  std::printf("\nMemory-constraint sweep on %s (max should hug the budget; "
+              "FULL needs %.0f KB):\n\n",
+              Spec->DisplayName.c_str(),
+              bytesToKB(FullResult.MemMaxBytes));
+  Table MemTable({"Budget (KB)", "DTBMEM max (KB)", "DTBMEM mean (KB)",
+                  "Traced (KB)", "vs FIXED1 traced"});
+  core::FixedAgePolicy Fixed1(1);
+  sim::SimulationResult Fixed1Result = sim::simulate(T, Fixed1, SimConfig);
+  for (uint64_t BudgetKB : {1000ull, 1500ull, 2000ull, 2500ull, 3000ull,
+                            4000ull, 6000ull, 8000ull}) {
+    core::DtbMemoryPolicy DtbMem(BudgetKB * 1000);
+    sim::SimulationResult R = sim::simulate(T, DtbMem, SimConfig);
+    double Ratio = Fixed1Result.TotalTracedBytes == 0
+                       ? 0.0
+                       : static_cast<double>(R.TotalTracedBytes) /
+                             static_cast<double>(
+                                 Fixed1Result.TotalTracedBytes);
+    MemTable.addRow({Table::cell(BudgetKB),
+                     Table::cell(bytesToKB(R.MemMaxBytes)),
+                     Table::cell(bytesToKB(R.MemMeanBytes)),
+                     Table::cell(bytesToKB(R.TotalTracedBytes)),
+                     Table::cell(Ratio, 2) + "x"});
+  }
+  MemTable.print(stdout);
+
+  std::printf("\nOver-constrained budgets (below FULL's requirement) "
+              "saturate at FULL's\nmemory while tracing cost climbs; "
+              "feasible budgets are met with tracing\nnear FIXED1's "
+              "(ratio -> 1).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+//===- bench/fig2_memory_curve.cpp - The paper's Figure 2 ----------------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// Regenerates Figure 2, "Garbage Collector Memory Use": memory consumed
+// over execution time for a full collector vs a dynamic-threatening-
+// boundary collector, against the live-byte floor L. Prints the sampled
+// series as columns (clock, live, full, dtbfm, dtbmem) suitable for
+// plotting, plus the per-scavenge sawtooth summary (Mem_n, Trace_n, S_n,
+// TB_n) that the figure annotates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Experiments.h"
+#include "support/CommandLine.h"
+#include "support/Units.h"
+#include "trace/TraceStats.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace dtb;
+
+namespace {
+
+/// Resamples a simulator memory curve onto fixed clock points, carrying
+/// the last level forward.
+std::vector<uint64_t> resample(const std::vector<sim::MemoryCurvePoint> &Curve,
+                               uint64_t Total, size_t Points) {
+  std::vector<uint64_t> Out(Points, 0);
+  size_t Cursor = 0;
+  uint64_t Level = 0;
+  for (size_t I = 0; I != Points; ++I) {
+    uint64_t Clock = Total * (I + 1) / Points;
+    while (Cursor != Curve.size() && Curve[Cursor].Clock <= Clock)
+      Level = Curve[Cursor++].ResidentBytes;
+    Out[I] = Level;
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string WorkloadName = "ghost1";
+  uint64_t Points = 98;
+  report::ExperimentConfig Config;
+  OptionParser Parser("Reproduces Figure 2: memory use over time for FULL "
+                      "vs the DTB collectors, with the live-byte floor");
+  Parser.addString("workload", "Workload name (ghost1, ghost2, espresso1, "
+                   "espresso2, sis, cfrac)", &WorkloadName);
+  Parser.addUInt("points", "Number of sample points", &Points);
+  Parser.addUInt("trigger", "Bytes allocated between scavenges",
+                 &Config.TriggerBytes);
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  const workload::WorkloadSpec *Spec = workload::findWorkload(WorkloadName);
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown workload '%s'\n",
+                 WorkloadName.c_str());
+    return 1;
+  }
+
+  trace::Trace T = workload::generateTrace(*Spec);
+  std::vector<uint64_t> Live =
+      trace::sampleLiveProfile(T, static_cast<size_t>(Points));
+
+  sim::SimulatorConfig SimConfig;
+  SimConfig.TriggerBytes = Config.TriggerBytes;
+  SimConfig.Machine = Config.Machine;
+  SimConfig.ProgramSeconds = Spec->ProgramSeconds;
+  SimConfig.RecordMemoryCurve = true;
+  SimConfig.CurveSampleBytes =
+      std::max<uint64_t>(T.totalAllocated() / (Points * 4), 1);
+
+  core::PolicyConfig PolicyConfig;
+  PolicyConfig.TraceMaxBytes = Config.TraceMaxBytes;
+  PolicyConfig.MemMaxBytes = Config.MemMaxBytes;
+
+  std::map<std::string, sim::SimulationResult> Results;
+  for (const char *Name : {"full", "dtbfm", "dtbmem"}) {
+    auto Policy = core::createPolicy(Name, PolicyConfig);
+    Results[Name] = sim::simulate(T, *Policy, SimConfig);
+  }
+
+  std::printf("Figure 2: memory use over time — %s (%s total)\n\n",
+              Spec->DisplayName.c_str(),
+              formatBytes(T.totalAllocated()).c_str());
+  std::printf("%12s %10s %10s %10s %10s\n", "clock(KB)", "live(KB)",
+              "full(KB)", "dtbfm(KB)", "dtbmem(KB)");
+  std::map<std::string, std::vector<uint64_t>> Series;
+  for (auto &[Name, R] : Results)
+    Series[Name] =
+        resample(R.Curve, T.totalAllocated(), static_cast<size_t>(Points));
+  for (size_t I = 0; I != Points; ++I) {
+    uint64_t Clock = T.totalAllocated() * (I + 1) / Points;
+    std::printf("%12.0f %10.0f %10.0f %10.0f %10.0f\n", bytesToKB(Clock),
+                bytesToKB(Live[I]), bytesToKB(Series["full"][I]),
+                bytesToKB(Series["dtbfm"][I]),
+                bytesToKB(Series["dtbmem"][I]));
+  }
+
+  // The annotated sawtooth of the figure: per-scavenge Mem_n, Trace_n,
+  // S_n and the boundary's distance back in time (t_n - TB_n).
+  std::printf("\nPer-scavenge detail for DTBFM (the figure's annotations):\n");
+  std::printf("%4s %12s %10s %10s %10s %12s\n", "n", "t_n(KB)", "Mem_n",
+              "Trace_n", "S_n", "t_n-TB_n(KB)");
+  const auto &Records = Results["dtbfm"].History.records();
+  for (size_t I = 0; I < Records.size(); I += 5) {
+    const core::ScavengeRecord &R = Records[I];
+    std::printf("%4llu %12.0f %10.0f %10.0f %10.0f %12.0f\n",
+                static_cast<unsigned long long>(R.Index),
+                bytesToKB(R.Time), bytesToKB(R.MemBeforeBytes),
+                bytesToKB(R.TracedBytes), bytesToKB(R.SurvivedBytes),
+                bytesToKB(R.Time - R.Boundary));
+  }
+
+  std::printf("\nReading the figure: FULL drops to the live floor at every "
+              "scavenge;\nthe DTB collectors ride above it by their "
+              "allowed tenured garbage,\nand DTBFM's boundary distance "
+              "(last column) stretches whenever pauses\nrun under budget "
+              "— the curve's dips toward L.\n");
+  return 0;
+}

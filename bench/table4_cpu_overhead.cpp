@@ -1,0 +1,47 @@
+//===- bench/table4_cpu_overhead.cpp - Reproduces the paper's Table 4 ----===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// Prints the total kilobytes traced and estimated CPU overhead (% of
+// mutator time, at 10 MIPS / 500 KB/s) per collector and workload — the
+// paper's Table 4 — followed by the published values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Experiments.h"
+#include "report/PaperReference.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace dtb;
+
+int main(int Argc, char **Argv) {
+  bool Csv = false;
+  report::ExperimentConfig Config;
+  OptionParser Parser("Reproduces Table 4: total bytes traced (KB) and "
+                      "estimated CPU overhead (%)");
+  Parser.addFlag("csv", "Emit CSV instead of aligned text", &Csv);
+  Parser.addUInt("trigger", "Bytes allocated between scavenges",
+                 &Config.TriggerBytes);
+  Parser.addUInt("trace-max", "Pause budget in traced bytes",
+                 &Config.TraceMaxBytes);
+  Parser.addUInt("mem-max", "DTBMEM memory budget in bytes",
+                 &Config.MemMaxBytes);
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  report::ExperimentGrid Grid = report::ExperimentGrid::paperGrid(Config);
+  Table Measured = report::buildTable4(Grid);
+  if (Csv) {
+    Measured.printCsv(stdout);
+    return 0;
+  }
+
+  std::printf("Table 4 (measured): Total Bytes Traced (Kilobytes) and "
+              "Estimated CPU Overhead (%%)\n\n");
+  Measured.print(stdout);
+  std::printf("\nTable 4 (paper):\n\n");
+  report::paperTable4().print(stdout);
+  return 0;
+}

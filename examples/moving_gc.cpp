@@ -1,0 +1,111 @@
+//===- examples/moving_gc.cpp - Copying collection, pinning, weak refs ---===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// A guided tour of the runtime features beyond the paper's core: the
+// evacuating collector (objects move; handles follow), pinned objects
+// (which never move — the escape hatch for FFI-style raw pointers and the
+// paper's Key Object hook), weak references (cleared only when the
+// collector actually reclaims the target — which, under a dynamic
+// threatening boundary, can be long after the object dies), and the GC
+// log.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Policies.h"
+#include "runtime/Heap.h"
+#include "runtime/HeapVerifier.h"
+#include "runtime/WeakRef.h"
+#include "support/Units.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace dtb;
+using runtime::HandleScope;
+using runtime::Heap;
+using runtime::Object;
+
+int main() {
+  runtime::HeapConfig Config;
+  Config.TriggerBytes = 0; // Explicit collections for the narration.
+  Config.Collector = runtime::CollectorKind::Copying;
+  Config.LogStream = stdout;
+  Heap H(Config);
+
+  std::printf("== 1. Objects move; handles follow ==\n");
+  HandleScope Scope(H);
+  Object *&Doc = Scope.slot(H.allocate(/*NumSlots=*/1, /*RawBytes=*/32));
+  std::strcpy(static_cast<char *>(Doc->rawData()), "dynamic boundary");
+  const Object *Before = Doc;
+  H.allocate(0, 64); // Garbage to give the collector something to do.
+  H.collectAtBoundary(0);
+  std::printf("   handle %s: %p -> %p, payload \"%s\"\n\n",
+              Before == Doc ? "did not move (?)" : "followed the copy",
+              static_cast<const void *>(Before),
+              static_cast<const void *>(Doc),
+              static_cast<const char *>(Doc->rawData()));
+
+  std::printf("== 2. Pinned objects never move ==\n");
+  Object *&Buffer = Scope.slot(H.allocate(0, 128));
+  H.pinObject(Buffer);
+  const Object *PinnedBefore = Buffer;
+  // A raw pointer into a pinned payload stays valid across collections —
+  // this is what you hand to foreign code.
+  char *RawPayload = static_cast<char *>(Buffer->rawData());
+  std::strcpy(RawPayload, "stable storage");
+  H.collectAtBoundary(0);
+  std::printf("   pinned object %s at %p; payload \"%s\"\n\n",
+              PinnedBefore == Buffer ? "stayed" : "MOVED (bug!)",
+              static_cast<const void *>(Buffer), RawPayload);
+
+  std::printf("== 3. Weak references and the threatening boundary ==\n");
+  Object *Cache = H.allocate(0, 64); // Never strongly referenced.
+  runtime::WeakRef WeakCache(H, Cache);
+  core::AllocClock Boundary = H.now();
+  H.allocate(0, 64);
+  H.collectAtBoundary(Boundary); // Cache is immune: tenured garbage.
+  std::printf("   after young-only scavenge: weak ref %s (target is "
+              "immune garbage)\n",
+              WeakCache ? "still readable" : "cleared");
+  H.collectAtBoundary(0); // Boundary moves behind it: untenured.
+  std::printf("   after full-boundary scavenge: weak ref %s\n\n",
+              WeakCache ? "still readable (?)" : "cleared");
+
+  std::printf("== 4. A policy-driven run under the copying collector ==\n");
+  {
+    runtime::HeapConfig RunConfig;
+    RunConfig.TriggerBytes = 32 * 1000;
+    RunConfig.Collector = runtime::CollectorKind::Copying;
+    Heap Run(RunConfig);
+    core::PolicyConfig Policy;
+    Policy.MemMaxBytes = 96 * 1000;
+    Run.setPolicy(core::createPolicy("dtbmem", Policy));
+
+    HandleScope RunScope(Run);
+    Object *&List = RunScope.slot(nullptr);
+    for (int I = 0; I != 3'000; ++I) {
+      Object *Node = Run.allocate(1, 16);
+      if (I % 10 == 0) { // 10% joins the live list.
+        Run.writeSlot(Node, 0, List);
+        List = Node;
+      }
+    }
+    uint64_t MaxMem = 0;
+    for (const core::ScavengeRecord &R : Run.history().records())
+      MaxMem = std::max(MaxMem, R.MemBeforeBytes);
+    std::printf("   %llu collections, max memory %s (budget 96 KB), "
+                "resident %s\n",
+                static_cast<unsigned long long>(Run.history().size()),
+                formatBytes(MaxMem).c_str(),
+                formatBytes(Run.residentBytes()).c_str());
+    runtime::VerifyResult V = runtime::verifyHeap(Run);
+    std::printf("   verifier: %s\n", V.Ok ? "OK" : "FAILED");
+    if (!V.Ok)
+      return 1;
+  }
+
+  runtime::VerifyResult V = runtime::verifyHeap(H);
+  std::printf("\nmain heap verifier: %s\n", V.Ok ? "OK" : "FAILED");
+  return V.Ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ---------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// The smallest useful program: a managed heap collected by the paper's
+// memory-constrained dynamic-threatening-boundary policy. We build a
+// linked list, churn through garbage, and watch the collector keep the
+// heap under the budget we asked for — the paper's whole point: one knob,
+// in units the user already thinks in.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Policies.h"
+#include "runtime/Heap.h"
+#include "support/Units.h"
+
+#include <cstdio>
+
+using namespace dtb;
+
+int main() {
+  // 1. Configure a heap: collect every 64 KB of allocation, and ask the
+  //    DTBMEM policy to keep total memory under 256 KB.
+  runtime::HeapConfig Config;
+  Config.TriggerBytes = 64 * 1000;
+
+  runtime::Heap Heap(Config);
+  core::PolicyConfig Policy;
+  Policy.MemMaxBytes = 256 * 1000;
+  Heap.setPolicy(core::createPolicy("dtbmem", Policy));
+
+  // 2. Roots live in handle scopes (like a shadow stack).
+  runtime::HandleScope Scope(Heap);
+  runtime::Object *&List = Scope.slot(nullptr);
+
+  // 3. Allocate: a list of 1000 nodes, interleaved with 50x their weight
+  //    in garbage. Pointer stores go through writeSlot so the write
+  //    barrier can track forward-in-time pointers.
+  for (int I = 0; I != 1000; ++I) {
+    runtime::Object *Node = Heap.allocate(/*NumSlots=*/1, /*RawBytes=*/8);
+    *static_cast<int *>(Node->rawData()) = I;
+    Heap.writeSlot(Node, 0, List);
+    List = Node;
+    for (int J = 0; J != 50; ++J)
+      Heap.allocate(/*NumSlots=*/0, /*RawBytes=*/8); // Instant garbage.
+  }
+
+  // 4. The list survived every collection; the garbage did not.
+  int Length = 0;
+  for (runtime::Object *Node = List; Node; Node = Node->slot(0))
+    ++Length;
+
+  std::printf("list length:        %d (expected 1000)\n", Length);
+  std::printf("total allocated:    %s\n",
+              formatBytes(Heap.now()).c_str());
+  std::printf("resident now:       %s (budget was 256 KB)\n",
+              formatBytes(Heap.residentBytes()).c_str());
+  std::printf("collections run:    %llu\n",
+              static_cast<unsigned long long>(Heap.history().size()));
+
+  // 5. Each scavenge record carries the paper's quantities.
+  uint64_t MaxMem = 0;
+  for (const core::ScavengeRecord &R : Heap.history().records())
+    MaxMem = std::max(MaxMem, R.MemBeforeBytes);
+  std::printf("max memory at GC:   %s\n", formatBytes(MaxMem).c_str());
+  std::printf("last boundary:      %s back from the allocation clock\n",
+              formatBytes(Heap.history().last().Time -
+                          Heap.history().last().Boundary)
+                  .c_str());
+  return Length == 1000 ? 0 : 1;
+}

@@ -1,0 +1,180 @@
+//===- examples/tracetool.cpp - Allocation trace toolbox -----------------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// A small command-line toolbox for the allocation-trace files that drive
+// the simulator — the role QPT's trace files play in the paper:
+//
+//   tracetool gen --workload ghost1 --out ghost1.trace   generate
+//   tracetool info ghost1.trace                          statistics
+//   tracetool convert --text ghost1.trace out.txt        re-encode
+//   tracetool live ghost1.trace                          live-byte curve
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Table.h"
+#include "support/Units.h"
+#include "trace/TraceIO.h"
+#include "trace/TraceStats.h"
+#include "workload/Workload.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace dtb;
+
+namespace {
+
+int cmdGen(const std::string &WorkloadName, uint64_t Bytes, uint64_t Seed,
+           const std::string &OutPath) {
+  trace::Trace T;
+  if (const workload::WorkloadSpec *Spec =
+          workload::findWorkload(WorkloadName)) {
+    T = workload::generateTrace(*Spec);
+  } else if (WorkloadName == "steady") {
+    T = workload::generateTrace(workload::makeSteadyStateSpec(Bytes, Seed));
+  } else {
+    std::fprintf(stderr, "error: unknown workload '%s'\n",
+                 WorkloadName.c_str());
+    return 1;
+  }
+  if (OutPath.empty()) {
+    std::fprintf(stderr, "error: gen requires --out\n");
+    return 1;
+  }
+  if (!trace::writeTraceFile(T, OutPath)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu objects (%s) to %s\n", T.numObjects(),
+              formatBytes(T.totalAllocated()).c_str(), OutPath.c_str());
+  return 0;
+}
+
+int cmdInfo(const std::string &Path) {
+  std::string Error;
+  std::optional<trace::Trace> T = trace::readTraceFile(Path, &Error);
+  if (!T) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!T->verify(&Error)) {
+    std::fprintf(stderr, "error: malformed trace: %s\n", Error.c_str());
+    return 1;
+  }
+  trace::TraceStats S = trace::computeTraceStats(*T);
+  std::printf("objects:          %llu\n",
+              static_cast<unsigned long long>(S.NumObjects));
+  std::printf("total allocated:  %s\n",
+              formatBytes(S.TotalAllocatedBytes).c_str());
+  std::printf("mean object size: %.1f B (max %u)\n", S.MeanObjectSize,
+              S.MaxObjectSize);
+  std::printf("live mean/max:    %s / %s\n",
+              formatBytes(static_cast<uint64_t>(S.LiveMeanBytes)).c_str(),
+              formatBytes(S.LiveMaxBytes).c_str());
+  std::printf("live at end:      %s\n",
+              formatBytes(S.LiveAtEndBytes).c_str());
+  std::printf("lifetime CDF (fraction of bytes dying before age):\n");
+  const std::vector<uint64_t> &Thresholds =
+      trace::TraceStats::lifetimeThresholds();
+  for (size_t I = 0; I != Thresholds.size(); ++I)
+    std::printf("  < %-10s %.3f\n", formatBytes(Thresholds[I]).c_str(),
+                S.LifetimeCdf[I]);
+  return 0;
+}
+
+int cmdConvert(const std::string &InPath, const std::string &OutPath,
+               bool Text) {
+  std::string Error;
+  std::optional<trace::Trace> T = trace::readTraceFile(InPath, &Error);
+  if (!T) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::FILE *Out = std::fopen(OutPath.c_str(), "wb");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  std::string Data =
+      Text ? trace::serializeText(*T) : trace::serializeBinary(*T);
+  bool Ok = std::fwrite(Data.data(), 1, Data.size(), Out) == Data.size();
+  Ok &= std::fclose(Out) == 0;
+  if (!Ok) {
+    std::fprintf(stderr, "error: short write to '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%s)\n", OutPath.c_str(),
+              Text ? "text" : "binary");
+  return 0;
+}
+
+int cmdLive(const std::string &Path, uint64_t Points) {
+  std::string Error;
+  std::optional<trace::Trace> T = trace::readTraceFile(Path, &Error);
+  if (!T) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::vector<uint64_t> Curve =
+      trace::sampleLiveProfile(*T, static_cast<size_t>(Points));
+  uint64_t Max = 1;
+  for (uint64_t V : Curve)
+    Max = std::max(Max, V);
+  for (size_t I = 0; I != Curve.size(); ++I) {
+    uint64_t Clock = T->totalAllocated() * (I + 1) / Curve.size();
+    int Bar = static_cast<int>(60 * Curve[I] / Max);
+    std::printf("%12s %10s |%.*s\n", formatBytes(Clock).c_str(),
+                formatBytes(Curve[I]).c_str(), Bar,
+                "############################################################");
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Workload = "steady";
+  std::string OutPath;
+  uint64_t Bytes = 10'000'000;
+  uint64_t Seed = 1;
+  uint64_t Points = 40;
+  bool Text = false;
+
+  OptionParser Parser("Allocation-trace toolbox: gen | info | convert | "
+                      "live");
+  Parser.addString("workload", "For gen: workload name or 'steady'",
+                   &Workload);
+  Parser.addString("out", "For gen: output path", &OutPath);
+  Parser.addUInt("bytes", "For gen steady: total bytes", &Bytes);
+  Parser.addUInt("seed", "For gen steady: seed", &Seed);
+  Parser.addUInt("points", "For live: curve points", &Points);
+  Parser.addFlag("text", "For convert: emit the text format", &Text);
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  const std::vector<std::string> &Args = Parser.positionals();
+  if (Args.empty()) {
+    std::fprintf(stderr,
+                 "usage: tracetool gen --workload W --out F\n"
+                 "       tracetool info F\n"
+                 "       tracetool convert [--text] IN OUT\n"
+                 "       tracetool live F [--points N]\n");
+    return 1;
+  }
+
+  const std::string &Command = Args[0];
+  if (Command == "gen")
+    return cmdGen(Workload, Bytes, Seed, OutPath);
+  if (Command == "info" && Args.size() == 2)
+    return cmdInfo(Args[1]);
+  if (Command == "convert" && Args.size() == 3)
+    return cmdConvert(Args[1], Args[2], Text);
+  if (Command == "live" && Args.size() == 2)
+    return cmdLive(Args[1], Points);
+
+  std::fprintf(stderr, "error: unknown command or wrong arguments "
+                       "(try without arguments for usage)\n");
+  return 1;
+}

@@ -1,0 +1,29 @@
+//===- core/AllocClock.h - The allocation clock ----------------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocation clock used for all object ages and threatening
+/// boundaries: cumulative bytes allocated since program start. This is the
+/// natural monotone "time" of the paper — scavenges are triggered per byte
+/// allocated, and DTBMEM's linear-garbage model is expressed over it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_CORE_ALLOCCLOCK_H
+#define DTB_CORE_ALLOCCLOCK_H
+
+#include <cstdint>
+
+namespace dtb {
+namespace core {
+
+/// Cumulative bytes allocated since program start.
+using AllocClock = uint64_t;
+
+} // namespace core
+} // namespace dtb
+
+#endif // DTB_CORE_ALLOCCLOCK_H

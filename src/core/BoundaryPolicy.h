@@ -1,0 +1,108 @@
+//===- core/BoundaryPolicy.h - Threatening-boundary policies ---*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central abstraction (§4, Table 1): a garbage collector is a
+/// scavenger parameterized by a *threatening boundary policy*. Before the
+/// n-th scavenge, at allocation-clock time t_n, the policy chooses TB_n;
+/// the collector then threatens (traces and may reclaim) exactly the
+/// objects born after TB_n, leaving older objects immune.
+///
+/// All of the paper's collectors — FULL, FIXED1, FIXED4, FEEDMED, DTBFM,
+/// DTBMEM — are instances of this interface; both the trace-driven
+/// simulator (sim/) and the real managed runtime (runtime/) drive it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_CORE_BOUNDARYPOLICY_H
+#define DTB_CORE_BOUNDARYPOLICY_H
+
+#include "core/AllocClock.h"
+#include "core/ScavengeHistory.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dtb {
+namespace core {
+
+/// Live-byte demographics: how many bytes born after a candidate boundary
+/// are (believed to be) live right now. FEEDMED and DTBFM use this to
+/// predict the tracing cost of a candidate boundary.
+///
+/// The trace-driven simulator answers exactly (it has oracle liveness from
+/// the free events, as in the paper's methodology); the managed runtime
+/// answers with survivor-table estimates, as Ungar & Jackson's real
+/// collector did.
+class Demographics {
+public:
+  virtual ~Demographics() = default;
+
+  /// Returns (an estimate of) the live bytes born strictly after clock
+  /// \p Boundary, i.e. the bytes a scavenge with that boundary would trace.
+  virtual uint64_t liveBytesBornAfter(AllocClock Boundary) const = 0;
+
+  /// Returns (an estimate of) the *resident* bytes born strictly after
+  /// \p Boundary — live plus unreclaimed garbage; the difference from
+  /// liveBytesBornAfter is what a scavenge at that boundary would
+  /// reclaim. The default returns the live estimate (a lower bound);
+  /// oracle implementations override with exact figures.
+  virtual uint64_t residentBytesBornAfter(AllocClock Boundary) const {
+    return liveBytesBornAfter(Boundary);
+  }
+};
+
+/// Everything a policy may consult when choosing TB_n. The previous
+/// scavenge's figures are available through History (empty before the
+/// first scavenge).
+struct BoundaryRequest {
+  /// 1-based index n of the scavenge about to run.
+  uint64_t Index = 0;
+  /// Current allocation clock t_n.
+  AllocClock Now = 0;
+  /// Bytes resident just before this scavenge (Mem_n).
+  uint64_t MemBytes = 0;
+  /// History of scavenges 1..n-1.
+  const ScavengeHistory *History = nullptr;
+  /// Live-byte demographics provider (never null when a collector drives
+  /// the policy; may be an estimating implementation).
+  const Demographics *Demo = nullptr;
+};
+
+/// A threatening-boundary policy. Implementations must be deterministic
+/// functions of the request (plus their construction parameters) so
+/// simulation results are reproducible.
+class BoundaryPolicy {
+public:
+  virtual ~BoundaryPolicy();
+
+  /// A short stable identifier ("full", "fixed1", "dtbmem", ...).
+  virtual std::string name() const = 0;
+
+  /// Chooses TB_n for the scavenge described by \p Request. The result is
+  /// guaranteed (and checked by callers) to lie in [0, Request.Now].
+  virtual AllocClock chooseBoundary(const BoundaryRequest &Request) = 0;
+
+  /// Resets any internal state for a fresh program run. The provided
+  /// policies are stateless (all state lives in ScavengeHistory), but
+  /// user-defined policies may override.
+  virtual void reset() {}
+};
+
+/// Shared implementation of Ungar & Jackson's Feedback Mediation boundary
+/// search (the FEEDMED rule of Table 1): the least previous scavenge time
+/// t_k >= PrevBoundary whose predicted tracing cost fits in \p TraceMax
+/// bytes. Returns t_{n-1} when even the youngest candidate is over budget,
+/// and PrevBoundary when the previous pause was within budget is handled by
+/// callers (FEEDMED keeps the boundary, DTBFM widens it).
+AllocClock feedbackMediationSearch(const BoundaryRequest &Request,
+                                   AllocClock PrevBoundary,
+                                   uint64_t TraceMax);
+
+} // namespace core
+} // namespace dtb
+
+#endif // DTB_CORE_BOUNDARYPOLICY_H

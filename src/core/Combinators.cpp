@@ -1,0 +1,76 @@
+//===- core/Combinators.cpp -----------------------------------------------==//
+
+#include "core/Combinators.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace dtb;
+using namespace dtb::core;
+
+OldestBoundaryPolicy::OldestBoundaryPolicy(std::unique_ptr<BoundaryPolicy> A,
+                                           std::unique_ptr<BoundaryPolicy> B)
+    : A(std::move(A)), B(std::move(B)) {
+  if (!this->A || !this->B)
+    fatalError("combinator requires two policies");
+}
+
+std::string OldestBoundaryPolicy::name() const {
+  return "oldest(" + A->name() + "," + B->name() + ")";
+}
+
+AllocClock
+OldestBoundaryPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  return std::min(A->chooseBoundary(Request), B->chooseBoundary(Request));
+}
+
+void OldestBoundaryPolicy::reset() {
+  A->reset();
+  B->reset();
+}
+
+YoungestBoundaryPolicy::YoungestBoundaryPolicy(
+    std::unique_ptr<BoundaryPolicy> A, std::unique_ptr<BoundaryPolicy> B)
+    : A(std::move(A)), B(std::move(B)) {
+  if (!this->A || !this->B)
+    fatalError("combinator requires two policies");
+}
+
+std::string YoungestBoundaryPolicy::name() const {
+  return "youngest(" + A->name() + "," + B->name() + ")";
+}
+
+AllocClock
+YoungestBoundaryPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  return std::max(A->chooseBoundary(Request), B->chooseBoundary(Request));
+}
+
+void YoungestBoundaryPolicy::reset() {
+  A->reset();
+  B->reset();
+}
+
+QuantizedBoundaryPolicy::QuantizedBoundaryPolicy(
+    std::unique_ptr<BoundaryPolicy> Inner, uint64_t QuantumBytes)
+    : Inner(std::move(Inner)), QuantumBytes(QuantumBytes) {
+  if (!this->Inner)
+    fatalError("quantized policy requires an inner policy");
+  if (QuantumBytes == 0)
+    fatalError("quantum must be nonzero");
+}
+
+std::string QuantizedBoundaryPolicy::name() const {
+  return "quantized(" + Inner->name() + "," +
+         std::to_string(QuantumBytes) + ")";
+}
+
+AllocClock
+QuantizedBoundaryPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  AllocClock Boundary = Inner->chooseBoundary(Request);
+  // Snap down (older): only ever threatens more, so liveness safety and
+  // the trace-at-least-once property are preserved.
+  return Boundary - Boundary % QuantumBytes;
+}
+
+void QuantizedBoundaryPolicy::reset() { Inner->reset(); }

@@ -1,0 +1,102 @@
+//===- core/Combinators.h - Composing boundary policies --------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Policy combinators extending the paper's framework. The paper offers
+/// the user a choice of *one* constraint — memory (DTBMEM) or pause time
+/// (DTBFM) — and notes the two trade against each other. Because every
+/// policy is just a boundary function, constraints compose by combining
+/// boundaries:
+///
+///  * OldestBoundaryPolicy(A, B) takes the older (smaller) boundary —
+///    the union of the threatened sets. With A = DTBMEM and B = DTBFM it
+///    treats memory as the hard constraint: whenever the memory policy
+///    needs to reach further back than the pause policy would like, it
+///    wins, and pauses overshoot.
+///
+///  * YoungestBoundaryPolicy(A, B) takes the younger (larger) boundary —
+///    the intersection of the threatened sets. With the same operands it
+///    treats the pause budget as hard: tracing never exceeds what DTBFM
+///    allows, and memory may overshoot.
+///
+///  * QuantizedBoundaryPolicy(P, Q) snaps P's boundary down to a multiple
+///    of Q bytes. §4.2: "if less precision is desired (e.g., to maintain
+///    the write barrier using virtual memory) ages can be constrained
+///    arbitrarily" — this models page- or card-grained birth times.
+///    Snapping *down* (older) only ever threatens more, so it is always
+///    safe, and bench/ablation_quantization measures what the lost
+///    precision costs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_CORE_COMBINATORS_H
+#define DTB_CORE_COMBINATORS_H
+
+#include "core/BoundaryPolicy.h"
+
+#include <memory>
+#include <string>
+
+namespace dtb {
+namespace core {
+
+/// Chooses the older (minimum) of two policies' boundaries: both
+/// policies' threatened sets get collected. The first operand is
+/// consulted first; both always run so their internal views of the
+/// history stay meaningful.
+class OldestBoundaryPolicy final : public BoundaryPolicy {
+public:
+  OldestBoundaryPolicy(std::unique_ptr<BoundaryPolicy> A,
+                       std::unique_ptr<BoundaryPolicy> B);
+
+  std::string name() const override;
+  AllocClock chooseBoundary(const BoundaryRequest &Request) override;
+  void reset() override;
+
+private:
+  std::unique_ptr<BoundaryPolicy> A;
+  std::unique_ptr<BoundaryPolicy> B;
+};
+
+/// Chooses the younger (maximum) of two policies' boundaries: tracing is
+/// bounded by the more permissive operand.
+class YoungestBoundaryPolicy final : public BoundaryPolicy {
+public:
+  YoungestBoundaryPolicy(std::unique_ptr<BoundaryPolicy> A,
+                         std::unique_ptr<BoundaryPolicy> B);
+
+  std::string name() const override;
+  AllocClock chooseBoundary(const BoundaryRequest &Request) override;
+  void reset() override;
+
+private:
+  std::unique_ptr<BoundaryPolicy> A;
+  std::unique_ptr<BoundaryPolicy> B;
+};
+
+/// Snaps the wrapped policy's boundary down to a multiple of the
+/// quantum, modelling coarse-grained (page/card) object ages.
+class QuantizedBoundaryPolicy final : public BoundaryPolicy {
+public:
+  /// \p QuantumBytes must be nonzero.
+  QuantizedBoundaryPolicy(std::unique_ptr<BoundaryPolicy> Inner,
+                          uint64_t QuantumBytes);
+
+  std::string name() const override;
+  AllocClock chooseBoundary(const BoundaryRequest &Request) override;
+  void reset() override;
+
+  uint64_t quantumBytes() const { return QuantumBytes; }
+
+private:
+  std::unique_ptr<BoundaryPolicy> Inner;
+  uint64_t QuantumBytes;
+};
+
+} // namespace core
+} // namespace dtb
+
+#endif // DTB_CORE_COMBINATORS_H

@@ -1,0 +1,62 @@
+//===- core/MachineModel.h - Pause/overhead cost model ---------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's machine model: "a machine that executes 10 million
+/// instructions per second, where the collector could trace 500 kilobytes
+/// per second" (§5, chosen to match Ungar & Jackson). Pause times are
+/// proportional to bytes traced; this model performs the conversions
+/// between bytes, milliseconds, and CPU-overhead percentages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_CORE_MACHINEMODEL_H
+#define DTB_CORE_MACHINEMODEL_H
+
+#include <cstdint>
+
+namespace dtb {
+namespace core {
+
+/// Converts collector work (bytes traced) into time and overhead figures.
+struct MachineModel {
+  /// Mutator speed: instructions per second (paper: 10 MIPS).
+  double InstructionsPerSecond = 10.0e6;
+  /// Collector tracing speed in bytes per second (paper: 500 KB/s).
+  double TraceBytesPerSecond = 500.0e3;
+
+  /// Returns the pause, in milliseconds, for a scavenge that traced
+  /// \p Bytes bytes.
+  double pauseMillisForTracedBytes(uint64_t Bytes) const {
+    return static_cast<double>(Bytes) / TraceBytesPerSecond * 1000.0;
+  }
+
+  /// Returns the tracing budget, in bytes, equivalent to a pause of
+  /// \p Millis milliseconds (the paper's 100 ms -> 50,000 bytes).
+  uint64_t tracedBytesForPauseMillis(double Millis) const {
+    return static_cast<uint64_t>(Millis / 1000.0 * TraceBytesPerSecond);
+  }
+
+  /// Returns total collector seconds for \p Bytes traced overall.
+  double secondsForTracedBytes(uint64_t Bytes) const {
+    return static_cast<double>(Bytes) / TraceBytesPerSecond;
+  }
+
+  /// Returns the CPU overhead percentage of \p TracedBytes of collector
+  /// work relative to a program that runs \p ProgramSeconds of mutator
+  /// time (Table 4's "Estimated CPU Overhead (%)").
+  double cpuOverheadPercent(uint64_t TracedBytes,
+                            double ProgramSeconds) const {
+    if (ProgramSeconds <= 0.0)
+      return 0.0;
+    return secondsForTracedBytes(TracedBytes) / ProgramSeconds * 100.0;
+  }
+};
+
+} // namespace core
+} // namespace dtb
+
+#endif // DTB_CORE_MACHINEMODEL_H

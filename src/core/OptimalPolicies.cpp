@@ -1,0 +1,81 @@
+//===- core/OptimalPolicies.cpp -------------------------------------------==//
+
+#include "core/OptimalPolicies.h"
+
+#include <cassert>
+
+using namespace dtb;
+using namespace dtb::core;
+
+OptimalPausePolicy::OptimalPausePolicy(uint64_t TraceMaxBytes)
+    : TraceMaxBytes(TraceMaxBytes) {}
+
+AllocClock
+OptimalPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
+  if (Request.Index == 1)
+    return 0;
+  assert(Request.Demo && Request.History);
+  const Demographics &Demo = *Request.Demo;
+
+  // A full collection within budget is the best possible outcome.
+  if (Demo.liveBytesBornAfter(0) <= TraceMaxBytes)
+    return 0;
+
+  // Binary search the least boundary whose trace fits; clamp the search
+  // to t_{n-1} so every object is traced at least once. Invariant: the
+  // predicate (trace <= budget) holds at Hi, fails at Lo.
+  AllocClock Lo = 0;
+  AllocClock Hi = Request.History->last().Time;
+  if (Demo.liveBytesBornAfter(Hi) > TraceMaxBytes)
+    return Hi; // Even the newest interval busts the budget: best effort.
+  while (Lo + 1 < Hi) {
+    AllocClock Mid = Lo + (Hi - Lo) / 2;
+    if (Demo.liveBytesBornAfter(Mid) <= TraceMaxBytes)
+      Hi = Mid;
+    else
+      Lo = Mid;
+  }
+  return Hi;
+}
+
+OptimalMemoryPolicy::OptimalMemoryPolicy(uint64_t MemMaxBytes)
+    : MemMaxBytes(MemMaxBytes) {}
+
+AllocClock
+OptimalMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  if (Request.Index == 1)
+    return 0;
+  assert(Request.Demo && Request.History);
+  const Demographics &Demo = *Request.Demo;
+
+  // Post-scavenge residency with boundary B: Mem_n minus the garbage born
+  // after B (resident minus live in the threatened region).
+  auto residencyAfter = [&](AllocClock B) {
+    uint64_t Resident = Demo.residentBytesBornAfter(B);
+    uint64_t Live = Demo.liveBytesBornAfter(B);
+    uint64_t Garbage = Resident >= Live ? Resident - Live : 0;
+    return Request.MemBytes - Garbage;
+  };
+
+  AllocClock Newest = Request.History->last().Time;
+  // If even the laziest admissible boundary fits, take it: no tracing
+  // beyond the newest interval is needed.
+  if (residencyAfter(Newest) <= MemMaxBytes)
+    return Newest;
+  // If a full collection cannot fit, it is still the best effort.
+  if (residencyAfter(0) > MemMaxBytes)
+    return 0;
+
+  // Binary search the greatest boundary whose residency fits. Invariant:
+  // the predicate (residency <= budget) holds at Lo, fails at Hi.
+  AllocClock Lo = 0;
+  AllocClock Hi = Newest;
+  while (Lo + 1 < Hi) {
+    AllocClock Mid = Lo + (Hi - Lo) / 2;
+    if (residencyAfter(Mid) <= MemMaxBytes)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}

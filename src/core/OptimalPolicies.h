@@ -1,0 +1,73 @@
+//===- core/OptimalPolicies.h - Clairvoyant regret baselines ---*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clairvoyant boundary policies: greedy per-scavenge optima computed
+/// directly from the demographics, used as regret baselines for the
+/// paper's feedback policies (bench/ablation_oracle):
+///
+///  * OptimalPausePolicy — the *oldest* boundary whose predicted trace
+///    fits the pause budget: maximal reclamation per scavenge subject to
+///    the constraint. DTBFM approximates this with one multiplicative
+///    adjustment per scavenge; the difference is DTBFM's memory regret.
+///
+///  * OptimalMemoryPolicy — the *youngest* boundary whose post-scavenge
+///    residency fits the memory budget: minimal tracing subject to the
+///    constraint. DTBMEM approximates it through the linear-garbage model
+///    and the L_est guess; the difference is DTBMEM's tracing regret.
+///
+/// Driven by the simulator these are exact (oracle demographics); driven
+/// by the runtime they degrade gracefully to survivor-table estimates.
+/// "Optimal" is per-scavenge greedy, not a globally optimal schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_CORE_OPTIMALPOLICIES_H
+#define DTB_CORE_OPTIMALPOLICIES_H
+
+#include "core/BoundaryPolicy.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dtb {
+namespace core {
+
+/// Oldest boundary with predicted trace within the budget (binary search
+/// over the clock; liveBytesBornAfter is non-increasing in the boundary).
+class OptimalPausePolicy final : public BoundaryPolicy {
+public:
+  explicit OptimalPausePolicy(uint64_t TraceMaxBytes);
+
+  std::string name() const override { return "opt-pause"; }
+  AllocClock chooseBoundary(const BoundaryRequest &Request) override;
+
+  uint64_t traceMaxBytes() const { return TraceMaxBytes; }
+
+private:
+  uint64_t TraceMaxBytes;
+};
+
+/// Youngest boundary whose post-scavenge residency fits the budget
+/// (binary search; reclaimable garbage born after a boundary is
+/// non-increasing in the boundary, so residency-after is non-decreasing).
+class OptimalMemoryPolicy final : public BoundaryPolicy {
+public:
+  explicit OptimalMemoryPolicy(uint64_t MemMaxBytes);
+
+  std::string name() const override { return "opt-mem"; }
+  AllocClock chooseBoundary(const BoundaryRequest &Request) override;
+
+  uint64_t memMaxBytes() const { return MemMaxBytes; }
+
+private:
+  uint64_t MemMaxBytes;
+};
+
+} // namespace core
+} // namespace dtb
+
+#endif // DTB_CORE_OPTIMALPOLICIES_H

@@ -1,0 +1,275 @@
+//===- core/Policies.cpp --------------------------------------------------==//
+
+#include "core/Policies.h"
+
+#include "core/OptimalPolicies.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+using namespace dtb;
+using namespace dtb::core;
+
+BoundaryPolicy::~BoundaryPolicy() = default;
+
+//===----------------------------------------------------------------------===//
+// Shared FEEDMED boundary search
+//===----------------------------------------------------------------------===//
+
+AllocClock dtb::core::feedbackMediationSearch(const BoundaryRequest &Request,
+                                              AllocClock PrevBoundary,
+                                              uint64_t TraceMax) {
+  assert(Request.History && "feedback mediation requires history");
+  assert(Request.Demo && "feedback mediation requires demographics");
+  const ScavengeHistory &History = *Request.History;
+
+  // Candidate boundaries are the previous scavenge times t_k (with t_0 = 0)
+  // that are at or after the previous boundary. Search oldest-first: the
+  // least t_k whose predicted trace fits the budget maximizes reclamation
+  // subject to the pause constraint. Predicted trace is non-increasing in
+  // t_k, so the first fit is the best fit.
+  int64_t N = static_cast<int64_t>(History.size()) + 1; // this scavenge is n
+  for (int64_t K = 0; K < N; ++K) {
+    AllocClock Tk = History.timeOf(K);
+    if (Tk < PrevBoundary)
+      continue;
+    if (Request.Demo->liveBytesBornAfter(Tk) <= TraceMax)
+      return Tk;
+  }
+  // Even the youngest candidate (t_{n-1}) exceeds the budget: threaten the
+  // newest interval only, the closest we can get to the constraint while
+  // still tracing every object once.
+  return History.timeOf(N - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// FULL
+//===----------------------------------------------------------------------===//
+
+AllocClock FullPolicy::chooseBoundary(const BoundaryRequest &) { return 0; }
+
+//===----------------------------------------------------------------------===//
+// FIXEDk
+//===----------------------------------------------------------------------===//
+
+FixedAgePolicy::FixedAgePolicy(unsigned Generations)
+    : Generations(Generations) {
+  if (Generations == 0)
+    fatalError("FIXEDk requires k >= 1");
+}
+
+std::string FixedAgePolicy::name() const {
+  return "fixed" + std::to_string(Generations);
+}
+
+AllocClock FixedAgePolicy::chooseBoundary(const BoundaryRequest &Request) {
+  assert(Request.History && "FIXEDk requires history");
+  // TB_n = t_{n-k}; before k scavenges have completed this is time 0, i.e.
+  // a full collection.
+  int64_t K = static_cast<int64_t>(Request.Index) -
+              static_cast<int64_t>(Generations);
+  return Request.History->timeOf(K);
+}
+
+//===----------------------------------------------------------------------===//
+// FEEDMED
+//===----------------------------------------------------------------------===//
+
+FeedbackMediationPolicy::FeedbackMediationPolicy(uint64_t TraceMaxBytes)
+    : TraceMaxBytes(TraceMaxBytes) {}
+
+AllocClock
+FeedbackMediationPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  // First scavenge: full collection (TB_0 conceptually starts at 0).
+  if (Request.Index == 1)
+    return 0;
+  assert(Request.History && !Request.History->empty());
+  const ScavengeRecord &Prev = Request.History->last();
+  if (Prev.TracedBytes > TraceMaxBytes)
+    return feedbackMediationSearch(Request, Prev.Boundary, TraceMaxBytes);
+  // Within budget: leave the boundary alone (Feedback Mediation never
+  // moves it back in time — the weakness DTBFM fixes).
+  return Prev.Boundary;
+}
+
+//===----------------------------------------------------------------------===//
+// DTBFM
+//===----------------------------------------------------------------------===//
+
+DtbPausePolicy::DtbPausePolicy(uint64_t TraceMaxBytes)
+    : TraceMaxBytes(TraceMaxBytes) {}
+
+AllocClock DtbPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
+  if (Request.Index == 1)
+    return 0;
+  assert(Request.History && !Request.History->empty());
+  const ScavengeRecord &Prev = Request.History->last();
+
+  if (Prev.TracedBytes > TraceMaxBytes)
+    return feedbackMediationSearch(Request, Prev.Boundary, TraceMaxBytes);
+
+  // Under budget: widen the threatened window. The previous window was
+  // t_{n-1} - TB_{n-1}; scale it by Trace_max / Trace_{n-1} (> 1 here) so
+  // the next trace is predicted to land on the budget, reclaiming older
+  // garbage with the spare pause time.
+  //
+  //   TB_n = t_n - (t_{n-1} - TB_{n-1}) * Trace_max / Trace_{n-1}
+  //
+  // Two guards beyond the formula: a zero previous trace means the scaling
+  // ratio is unbounded — fall back to a full collection, the limiting
+  // case; and the result is clamped to [0, t_{n-1}] so that every object
+  // is traced at least once (and a degenerate zero-width previous window
+  // cannot pin the boundary at t_n forever).
+  if (Prev.TracedBytes == 0)
+    return 0;
+  double PrevWindow =
+      static_cast<double>(Prev.Time) - static_cast<double>(Prev.Boundary);
+  double Window = PrevWindow * static_cast<double>(TraceMaxBytes) /
+                  static_cast<double>(Prev.TracedBytes);
+  double Boundary = static_cast<double>(Request.Now) - Window;
+  if (Boundary <= 0.0)
+    return 0;
+  return std::min(static_cast<AllocClock>(Boundary), Prev.Time);
+}
+
+//===----------------------------------------------------------------------===//
+// DTBMEM
+//===----------------------------------------------------------------------===//
+
+DtbMemoryPolicy::DtbMemoryPolicy(uint64_t MemMaxBytes,
+                                 LiveEstimateKind Estimator)
+    : MemMaxBytes(MemMaxBytes), Estimator(Estimator) {}
+
+std::string DtbMemoryPolicy::name() const {
+  switch (Estimator) {
+  case LiveEstimateKind::AverageOfSurvivedAndTraced:
+    return "dtbmem";
+  case LiveEstimateKind::Survived:
+    return "dtbmem-s";
+  case LiveEstimateKind::Traced:
+    return "dtbmem-t";
+  case LiveEstimateKind::Oracle:
+    return "dtbmem-oracle";
+  }
+  unreachable("covered switch");
+}
+
+AllocClock DtbMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  if (Request.Index == 1)
+    return 0;
+  assert(Request.History && !Request.History->empty());
+  const ScavengeRecord &Prev = Request.History->last();
+
+  // Estimate the live bytes L_{n-1}. The true value lies between
+  // Trace_{n-1} (live bytes young enough to be traced) and S_{n-1}
+  // (survivors, which include tenured garbage); the paper takes the
+  // midpoint.
+  double LiveEstimate = 0.0;
+  switch (Estimator) {
+  case LiveEstimateKind::AverageOfSurvivedAndTraced:
+    LiveEstimate = 0.5 * (static_cast<double>(Prev.SurvivedBytes) +
+                          static_cast<double>(Prev.TracedBytes));
+    break;
+  case LiveEstimateKind::Survived:
+    LiveEstimate = static_cast<double>(Prev.SurvivedBytes);
+    break;
+  case LiveEstimateKind::Traced:
+    LiveEstimate = static_cast<double>(Prev.TracedBytes);
+    break;
+  case LiveEstimateKind::Oracle:
+    assert(Request.Demo && "oracle estimator requires demographics");
+    LiveEstimate =
+        static_cast<double>(Request.Demo->liveBytesBornAfter(0));
+    break;
+  }
+
+  // Allow tenured garbage worth Mem_max - L_est. Assume garbage retention
+  // grows linearly with the boundary position over [0, t_n] with slope
+  // Mem_n / t_n (the garbage-to-memory ratio of the whole heap), giving
+  //
+  //   TB_n = t_n * (Mem_max - L_est) / Mem_n,
+  //
+  // clamped to [0, t_{n-1}] — never below zero (an over-constrained budget
+  // degrades to a full collection) and never past the previous scavenge
+  // time (every object gets traced at least once).
+  if (Request.MemBytes == 0)
+    return 0;
+  double Headroom = static_cast<double>(MemMaxBytes) - LiveEstimate;
+  if (Headroom <= 0.0)
+    return 0;
+  double Boundary = static_cast<double>(Request.Now) * Headroom /
+                    static_cast<double>(Request.MemBytes);
+  return std::min(static_cast<AllocClock>(Boundary), Prev.Time);
+}
+
+//===----------------------------------------------------------------------===//
+// Minor/major cycle
+//===----------------------------------------------------------------------===//
+
+MinorMajorPolicy::MinorMajorPolicy(unsigned Period) : Period(Period) {
+  if (Period < 2)
+    fatalError("minor/major cycle requires a period >= 2");
+}
+
+std::string MinorMajorPolicy::name() const {
+  return "minormajor" + std::to_string(Period);
+}
+
+AllocClock MinorMajorPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  assert(Request.History && "minor/major requires history");
+  // Majors at scavenges 1, 1+Period, 1+2*Period, ... so the first
+  // collection is full (every paper policy starts that way).
+  if ((Request.Index - 1) % Period == 0)
+    return 0;
+  return Request.History->timeOf(static_cast<int64_t>(Request.Index) - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Factory
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<BoundaryPolicy>
+dtb::core::createPolicy(const std::string &Name, const PolicyConfig &Config) {
+  if (Name == "full")
+    return std::make_unique<FullPolicy>();
+  if (Name == "feedmed")
+    return std::make_unique<FeedbackMediationPolicy>(Config.TraceMaxBytes);
+  if (Name == "dtbfm")
+    return std::make_unique<DtbPausePolicy>(Config.TraceMaxBytes);
+  if (Name == "dtbmem")
+    return std::make_unique<DtbMemoryPolicy>(Config.MemMaxBytes);
+  if (Name == "opt-pause")
+    return std::make_unique<OptimalPausePolicy>(Config.TraceMaxBytes);
+  if (Name == "opt-mem")
+    return std::make_unique<OptimalMemoryPolicy>(Config.MemMaxBytes);
+  if (Name.rfind("minormajor", 0) == 0) {
+    const std::string Suffix = Name.substr(10);
+    if (!Suffix.empty() &&
+        Suffix.find_first_not_of("0123456789") == std::string::npos) {
+      unsigned Period = static_cast<unsigned>(
+          std::strtoul(Suffix.c_str(), nullptr, 10));
+      if (Period >= 2)
+        return std::make_unique<MinorMajorPolicy>(Period);
+    }
+  }
+  if (Name.rfind("fixed", 0) == 0) {
+    const std::string Suffix = Name.substr(5);
+    if (!Suffix.empty() &&
+        Suffix.find_first_not_of("0123456789") == std::string::npos) {
+      unsigned K = static_cast<unsigned>(std::strtoul(Suffix.c_str(),
+                                                      nullptr, 10));
+      if (K >= 1)
+        return std::make_unique<FixedAgePolicy>(K);
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<std::string> &dtb::core::paperPolicyNames() {
+  static const std::vector<std::string> Names = {
+      "full", "fixed1", "fixed4", "dtbmem", "feedmed", "dtbfm"};
+  return Names;
+}

@@ -1,0 +1,96 @@
+//===- core/ScavengeHistory.h - Per-scavenge records -----------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records of completed scavenges. Boundary policies consult this history:
+/// FIXEDk needs the time of the k-th previous scavenge, FEEDMED searches
+/// previous scavenge times as boundary candidates, and the DTB policies
+/// need the previous scavenge's boundary and byte counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_CORE_SCAVENGEHISTORY_H
+#define DTB_CORE_SCAVENGEHISTORY_H
+
+#include "core/AllocClock.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dtb {
+namespace core {
+
+/// Everything measured about one completed scavenge, in the paper's
+/// notation for scavenge n: t_n, TB_n, Trace_n, S_n, Mem_n.
+struct ScavengeRecord {
+  /// 1-based scavenge index (n).
+  uint64_t Index = 0;
+  /// The allocation clock when the scavenge ran (t_n).
+  AllocClock Time = 0;
+  /// The threatening boundary used (TB_n).
+  AllocClock Boundary = 0;
+  /// Live bytes traced (Trace_n) — pause times are proportional to this.
+  uint64_t TracedBytes = 0;
+  /// Bytes resident just before the scavenge (Mem_n).
+  uint64_t MemBeforeBytes = 0;
+  /// Bytes surviving just after the scavenge (S_n).
+  uint64_t SurvivedBytes = 0;
+  /// Bytes reclaimed (Mem_n - S_n).
+  uint64_t ReclaimedBytes = 0;
+};
+
+/// Append-only history of scavenge records.
+class ScavengeHistory {
+public:
+  void append(const ScavengeRecord &Record) {
+    assert(Record.Index == Records.size() + 1 &&
+           "scavenge records must be appended in order");
+    assert((Records.empty() || Record.Time >= Records.back().Time) &&
+           "scavenge times must be monotone");
+    Records.push_back(Record);
+  }
+
+  /// Number of completed scavenges.
+  uint64_t size() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+
+  /// Record of scavenge \p Index (1-based).
+  const ScavengeRecord &record(uint64_t Index) const {
+    assert(Index >= 1 && Index <= Records.size() && "index out of range");
+    return Records[Index - 1];
+  }
+
+  /// The most recent record; history must be nonempty.
+  const ScavengeRecord &last() const {
+    assert(!Records.empty() && "no scavenges recorded");
+    return Records.back();
+  }
+
+  /// Returns t_k: the time of scavenge \p K, with t_k = 0 for k <= 0 (the
+  /// paper's convention — "time 0" is program start, so FIXEDk performs
+  /// full collections until k scavenges have happened).
+  AllocClock timeOf(int64_t K) const {
+    if (K <= 0)
+      return 0;
+    assert(static_cast<uint64_t>(K) <= Records.size() &&
+           "future scavenge time requested");
+    return Records[static_cast<size_t>(K) - 1].Time;
+  }
+
+  const std::vector<ScavengeRecord> &records() const { return Records; }
+
+  void clear() { Records.clear(); }
+
+private:
+  std::vector<ScavengeRecord> Records;
+};
+
+} // namespace core
+} // namespace dtb
+
+#endif // DTB_CORE_SCAVENGEHISTORY_H

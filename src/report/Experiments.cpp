@@ -1,0 +1,173 @@
+//===- report/Experiments.cpp ---------------------------------------------==//
+
+#include "report/Experiments.h"
+
+#include "support/Error.h"
+#include "support/Units.h"
+
+#include <utility>
+
+using namespace dtb;
+using namespace dtb::report;
+
+ExperimentGrid::ExperimentGrid(std::vector<workload::WorkloadSpec> InWorkloads,
+                               std::vector<std::string> InPolicyNames,
+                               const ExperimentConfig &InConfig)
+    : Workloads(std::move(InWorkloads)),
+      PolicyNames(std::move(InPolicyNames)), Config(InConfig) {
+  core::PolicyConfig PolicyConfig;
+  PolicyConfig.TraceMaxBytes = Config.TraceMaxBytes;
+  PolicyConfig.MemMaxBytes = Config.MemMaxBytes;
+
+  for (const workload::WorkloadSpec &Spec : Workloads) {
+    trace::Trace T = workload::generateTrace(Spec);
+    Baselines[Spec.Name] = trace::computeTraceStats(T);
+
+    sim::SimulatorConfig SimConfig;
+    SimConfig.TriggerBytes = Config.TriggerBytes;
+    SimConfig.Machine = Config.Machine;
+    SimConfig.ProgramSeconds = Spec.ProgramSeconds;
+
+    for (const std::string &PolicyName : PolicyNames) {
+      std::unique_ptr<core::BoundaryPolicy> Policy =
+          core::createPolicy(PolicyName, PolicyConfig);
+      if (!Policy)
+        fatalError("unknown policy name: " + PolicyName);
+      Results[{PolicyName, Spec.Name}] = sim::simulate(T, *Policy, SimConfig);
+    }
+  }
+}
+
+ExperimentGrid ExperimentGrid::paperGrid(const ExperimentConfig &Config) {
+  return ExperimentGrid(workload::paperWorkloads(),
+                        core::paperPolicyNames(), Config);
+}
+
+const sim::SimulationResult &
+ExperimentGrid::result(const std::string &Policy,
+                       const std::string &Workload) const {
+  auto It = Results.find({Policy, Workload});
+  if (It == Results.end())
+    fatalError("no result for policy '" + Policy + "' on workload '" +
+               Workload + "'");
+  return It->second;
+}
+
+const trace::TraceStats &
+ExperimentGrid::baseline(const std::string &Workload) const {
+  auto It = Baselines.find(Workload);
+  if (It == Baselines.end())
+    fatalError("no baseline for workload '" + Workload + "'");
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Table rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Pretty collector names as they appear in the paper's tables.
+std::string collectorDisplayName(const std::string &PolicyName) {
+  if (PolicyName == "full")
+    return "Full";
+  if (PolicyName == "fixed1")
+    return "Fixed1";
+  if (PolicyName == "fixed4")
+    return "Fixed4";
+  if (PolicyName == "dtbmem")
+    return "DtbMem";
+  if (PolicyName == "feedmed")
+    return "FeedMed";
+  if (PolicyName == "dtbfm")
+    return "DtbFM";
+  return PolicyName;
+}
+
+std::vector<std::string>
+twoColumnHeader(const ExperimentGrid &Grid, const std::string &Sub1,
+                const std::string &Sub2) {
+  std::vector<std::string> Header = {"Collector"};
+  for (const workload::WorkloadSpec &Spec : Grid.workloads()) {
+    Header.push_back(Spec.DisplayName + " " + Sub1);
+    Header.push_back(Sub2);
+  }
+  return Header;
+}
+
+} // namespace
+
+Table dtb::report::buildTable2(const ExperimentGrid &Grid) {
+  Table T(twoColumnHeader(Grid, "Mean", "Max"));
+  for (const std::string &Policy : Grid.policyNames()) {
+    std::vector<std::string> Row = {collectorDisplayName(Policy)};
+    for (const workload::WorkloadSpec &Spec : Grid.workloads()) {
+      const sim::SimulationResult &R = Grid.result(Policy, Spec.Name);
+      Row.push_back(Table::cell(bytesToKB(R.MemMeanBytes)));
+      Row.push_back(Table::cell(bytesToKB(R.MemMaxBytes)));
+    }
+    T.addRow(std::move(Row));
+  }
+  T.addSeparator();
+
+  std::vector<std::string> NoGcRow = {"No GC"};
+  std::vector<std::string> LiveRow = {"Live"};
+  for (const workload::WorkloadSpec &Spec : Grid.workloads()) {
+    const trace::TraceStats &B = Grid.baseline(Spec.Name);
+    NoGcRow.push_back(Table::cell(bytesToKB(B.NoGcMeanBytes)));
+    NoGcRow.push_back(Table::cell(bytesToKB(B.TotalAllocatedBytes)));
+    LiveRow.push_back(Table::cell(bytesToKB(B.LiveMeanBytes)));
+    LiveRow.push_back(Table::cell(bytesToKB(B.LiveMaxBytes)));
+  }
+  T.addRow(std::move(NoGcRow));
+  T.addRow(std::move(LiveRow));
+  return T;
+}
+
+Table dtb::report::buildTable3(const ExperimentGrid &Grid) {
+  Table T(twoColumnHeader(Grid, "50", "90"));
+  for (const std::string &Policy : Grid.policyNames()) {
+    std::vector<std::string> Row = {collectorDisplayName(Policy)};
+    for (const workload::WorkloadSpec &Spec : Grid.workloads()) {
+      const sim::SimulationResult &R = Grid.result(Policy, Spec.Name);
+      Row.push_back(Table::cell(R.PauseMillis.median()));
+      Row.push_back(Table::cell(R.PauseMillis.percentile90()));
+    }
+    T.addRow(std::move(Row));
+  }
+  return T;
+}
+
+Table dtb::report::buildTable4(const ExperimentGrid &Grid) {
+  Table T(twoColumnHeader(Grid, "Traced", "Ovhd%"));
+  for (const std::string &Policy : Grid.policyNames()) {
+    std::vector<std::string> Row = {collectorDisplayName(Policy)};
+    for (const workload::WorkloadSpec &Spec : Grid.workloads()) {
+      const sim::SimulationResult &R = Grid.result(Policy, Spec.Name);
+      Row.push_back(Table::cell(bytesToKB(R.TotalTracedBytes)));
+      Row.push_back(Table::cell(R.CpuOverheadPercent, 1));
+    }
+    T.addRow(std::move(Row));
+  }
+  return T;
+}
+
+Table dtb::report::buildTable6(const ExperimentGrid &Grid) {
+  Table T({"Program", "Exec (sec)", "Alloc (MB)", "Rate (KB/s)",
+           "Objects", "Mean size (B)", "Collections"});
+  for (const workload::WorkloadSpec &Spec : Grid.workloads()) {
+    const trace::TraceStats &B = Grid.baseline(Spec.Name);
+    const sim::SimulationResult &Full = Grid.result("full", Spec.Name);
+    double AllocMB =
+        static_cast<double>(B.TotalAllocatedBytes) / 1.0e6;
+    double RateKBs = Spec.ProgramSeconds > 0.0
+                         ? bytesToKB(B.TotalAllocatedBytes) /
+                               Spec.ProgramSeconds
+                         : 0.0;
+    T.addRow({Spec.DisplayName, Table::cell(Spec.ProgramSeconds, 1),
+              Table::cell(AllocMB, 0), Table::cell(RateKBs, 0),
+              Table::cell(B.NumObjects), Table::cell(B.MeanObjectSize, 1),
+              Table::cell(Full.NumScavenges)});
+  }
+  return T;
+}

@@ -1,0 +1,96 @@
+//===- report/Experiments.h - Paper experiment harness ---------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment harness shared by the benchmark binaries: runs the six
+/// collector policies of Table 1 over the six calibrated workloads with the
+/// paper's parameters, and renders the results in the layout of the
+/// paper's Tables 2 (memory), 3 (pause times), and 4 (bytes traced / CPU
+/// overhead), plus workload statistics (Tables 5/6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_REPORT_EXPERIMENTS_H
+#define DTB_REPORT_EXPERIMENTS_H
+
+#include "core/MachineModel.h"
+#include "core/Policies.h"
+#include "sim/Simulator.h"
+#include "support/Table.h"
+#include "trace/TraceStats.h"
+#include "workload/Workload.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtb {
+namespace report {
+
+/// The paper's evaluation parameters (§5).
+struct ExperimentConfig {
+  /// Scavenge trigger: bytes allocated between collections.
+  uint64_t TriggerBytes = 1'000'000;
+  /// Pause budget in traced bytes (100 ms at 500 KB/s).
+  uint64_t TraceMaxBytes = 50'000;
+  /// DTBMEM memory budget.
+  uint64_t MemMaxBytes = 3'000'000;
+  core::MachineModel Machine;
+};
+
+/// Results of running every policy over every workload.
+class ExperimentGrid {
+public:
+  /// Runs \p PolicyNames x \p Workloads under \p Config. Traces are
+  /// generated once per workload and discarded after its simulations.
+  ExperimentGrid(std::vector<workload::WorkloadSpec> Workloads,
+                 std::vector<std::string> PolicyNames,
+                 const ExperimentConfig &Config);
+
+  /// The paper's full grid: six policies over six workloads.
+  static ExperimentGrid paperGrid(const ExperimentConfig &Config = {});
+
+  const std::vector<workload::WorkloadSpec> &workloads() const {
+    return Workloads;
+  }
+  const std::vector<std::string> &policyNames() const { return PolicyNames; }
+  const ExperimentConfig &config() const { return Config; }
+
+  /// Simulation result for (policy, workload); both must have been listed
+  /// at construction.
+  const sim::SimulationResult &result(const std::string &Policy,
+                                      const std::string &Workload) const;
+
+  /// Trace statistics for a workload (the LIVE and No-GC baseline rows).
+  const trace::TraceStats &baseline(const std::string &Workload) const;
+
+private:
+  std::vector<workload::WorkloadSpec> Workloads;
+  std::vector<std::string> PolicyNames;
+  ExperimentConfig Config;
+  std::map<std::pair<std::string, std::string>, sim::SimulationResult>
+      Results;
+  std::map<std::string, trace::TraceStats> Baselines;
+};
+
+/// Table 2: mean and maximum memory (KB) per collector and workload,
+/// including the No GC and LIVE rows.
+Table buildTable2(const ExperimentGrid &Grid);
+
+/// Table 3: median and 90th-percentile pause times (ms).
+Table buildTable3(const ExperimentGrid &Grid);
+
+/// Table 4: total KB traced and estimated CPU overhead (%).
+Table buildTable4(const ExperimentGrid &Grid);
+
+/// Table 6: allocation behaviour of the workloads (execution time, total
+/// allocation, allocation rate, number of collections under FULL).
+Table buildTable6(const ExperimentGrid &Grid);
+
+} // namespace report
+} // namespace dtb
+
+#endif // DTB_REPORT_EXPERIMENTS_H

@@ -1,0 +1,185 @@
+//===- report/PaperReference.cpp ------------------------------------------==//
+
+#include "report/PaperReference.h"
+
+#include <array>
+#include <cstring>
+
+using namespace dtb;
+using namespace dtb::report;
+
+namespace {
+
+// Row-major data transcribed from the paper. Workload order: ghost1,
+// ghost2, espresso1, espresso2, sis, cfrac. Policy order: full, fixed1,
+// fixed4, dtbmem, feedmed, dtbfm.
+
+constexpr std::array<const char *, 6> PolicyOrder = {
+    "full", "fixed1", "fixed4", "dtbmem", "feedmed", "dtbfm"};
+constexpr std::array<const char *, 6> WorkloadOrder = {
+    "ghost1", "ghost2", "espresso1", "espresso2", "sis", "cfrac"};
+
+// Table 2: {mean, max} KB per cell.
+constexpr double Table2[6][6][2] = {
+    // full
+    {{1262, 2065}, {1807, 3033}, {564, 1076}, {640, 1188}, {4524, 6980},
+     {497, 992}},
+    // fixed1
+    {{1465, 2453}, {2130, 3632}, {667, 1226}, {1577, 2837}, {4691, 7166},
+     {498, 993}},
+    // fixed4
+    {{1262, 2065}, {1807, 3033}, {567, 1088}, {760, 1372}, {4524, 6980},
+     {497, 992}},
+    // dtbmem
+    {{1460, 2393}, {1984, 3242}, {667, 1226}, {1481, 2365}, {4552, 6980},
+     {498, 993}},
+    // feedmed
+    {{1316, 2125}, {1891, 3168}, {620, 1137}, {1095, 1748}, {4691, 7166},
+     {497, 992}},
+    // dtbfm
+    {{1265, 2066}, {1839, 3078}, {569, 1111}, {695, 1612}, {4691, 7166},
+     {497, 992}},
+};
+
+// Table 3: {median, 90th} ms per cell.
+constexpr double Table3[6][6][2] = {
+    // full
+    {{1743, 2130}, {2720, 4108}, {164, 197}, {333, 387}, {8165, 11787},
+     {15, 37}},
+    // fixed1
+    {{31, 102}, {27, 139}, {12, 111}, {18, 68}, {726, 1609}, {5, 7}},
+    // fixed4
+    {{120, 334}, {150, 409}, {20, 192}, {28, 137}, {2901, 4545}, {15, 22}},
+    // dtbmem
+    {{34, 112}, {200, 1345}, {12, 111}, {19, 68}, {8165, 11787}, {5, 7}},
+    // feedmed
+    {{104, 143}, {90, 188}, {16, 111}, {40, 93}, {726, 1609}, {15, 37}},
+    // dtbfm
+    {{106, 168}, {97, 234}, {53, 178}, {93, 364}, {726, 1609}, {15, 37}},
+};
+
+// Table 4: {traced KB, overhead %} per cell.
+constexpr double Table4[6][6][2] = {
+    // full
+    {{40153, 179.2}, {119011, 203.7}, {1236, 4.1}, {16389, 14.0},
+     {57015, 385.5}, {73, 0.7}},
+    // fixed1
+    {{1373, 6.1}, {2456, 4.2}, {209, 0.7}, {1615, 1.4}, {6610, 44.7},
+     {19, 0.2}},
+    // fixed4
+    {{4610, 20.5}, {8590, 14.7}, {487, 1.6}, {2878, 2.5}, {24001, 162.3},
+     {57, 0.6}},
+    // dtbmem
+    {{1489, 6.6}, {23689, 40.5}, {209, 0.7}, {1662, 1.4}, {50776, 343.3},
+     {19, 0.2}},
+    // feedmed
+    {{2641, 11.8}, {4377, 7.5}, {231, 0.8}, {2642, 2.3}, {6610, 44.7},
+     {73, 0.7}},
+    // dtbfm
+    {{3026, 13.5}, {5585, 9.6}, {684, 2.3}, {8201, 7.0}, {6610, 44.7},
+     {73, 0.7}},
+};
+
+// No GC / LIVE rows of Table 2: {NoGC mean, NoGC max, Live mean, Live max}.
+constexpr double Baselines[6][4] = {
+    {24601, 49004, 777, 1118},   // ghost1
+    {44243, 87681, 1323, 2080},  // ghost2
+    {7874, 14852, 89, 173},      // espresso1
+    {45428, 104338, 160, 269},   // espresso2
+    {8346, 14542, 4197, 6423},   // sis
+    {3853, 7813, 10, 21},        // cfrac
+};
+
+constexpr std::array<const char *, 6> WorkloadDisplay = {
+    "GHOST (1)", "GHOST (2)", "ESPRESSO (1)",
+    "ESPRESSO (2)", "SIS", "CFRAC"};
+constexpr std::array<const char *, 6> PolicyDisplay = {
+    "Full", "Fixed1", "Fixed4", "DtbMem", "FeedMed", "DtbFM"};
+
+int policyIndex(const std::string &Policy) {
+  for (size_t I = 0; I != PolicyOrder.size(); ++I)
+    if (Policy == PolicyOrder[I])
+      return static_cast<int>(I);
+  return -1;
+}
+
+int workloadIndex(const std::string &Workload) {
+  for (size_t I = 0; I != WorkloadOrder.size(); ++I)
+    if (Workload == WorkloadOrder[I])
+      return static_cast<int>(I);
+  return -1;
+}
+
+Table buildPaperTable(const double Data[6][6][2], const char *Sub1,
+                      const char *Sub2, int Decimals2) {
+  std::vector<std::string> Header = {"Collector"};
+  for (const char *W : WorkloadDisplay) {
+    Header.push_back(std::string(W) + " " + Sub1);
+    Header.push_back(Sub2);
+  }
+  Table T(std::move(Header));
+  for (size_t P = 0; P != PolicyOrder.size(); ++P) {
+    std::vector<std::string> Row = {PolicyDisplay[P]};
+    for (size_t W = 0; W != WorkloadOrder.size(); ++W) {
+      Row.push_back(Table::cell(Data[P][W][0], 0));
+      Row.push_back(Table::cell(Data[P][W][1], Decimals2));
+    }
+    T.addRow(std::move(Row));
+  }
+  return T;
+}
+
+} // namespace
+
+std::optional<PaperCell> dtb::report::paperCell(const std::string &Policy,
+                                                const std::string &Workload) {
+  int P = policyIndex(Policy);
+  int W = workloadIndex(Workload);
+  if (P < 0 || W < 0)
+    return std::nullopt;
+  PaperCell Cell;
+  Cell.MemMeanKB = Table2[P][W][0];
+  Cell.MemMaxKB = Table2[P][W][1];
+  Cell.PauseMedianMs = Table3[P][W][0];
+  Cell.Pause90Ms = Table3[P][W][1];
+  Cell.TracedKB = Table4[P][W][0];
+  Cell.OverheadPercent = Table4[P][W][1];
+  return Cell;
+}
+
+std::optional<PaperBaseline>
+dtb::report::paperBaseline(const std::string &Workload) {
+  int W = workloadIndex(Workload);
+  if (W < 0)
+    return std::nullopt;
+  PaperBaseline B;
+  B.NoGcMeanKB = Baselines[W][0];
+  B.NoGcMaxKB = Baselines[W][1];
+  B.LiveMeanKB = Baselines[W][2];
+  B.LiveMaxKB = Baselines[W][3];
+  return B;
+}
+
+Table dtb::report::paperTable2() {
+  Table T = buildPaperTable(Table2, "Mean", "Max", 0);
+  T.addSeparator();
+  std::vector<std::string> NoGcRow = {"No GC"};
+  std::vector<std::string> LiveRow = {"Live"};
+  for (size_t W = 0; W != WorkloadOrder.size(); ++W) {
+    NoGcRow.push_back(Table::cell(Baselines[W][0], 0));
+    NoGcRow.push_back(Table::cell(Baselines[W][1], 0));
+    LiveRow.push_back(Table::cell(Baselines[W][2], 0));
+    LiveRow.push_back(Table::cell(Baselines[W][3], 0));
+  }
+  T.addRow(std::move(NoGcRow));
+  T.addRow(std::move(LiveRow));
+  return T;
+}
+
+Table dtb::report::paperTable3() {
+  return buildPaperTable(Table3, "50", "90", 0);
+}
+
+Table dtb::report::paperTable4() {
+  return buildPaperTable(Table4, "Traced", "Ovhd%", 1);
+}

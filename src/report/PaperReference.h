@@ -1,0 +1,65 @@
+//===- report/PaperReference.h - Published table values --------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The values published in the paper's Tables 2, 3, and 4, embedded so the
+/// benchmark binaries can print measured-vs-paper comparisons and
+/// EXPERIMENTS.md can be generated mechanically. Absolute agreement is not
+/// expected (our traces are calibrated synthetics, theirs were QPT
+/// captures); the comparisons document that the *shape* holds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_REPORT_PAPERREFERENCE_H
+#define DTB_REPORT_PAPERREFERENCE_H
+
+#include "support/Table.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dtb {
+namespace report {
+
+/// One (collector, workload) cell of the published evaluation.
+struct PaperCell {
+  /// Table 2: mean / max memory in KB.
+  double MemMeanKB = 0.0;
+  double MemMaxKB = 0.0;
+  /// Table 3: median / 90th-percentile pause in ms.
+  double PauseMedianMs = 0.0;
+  double Pause90Ms = 0.0;
+  /// Table 4: total KB traced / CPU overhead %.
+  double TracedKB = 0.0;
+  double OverheadPercent = 0.0;
+};
+
+/// Looks up the published cell for \p Policy ("full", "fixed1", "fixed4",
+/// "dtbmem", "feedmed", "dtbfm") on \p Workload ("ghost1", ...). Returns
+/// std::nullopt for unknown pairs.
+std::optional<PaperCell> paperCell(const std::string &Policy,
+                                   const std::string &Workload);
+
+/// Published No GC / LIVE rows of Table 2 (mean, max in KB).
+struct PaperBaseline {
+  double NoGcMeanKB = 0.0;
+  double NoGcMaxKB = 0.0;
+  double LiveMeanKB = 0.0;
+  double LiveMaxKB = 0.0;
+};
+std::optional<PaperBaseline> paperBaseline(const std::string &Workload);
+
+/// Renders the published Table 2 / 3 / 4 in the same layout as the
+/// builders in Experiments.h (for side-by-side printing).
+Table paperTable2();
+Table paperTable3();
+Table paperTable4();
+
+} // namespace report
+} // namespace dtb
+
+#endif // DTB_REPORT_PAPERREFERENCE_H

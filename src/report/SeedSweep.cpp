@@ -1,0 +1,69 @@
+//===- report/SeedSweep.cpp -----------------------------------------------==//
+
+#include "report/SeedSweep.h"
+
+#include "support/Error.h"
+#include "support/Units.h"
+#include "trace/TraceStats.h"
+
+using namespace dtb;
+using namespace dtb::report;
+
+const SeedCell &SeedSweepResult::cell(const std::string &Policy,
+                                      const std::string &Workload) const {
+  for (const SeedCell &Cell : Cells)
+    if (Cell.Policy == Policy && Cell.Workload == Workload)
+      return Cell;
+  fatalError("no seed-sweep cell for " + Policy + "/" + Workload);
+}
+
+SeedSweepResult dtb::report::runSeedSweep(
+    const std::vector<workload::WorkloadSpec> &Workloads,
+    const std::vector<std::string> &PolicyNames,
+    const ExperimentConfig &Config, unsigned NumSeeds) {
+  SeedSweepResult Result;
+  for (const workload::WorkloadSpec &Base : Workloads) {
+    Result.LiveMeanKB.push_back({Base.Name, RunningStats()});
+    for (const std::string &Policy : PolicyNames) {
+      SeedCell Cell;
+      Cell.Policy = Policy;
+      Cell.Workload = Base.Name;
+      Result.Cells.push_back(std::move(Cell));
+    }
+  }
+
+  core::PolicyConfig PolicyConfig;
+  PolicyConfig.TraceMaxBytes = Config.TraceMaxBytes;
+  PolicyConfig.MemMaxBytes = Config.MemMaxBytes;
+
+  for (size_t W = 0; W != Workloads.size(); ++W) {
+    for (unsigned SeedIndex = 0; SeedIndex != NumSeeds; ++SeedIndex) {
+      workload::WorkloadSpec Spec = Workloads[W];
+      // Seed 0 is the spec's own; later ones are derived deterministically.
+      Spec.Seed = Spec.Seed + 0x9e3779b9ull * SeedIndex;
+      trace::Trace T = workload::generateTrace(Spec);
+
+      Result.LiveMeanKB[W].second.add(
+          bytesToKB(trace::computeTraceStats(T).LiveMeanBytes));
+
+      sim::SimulatorConfig SimConfig;
+      SimConfig.TriggerBytes = Config.TriggerBytes;
+      SimConfig.Machine = Config.Machine;
+      SimConfig.ProgramSeconds = Spec.ProgramSeconds;
+
+      for (size_t P = 0; P != PolicyNames.size(); ++P) {
+        auto Policy = core::createPolicy(PolicyNames[P], PolicyConfig);
+        if (!Policy)
+          fatalError("unknown policy: " + PolicyNames[P]);
+        sim::SimulationResult R = sim::simulate(T, *Policy, SimConfig);
+        SeedCell &Cell = Result.Cells[W * PolicyNames.size() + P];
+        Cell.MemMeanKB.add(bytesToKB(R.MemMeanBytes));
+        Cell.MemMaxKB.add(bytesToKB(R.MemMaxBytes));
+        Cell.MedianPauseMs.add(R.PauseMillis.median());
+        Cell.Pause90Ms.add(R.PauseMillis.percentile90());
+        Cell.TracedKB.add(bytesToKB(R.TotalTracedBytes));
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,61 @@
+//===- report/SeedSweep.h - Multi-seed robustness sweeps -------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates each collector on one trace per program. Our
+/// traces are synthetic, so we can ask a question the paper could not:
+/// do the results depend on the random draw? This harness re-generates
+/// each workload under many seeds, re-runs the collectors, and reports
+/// per-metric mean/stddev — bench/seed_sensitivity uses it to show that
+/// every qualitative conclusion survives resampling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_REPORT_SEEDSWEEP_H
+#define DTB_REPORT_SEEDSWEEP_H
+
+#include "report/Experiments.h"
+#include "support/Statistics.h"
+
+#include <string>
+#include <vector>
+
+namespace dtb {
+namespace report {
+
+/// Per-(policy, workload) metric distributions across seeds.
+struct SeedCell {
+  std::string Policy;
+  std::string Workload;
+  RunningStats MemMeanKB;
+  RunningStats MemMaxKB;
+  RunningStats MedianPauseMs;
+  RunningStats Pause90Ms;
+  RunningStats TracedKB;
+};
+
+/// Result of a sweep: one cell per (policy, workload) pair, in
+/// policy-major order, plus per-workload LIVE distributions.
+struct SeedSweepResult {
+  std::vector<SeedCell> Cells;
+  std::vector<std::pair<std::string, RunningStats>> LiveMeanKB;
+
+  /// Finds a cell; fatal if absent.
+  const SeedCell &cell(const std::string &Policy,
+                       const std::string &Workload) const;
+};
+
+/// Runs \p PolicyNames x \p Workloads under \p Config for \p NumSeeds
+/// seeds (the spec's own seed, then derived ones).
+SeedSweepResult runSeedSweep(
+    const std::vector<workload::WorkloadSpec> &Workloads,
+    const std::vector<std::string> &PolicyNames,
+    const ExperimentConfig &Config, unsigned NumSeeds);
+
+} // namespace report
+} // namespace dtb
+
+#endif // DTB_REPORT_SEEDSWEEP_H

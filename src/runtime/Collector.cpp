@@ -1,0 +1,166 @@
+//===- runtime/Collector.cpp - Scavenging over the threatened set --------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// The scavenger: given a threatening boundary TB, the threatened set is
+// every object born after TB; immune objects are not traced. Roots are the
+// handle-scope slots, global root locations, pinned objects, and every
+// remembered-set entry whose (immune) source currently holds a pointer
+// across the boundary. Unreachable threatened objects are reclaimed;
+// immune garbage stays resident until some later scavenge moves the
+// boundary behind it — the paper's tenured garbage and untenuring.
+//
+// Two strategies implement the same contract (HeapConfig::Collector):
+// non-moving mark-sweep (this file) and an evacuating copying collector
+// (CopyingCollector.cpp) that relocates survivors, exercising the paper's
+// note that "the actual implementation may maintain object locations in
+// any order".
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace dtb;
+using namespace dtb::runtime;
+using core::AllocClock;
+
+core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
+  if (Boundary > Clock)
+    fatalError("threatening boundary lies in the future");
+  if (InCollection)
+    fatalError("re-entrant collection");
+  InCollection = true;
+
+  LastStats = CollectionStats();
+  core::ScavengeRecord Record;
+  Record.Index = History.size() + 1;
+  Record.Time = Clock;
+  Record.Boundary = Boundary;
+  Record.MemBeforeBytes = ResidentBytes;
+
+  Demographics.beginScavenge(Boundary);
+
+  ScavengeWork Work = Config.Collector == CollectorKind::MarkSweep
+                          ? runMarkSweep(Boundary)
+                          : runCopying(Boundary);
+
+  ResidentBytes -= Work.ReclaimedBytes;
+  Record.TracedBytes = Work.TracedBytes;
+  Record.ReclaimedBytes = Work.ReclaimedBytes;
+  Record.SurvivedBytes = ResidentBytes;
+  History.append(Record);
+
+  Demographics.endScavenge(Clock);
+  BytesSinceCollect = 0;
+  InCollection = false;
+
+  if (Config.LogStream) {
+    const core::ScavengeRecord &Last = History.last();
+    std::fprintf(Config.LogStream,
+                 "[gc %llu] t=%llu tb=%llu (window %llu) %s: traced %llu "
+                 "reclaimed %llu survived %llu objects %zu remset %zu\n",
+                 static_cast<unsigned long long>(Last.Index),
+                 static_cast<unsigned long long>(Last.Time),
+                 static_cast<unsigned long long>(Last.Boundary),
+                 static_cast<unsigned long long>(Last.Time - Last.Boundary),
+                 Config.Collector == CollectorKind::MarkSweep ? "mark-sweep"
+                                                              : "copying",
+                 static_cast<unsigned long long>(Last.TracedBytes),
+                 static_cast<unsigned long long>(Last.ReclaimedBytes),
+                 static_cast<unsigned long long>(Last.SurvivedBytes),
+                 Objects.size(), RemSet.size());
+  }
+  return History.last();
+}
+
+Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
+  ScavengeWork Work;
+
+  // --- Mark phase -------------------------------------------------------
+  std::vector<Object *> Worklist;
+
+  auto markIfThreatened = [&](Object *O) {
+    if (!O || O->birth() <= Boundary || O->isMarked())
+      return;
+    assert(O->isAlive() && "tracing through a reclaimed object");
+    O->setMarked();
+    Work.TracedBytes += O->grossBytes();
+    LastStats.ObjectsTraced += 1;
+    Demographics.recordSurvivor(O->birth(), O->grossBytes());
+    Worklist.push_back(O);
+  };
+
+  for (Object **Root : GlobalRoots)
+    markIfThreatened(*Root);
+  for (Object *Handle : HandleSlots)
+    markIfThreatened(Handle);
+  // Pinned objects survive unconditionally: threatened ones are marked
+  // (and traced) here; immune ones are untouchable anyway, and their
+  // forward-in-time pointers are covered by the remembered set like any
+  // other immune object's.
+  for (Object *PinnedObject : Pinned)
+    markIfThreatened(PinnedObject);
+
+  // Remembered-set roots: entries whose source is immune and whose current
+  // value crosses the boundary. Entries are re-validated against the live
+  // slot contents; ones that are no longer forward-in-time pointers
+  // (overwritten or cleared) are pruned.
+  RemSet.forEachAndPrune([&](Object *Source, uint32_t SlotIndex) {
+    assert(Source->isAlive() && "remembered set names a dead source");
+    Object *Target = Source->slot(SlotIndex);
+    if (!Target || Target->birth() <= Source->birth()) {
+      LastStats.RememberedSetPruned += 1;
+      return false; // Stale: no longer a forward-in-time pointer.
+    }
+    if (Source->birth() <= Boundary && Target->birth() > Boundary) {
+      LastStats.RememberedSetRoots += 1;
+      markIfThreatened(Target);
+    }
+    return true;
+  });
+
+  while (!Worklist.empty()) {
+    Object *O = Worklist.back();
+    Worklist.pop_back();
+    // Trace only within the threatened set: pointers to immune objects
+    // need no action (immune objects are assumed live), and pointers out
+    // of immune objects were handled through the remembered set.
+    for (uint32_t I = 0, E = O->numSlots(); I != E; ++I)
+      markIfThreatened(O->slot(I));
+  }
+
+  // --- Weak-reference processing ------------------------------------------
+  // A weak reference whose target is threatened and unmarked is about to
+  // dangle: clear it. Weak references to immune objects (including immune
+  // garbage) are untouched — clearing waits for the boundary to reach the
+  // target.
+  for (WeakRef *Weak : WeakRefs) {
+    Object *Target = Weak->get();
+    if (Target && Target->birth() > Boundary && !Target->isMarked())
+      Weak->set(nullptr);
+  }
+
+  // --- Sweep phase ------------------------------------------------------
+  // Compact the threatened suffix of the birth-ordered allocation list in
+  // place; the immune prefix is untouched.
+  size_t Begin = firstBornAfter(Boundary);
+  size_t Out = Begin;
+  for (size_t I = Begin, E = Objects.size(); I != E; ++I) {
+    Object *O = Objects[I];
+    if (O->isMarked()) {
+      O->clearMarked();
+      Objects[Out++] = O;
+      continue;
+    }
+    Work.ReclaimedBytes += O->grossBytes();
+    LastStats.ObjectsReclaimed += 1;
+    reclaimObject(O);
+  }
+  Objects.resize(Out);
+  return Work;
+}

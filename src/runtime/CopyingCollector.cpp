@@ -1,0 +1,188 @@
+//===- runtime/CopyingCollector.cpp - Evacuating scavenger ---------------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// The copying strategy: surviving threatened objects are evacuated to
+// fresh storage (Cheney-style, with an explicit forwarding map) and every
+// original in the threatened region is released at once — the paper's
+// "reclaiming all the storage at once in the case of a copying
+// collector". Immune objects never move; pinned threatened objects are
+// traced in place. References into the threatened region are updated in
+// the global roots, handle slots, evacuated copies, and — for immune
+// objects — exactly the remembered-set entries, which by construction
+// cover every immune→threatened pointer.
+//
+// Births travel with the copies, so the birth-ordered allocation list is
+// rebuilt by substituting forwarded addresses in place: the collector
+// "may maintain object locations in any order" (Figure 1's caption) while
+// the logical age order is preserved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+using namespace dtb;
+using namespace dtb::runtime;
+using core::AllocClock;
+
+Heap::ScavengeWork Heap::runCopying(AllocClock Boundary) {
+  ScavengeWork Work;
+
+  std::unordered_map<Object *, Object *> Forwarding;
+  std::vector<Object *> ScanList; // Copies and pinned objects to scan.
+
+  auto isThreatened = [&](const Object *O) {
+    return O && O->birth() > Boundary;
+  };
+
+  // Evacuates a threatened object (or visits it in place when pinned) and
+  // returns its post-collection address.
+  auto relocate = [&](Object *O) -> Object * {
+    assert(isThreatened(O) && "relocating an immune object");
+    assert(O->isAlive() && "relocating a reclaimed object");
+    if (auto It = Forwarding.find(O); It != Forwarding.end())
+      return It->second;
+    if (isPinned(O)) {
+      // Pinned objects are traced in place and keep their address.
+      if (!O->isMarked()) {
+        O->setMarked();
+        Work.TracedBytes += O->grossBytes();
+        LastStats.ObjectsTraced += 1;
+        Demographics.recordSurvivor(O->birth(), O->grossBytes());
+        ScanList.push_back(O);
+      }
+      return O;
+    }
+    // Clone: identical header (birth included) and payload; flags clear.
+    void *Memory = ::operator new(O->grossBytes());
+    std::memcpy(Memory, O, O->grossBytes());
+    Object *Copy = reinterpret_cast<Object *>(Memory);
+    Copy->Flags = 0;
+    Forwarding.emplace(O, Copy);
+    Work.TracedBytes += O->grossBytes();
+    LastStats.ObjectsTraced += 1;
+    LastStats.ObjectsMoved += 1;
+    Demographics.recordSurvivor(O->birth(), O->grossBytes());
+    ScanList.push_back(Copy);
+    return Copy;
+  };
+
+  // --- Roots ------------------------------------------------------------
+  for (Object **Root : GlobalRoots)
+    if (isThreatened(*Root))
+      *Root = relocate(*Root);
+  for (Object *&Handle : HandleSlots)
+    if (isThreatened(Handle))
+      Handle = relocate(Handle);
+  for (Object *PinnedObject : Pinned)
+    if (isThreatened(PinnedObject))
+      relocate(PinnedObject); // Traced in place; address unchanged.
+
+  // Remembered-set roots: immune sources holding pointers across the
+  // boundary get their slots rewritten to the relocated targets. Stale
+  // entries are pruned exactly as in the mark-sweep strategy.
+  RemSet.forEachAndPrune([&](Object *Source, uint32_t SlotIndex) {
+    assert(Source->isAlive() && "remembered set names a dead source");
+    Object *Target = Source->slot(SlotIndex);
+    if (!Target || Target->birth() <= Source->birth()) {
+      LastStats.RememberedSetPruned += 1;
+      return false;
+    }
+    if (Source->birth() <= Boundary && isThreatened(Target)) {
+      LastStats.RememberedSetRoots += 1;
+      Source->setSlotRaw(SlotIndex, relocate(Target));
+    }
+    return true;
+  });
+
+  // --- Transitive evacuation ---------------------------------------------
+  // Scan copies (and pinned survivors) for pointers into the threatened
+  // region; such targets are themselves relocated and the slots fixed up.
+  // Slots referencing immune objects are left alone — immune objects do
+  // not move.
+  while (!ScanList.empty()) {
+    Object *O = ScanList.back();
+    ScanList.pop_back();
+    for (uint32_t I = 0, E = O->numSlots(); I != E; ++I) {
+      Object *Target = O->slot(I);
+      if (isThreatened(Target))
+        O->setSlotRaw(I, relocate(Target));
+    }
+  }
+
+  // --- Weak-reference processing ------------------------------------------
+  // Weak references follow moved targets and are cleared when the target
+  // did not survive; references to immune or pinned objects are untouched.
+  for (WeakRef *Weak : WeakRefs) {
+    Object *Target = Weak->get();
+    if (!isThreatened(Target))
+      continue;
+    if (auto It = Forwarding.find(Target); It != Forwarding.end())
+      Weak->set(It->second);
+    else if (!Target->isMarked()) // Marked == pinned survivor, in place.
+      Weak->set(nullptr);
+  }
+
+  // --- Remembered-set rekeying -------------------------------------------
+  // Entries whose source moved follow the copy (slot indices are layout-
+  // preserved); entries whose threatened source did not survive are
+  // dropped.
+  RemSet.remapSources([&](Object *Source) -> Object * {
+    if (!isThreatened(Source))
+      return Source; // Immune sources stay put.
+    if (auto It = Forwarding.find(Source); It != Forwarding.end())
+      return It->second;
+    if (Source->isMarked())
+      return Source; // Pinned survivor, traced in place.
+    return nullptr;  // Dead with its region.
+  });
+
+  // --- Region release and list rebuild ------------------------------------
+  // Substitute survivors into the birth-ordered allocation list (births
+  // travel with copies, so in-place substitution preserves the order) and
+  // release every non-pinned original in the threatened region at once.
+  size_t Begin = firstBornAfter(Boundary);
+  size_t Out = Begin;
+  for (size_t I = Begin, E = Objects.size(); I != E; ++I) {
+    Object *O = Objects[I];
+    if (O->isMarked()) { // Pinned survivor.
+      O->clearMarked();
+      Objects[Out++] = O;
+      continue;
+    }
+    auto It = Forwarding.find(O);
+    if (It != Forwarding.end()) {
+      Objects[Out++] = It->second;
+      // The original's storage is released; a stale raw pointer held by
+      // the mutator across this collection is a bug the quarantine canary
+      // will catch.
+      releaseStorage(O);
+      continue;
+    }
+    Work.ReclaimedBytes += O->grossBytes();
+    LastStats.ObjectsReclaimed += 1;
+    releaseStorage(O);
+  }
+  Objects.resize(Out);
+  return Work;
+}
+
+void Heap::releaseStorage(Object *O) {
+  O->Magic = Object::MagicDead;
+  if (Config.QuarantineFreedObjects) {
+    std::memset(O->rawData(), 0xDB, O->rawBytes());
+    for (uint32_t I = 0; I != O->numSlots(); ++I)
+      O->setSlotRaw(I, nullptr);
+    Quarantine.push_back(O);
+    return;
+  }
+  ::operator delete(static_cast<void *>(O));
+}

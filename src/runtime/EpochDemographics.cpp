@@ -1,0 +1,66 @@
+//===- runtime/EpochDemographics.cpp --------------------------------------==//
+
+#include "runtime/EpochDemographics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dtb;
+using namespace dtb::runtime;
+using core::AllocClock;
+
+uint64_t
+EpochDemographics::liveBytesBornAfter(AllocClock Boundary) const {
+  // Closed epochs starting at-or-after the boundary contribute their last
+  // measured survivor bytes; the open epoch (everything allocated since
+  // the previous scavenge, untraced) is always included — this is the
+  // "include the containing epoch wholly" conservative rule.
+  uint64_t Total = BytesSinceLastScavenge;
+  auto It = std::lower_bound(EpochStarts.begin(), EpochStarts.end(),
+                             Boundary);
+  for (size_t I = static_cast<size_t>(It - EpochStarts.begin());
+       I != LiveEstimates.size(); ++I)
+    Total += LiveEstimates[I];
+  return Total;
+}
+
+size_t EpochDemographics::epochOf(AllocClock Birth) const {
+  // Epoch i covers [EpochStarts[i], EpochStarts[i+1]); births equal to an
+  // epoch start belong to the *previous* epoch because births are clocks
+  // *after* the allocation (an object born exactly at t_k was allocated
+  // before the scavenge at t_k ran).
+  auto It = std::lower_bound(EpochStarts.begin(), EpochStarts.end(), Birth);
+  size_t Index = static_cast<size_t>(It - EpochStarts.begin());
+  return Index == 0 ? 0 : Index - 1;
+}
+
+void EpochDemographics::beginScavenge(AllocClock Boundary) {
+  assert(EpochStarts.size() == LiveEstimates.size());
+  for (size_t I = 0; I != EpochStarts.size(); ++I)
+    if (EpochStarts[I] >= Boundary)
+      LiveEstimates[I] = 0;
+  // The epoch strictly containing the boundary (its start lies before the
+  // boundary) is partially threatened: survivors of its threatened part
+  // will be re-added, so zero it as well. This slightly undercounts its
+  // immune live bytes, which the threatened-trace estimate should exclude
+  // anyway. A boundary sitting exactly on an epoch start leaves the
+  // preceding (fully immune) epoch untouched.
+  auto It = std::upper_bound(EpochStarts.begin(), EpochStarts.end(),
+                             Boundary);
+  if (It != EpochStarts.begin()) {
+    size_t Containing = static_cast<size_t>(It - EpochStarts.begin()) - 1;
+    if (EpochStarts[Containing] < Boundary)
+      LiveEstimates[Containing] = 0;
+  }
+}
+
+void EpochDemographics::recordSurvivor(AllocClock Birth, uint64_t Bytes) {
+  LiveEstimates[epochOf(Birth)] += Bytes;
+}
+
+void EpochDemographics::endScavenge(AllocClock Now) {
+  assert(EpochStarts.empty() || Now >= EpochStarts.back());
+  EpochStarts.push_back(Now);
+  LiveEstimates.push_back(0);
+  BytesSinceLastScavenge = 0;
+}

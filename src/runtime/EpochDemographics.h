@@ -1,0 +1,81 @@
+//===- runtime/EpochDemographics.h - Survivor-table estimates --*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime's implementation of core::Demographics. A real collector
+/// cannot know exactly how many live bytes were born after a candidate
+/// boundary without tracing, so — like Ungar & Jackson's Feedback
+/// Mediation — it keeps a *survivor table*: for each epoch (the interval
+/// between two scavenge times) the live bytes observed the last time that
+/// epoch was traced. Bytes allocated since the previous scavenge are
+/// assumed live (they have not been traced yet).
+///
+/// Estimates for an epoch go stale until a scavenge threatens it again;
+/// this overestimates, which errs toward shorter pauses — the safe
+/// direction for the pause-constrained policies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_RUNTIME_EPOCHDEMOGRAPHICS_H
+#define DTB_RUNTIME_EPOCHDEMOGRAPHICS_H
+
+#include "core/BoundaryPolicy.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dtb {
+namespace runtime {
+
+/// Live-byte estimates per scavenge epoch.
+class EpochDemographics final : public core::Demographics {
+public:
+  EpochDemographics() { EpochStarts.push_back(0); }
+
+  /// Estimated live bytes born strictly after \p Boundary: the sum of the
+  /// estimates of every epoch starting at-or-after the boundary (an epoch
+  /// containing the boundary is included wholly — conservative) plus the
+  /// untraced bytes allocated since the last scavenge.
+  uint64_t liveBytesBornAfter(core::AllocClock Boundary) const override;
+
+  /// Tells the table that \p Bytes were allocated since the last scavenge
+  /// (all assumed live).
+  void setBytesSinceLastScavenge(uint64_t Bytes) {
+    BytesSinceLastScavenge = Bytes;
+  }
+
+  /// Returns the epoch index for a birth time.
+  size_t epochOf(core::AllocClock Birth) const;
+
+  size_t numEpochs() const { return EpochStarts.size(); }
+  core::AllocClock epochStart(size_t Index) const {
+    return EpochStarts[Index];
+  }
+
+  /// Begins recording survivor bytes for a scavenge with the given
+  /// boundary: zeroes the estimates of every epoch starting at-or-after
+  /// the boundary (they are about to be re-measured).
+  void beginScavenge(core::AllocClock Boundary);
+
+  /// Accumulates \p Bytes of marked (live) storage born at \p Birth.
+  void recordSurvivor(core::AllocClock Birth, uint64_t Bytes);
+
+  /// Finishes the scavenge that ran at time \p Now: opens the new empty
+  /// epoch [Now, ...) and resets the since-allocation counter.
+  void endScavenge(core::AllocClock Now);
+
+private:
+  /// Epoch i covers [EpochStarts[i], EpochStarts[i+1]) — the last epoch is
+  /// open-ended.
+  std::vector<core::AllocClock> EpochStarts;
+  std::vector<uint64_t> LiveEstimates = {0};
+  uint64_t BytesSinceLastScavenge = 0;
+};
+
+} // namespace runtime
+} // namespace dtb
+
+#endif // DTB_RUNTIME_EPOCHDEMOGRAPHICS_H

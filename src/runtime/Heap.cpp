@@ -1,0 +1,175 @@
+//===- runtime/Heap.cpp - Allocation, barrier, roots ----------------------==//
+
+#include "runtime/Heap.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+using namespace dtb;
+using namespace dtb::runtime;
+using core::AllocClock;
+
+Heap::Heap(HeapConfig Config) : Config(Config) {}
+
+Heap::~Heap() {
+  for (Object *O : Objects)
+    ::operator delete(static_cast<void *>(O));
+  for (Object *O : Quarantine)
+    ::operator delete(static_cast<void *>(O));
+}
+
+void Heap::setPolicy(std::unique_ptr<core::BoundaryPolicy> NewPolicy) {
+  if (!NewPolicy)
+    fatalError("heap policy must be non-null");
+  Policy = std::move(NewPolicy);
+  Policy->reset();
+}
+
+Object *Heap::allocate(uint32_t NumSlots, uint32_t RawBytes) {
+  // Bound payloads so gross size arithmetic stays within uint32_t.
+  constexpr uint32_t MaxSlots = 1u << 24;
+  constexpr uint32_t MaxRaw = 1u << 28;
+  if (NumSlots > MaxSlots || RawBytes > MaxRaw)
+    fatalError("allocation exceeds object size limits");
+
+  // Collect before satisfying the request so the new object cannot be
+  // reclaimed before the mutator has had a chance to root it.
+  maybeTriggerCollection();
+
+  uint64_t Gross = sizeof(Object) +
+                   static_cast<uint64_t>(NumSlots) * sizeof(Object *) +
+                   RawBytes;
+  void *Memory = ::operator new(Gross);
+  std::memset(Memory, 0, Gross);
+
+  Object *O = new (Memory) Object();
+  O->Magic = Object::MagicAlive;
+  O->NumSlots = NumSlots;
+  O->RawBytes = RawBytes;
+  O->GrossBytes = static_cast<uint32_t>(Gross);
+
+  Clock += Gross;
+  O->Birth = Clock;
+
+  Objects.push_back(O);
+  ResidentBytes += Gross;
+  BytesSinceCollect += Gross;
+  Demographics.setBytesSinceLastScavenge(BytesSinceCollect);
+  return O;
+}
+
+void Heap::writeSlot(Object *Source, uint32_t SlotIndex, Object *Value) {
+  assert(Source && Source->isAlive() && "store into a dead object");
+  assert((!Value || Value->isAlive()) && "storing a dead object reference");
+  Source->setSlotRaw(SlotIndex, Value);
+  // Write barrier: record forward-in-time pointers (older -> younger).
+  // Backward-in-time pointers never need recording: if the source is
+  // threatened it is traced anyway, and an immune source pointing at an
+  // even older target cannot cross any boundary.
+  if (Value && Value->birth() > Source->birth())
+    RemSet.insert(Source, SlotIndex);
+}
+
+void Heap::dangerouslyWriteSlotWithoutBarrier(Object *Source,
+                                              uint32_t SlotIndex,
+                                              Object *Value) {
+  Source->setSlotRaw(SlotIndex, Value);
+}
+
+void Heap::pinObject(Object *O) {
+  assert(O && O->isAlive() && "pinning a dead object");
+  if (!isPinned(O))
+    Pinned.push_back(O);
+}
+
+void Heap::unpinObject(Object *O) {
+  auto It = std::find(Pinned.begin(), Pinned.end(), O);
+  if (It == Pinned.end())
+    fatalError("unpinning an object that was never pinned");
+  Pinned.erase(It);
+}
+
+bool Heap::isPinned(const Object *O) const {
+  return std::find(Pinned.begin(), Pinned.end(), O) != Pinned.end();
+}
+
+void Heap::addGlobalRoot(Object **Location) {
+  assert(Location && "null root location");
+  GlobalRoots.push_back(Location);
+}
+
+void Heap::removeGlobalRoot(Object **Location) {
+  auto It = std::find(GlobalRoots.begin(), GlobalRoots.end(), Location);
+  if (It == GlobalRoots.end())
+    fatalError("removing a root location that was never added");
+  GlobalRoots.erase(It);
+}
+
+size_t Heap::firstBornAfter(AllocClock Boundary) const {
+  auto It = std::upper_bound(
+      Objects.begin(), Objects.end(), Boundary,
+      [](AllocClock B, const Object *O) { return B < O->birth(); });
+  return static_cast<size_t>(It - Objects.begin());
+}
+
+void Heap::maybeTriggerCollection() {
+  if (Config.TriggerBytes == 0 || !Policy || InCollection)
+    return;
+  if (BytesSinceCollect >= Config.TriggerBytes)
+    collect();
+}
+
+core::ScavengeRecord Heap::collect() {
+  if (!Policy)
+    fatalError("collect() without a policy; use collectAtBoundary()");
+
+  core::BoundaryRequest Request;
+  Request.Index = History.size() + 1;
+  Request.Now = Clock;
+  Request.MemBytes = ResidentBytes;
+  Request.History = &History;
+  Request.Demo = &Demographics;
+
+  AllocClock Boundary = Policy->chooseBoundary(Request);
+  if (Boundary > Clock)
+    fatalError("policy chose a boundary in the future");
+  return collectAtBoundary(Boundary);
+}
+
+void Heap::reclaimObject(Object *O) {
+  RemSet.removeSource(O);
+  // releaseStorage (CopyingCollector.cpp) poisons the payload in
+  // quarantine mode so any use-after-free is glaring, while keeping the
+  // storage so stale pointers can be detected via the canary.
+  releaseStorage(O);
+}
+
+void Heap::registerWeakRef(WeakRef *Ref) { WeakRefs.push_back(Ref); }
+
+void Heap::unregisterWeakRef(WeakRef *Ref) {
+  auto It = std::find(WeakRefs.begin(), WeakRefs.end(), Ref);
+  assert(It != WeakRefs.end() && "weak reference not registered");
+  *It = WeakRefs.back();
+  WeakRefs.pop_back();
+}
+
+WeakRef::WeakRef(Heap &H, Object *Target) : H(H), Target(Target) {
+  H.registerWeakRef(this);
+}
+
+WeakRef::~WeakRef() { H.unregisterWeakRef(this); }
+
+HandleScope::~HandleScope() {
+  assert(H.HandleSlots.size() >= Base && "handle scopes popped out of order");
+  H.HandleSlots.resize(Base);
+}
+
+Object *&HandleScope::slot(Object *Initial) {
+  H.HandleSlots.push_back(Initial);
+  return H.HandleSlots.back();
+}

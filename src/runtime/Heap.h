@@ -1,0 +1,250 @@
+//===- runtime/Heap.h - The managed heap -----------------------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The managed runtime the paper's §4.2 sketches: a heap whose collector
+/// threatens exactly the objects born after a dynamically chosen
+/// threatening boundary.
+///
+///  * Objects carry exact birth times (runtime/Object.h).
+///  * Pointer stores go through Heap::writeSlot, whose write barrier
+///    records every forward-in-time pointer in a single unified
+///    remembered set (runtime/RememberedSet.h).
+///  * Roots are handle scopes (stack-like) plus registered global slots.
+///  * Collection is non-moving mark-sweep over the threatened suffix of
+///    the birth-ordered allocation list: any boundary is admissible, so
+///    tenured garbage is reclaimed as soon as a policy moves the boundary
+///    back past it (the paper's demotion/untenuring).
+///  * A core::BoundaryPolicy chooses the boundary; survivor-table
+///    demographics (runtime/EpochDemographics.h) stand in for the
+///    simulator's oracle.
+///
+/// Typical use:
+/// \code
+///   runtime::HeapConfig Config;
+///   Config.TriggerBytes = 256 * 1024;
+///   runtime::Heap Heap(Config);
+///   Heap.setPolicy(core::createPolicy("dtbmem", {.MemMaxBytes = 1 << 20}));
+///
+///   runtime::HandleScope Scope(Heap);
+///   runtime::Object *&List = Scope.slot(nullptr);
+///   List = Heap.allocate(/*NumSlots=*/2, /*RawBytes=*/8);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_RUNTIME_HEAP_H
+#define DTB_RUNTIME_HEAP_H
+
+#include "core/BoundaryPolicy.h"
+#include "core/ScavengeHistory.h"
+#include "runtime/EpochDemographics.h"
+#include "runtime/Object.h"
+#include "runtime/RememberedSet.h"
+#include "runtime/WeakRef.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace dtb {
+namespace runtime {
+
+/// Which scavenging strategy the heap uses. Both implement the same
+/// threatened-set contract; see Collector.cpp / CopyingCollector.cpp.
+enum class CollectorKind {
+  /// Non-moving: unreachable threatened objects are freed in place.
+  /// Object addresses are stable for the heap's lifetime.
+  MarkSweep,
+  /// Evacuating: surviving threatened objects are copied to fresh
+  /// storage and the originals released en masse ("reclaiming all the
+  /// storage at once in the case of a copying collector" — paper §3).
+  /// Object addresses are NOT stable across collections: the mutator
+  /// must reach objects through handles or global roots, which the
+  /// collector updates. Pinned objects never move.
+  Copying,
+};
+
+/// Static heap configuration.
+struct HeapConfig {
+  /// Bytes of allocation between automatic collections (0 disables
+  /// automatic triggering; collections then happen only via collect()).
+  uint64_t TriggerBytes = 1'000'000;
+  /// When true, reclaimed objects are kept (poisoned, header marked dead)
+  /// instead of being freed, so tests can detect use-after-free through
+  /// the Object canary. With the copying collector, the *originals* of
+  /// moved objects are also quarantined, so stale raw pointers across a
+  /// collection are detected too. Memory grows monotonically in this
+  /// mode.
+  bool QuarantineFreedObjects = false;
+  /// Scavenging strategy.
+  CollectorKind Collector = CollectorKind::MarkSweep;
+  /// When non-null, one human-readable line is written here per
+  /// collection (a classic GC log). Not owned.
+  std::FILE *LogStream = nullptr;
+};
+
+/// Counters describing one runtime collection beyond the policy-visible
+/// ScavengeRecord.
+struct CollectionStats {
+  uint64_t ObjectsReclaimed = 0;
+  uint64_t ObjectsTraced = 0;
+  /// Objects relocated (copying collector only).
+  uint64_t ObjectsMoved = 0;
+  uint64_t RememberedSetRoots = 0;
+  uint64_t RememberedSetPruned = 0;
+};
+
+/// The managed heap. Not thread-safe (the paper's collector is
+/// stop-the-world within a single mutator).
+class Heap {
+public:
+  explicit Heap(HeapConfig Config = HeapConfig());
+  ~Heap();
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Installs the threatening-boundary policy (required before automatic
+  /// triggering or collect() without an explicit boundary).
+  void setPolicy(std::unique_ptr<core::BoundaryPolicy> Policy);
+  core::BoundaryPolicy *policy() { return Policy.get(); }
+
+  /// Allocates an object with \p NumSlots pointer slots (zeroed) and
+  /// \p RawBytes of raw data (zeroed). May trigger a collection *before*
+  /// the allocation when the trigger threshold is reached, so the caller
+  /// does not need a handle on the result until the next allocation.
+  Object *allocate(uint32_t NumSlots, uint32_t RawBytes = 0);
+
+  /// Stores \p Value into \p Source's slot \p SlotIndex, applying the
+  /// write barrier: a forward-in-time store (Value born after Source) is
+  /// recorded in the remembered set.
+  void writeSlot(Object *Source, uint32_t SlotIndex, Object *Value);
+
+  /// Stores without the write barrier. Exists so tests and the verifier
+  /// demo can exhibit what a missed barrier does; never use it in mutator
+  /// code — a forward-in-time store through this is a collector bug
+  /// waiting for a boundary between the two birth times.
+  void dangerouslyWriteSlotWithoutBarrier(Object *Source, uint32_t SlotIndex,
+                                          Object *Value);
+
+  /// Registers/unregisters a global root location. The pointed-to slot may
+  /// be updated freely (root locations are rescanned at each collection).
+  void addGlobalRoot(Object **Location);
+  void removeGlobalRoot(Object **Location);
+
+  /// Pins \p O: it is exempt from age-based reclamation (it survives every
+  /// scavenge and is traced whenever threatened, keeping its referents
+  /// alive). This is the hook the paper's related-work section describes
+  /// for handing objects to a Mature Object Space / Key Object collector
+  /// once age stops predicting death for them. Unpinning returns the
+  /// object to ordinary age-based collection.
+  void pinObject(Object *O);
+  void unpinObject(Object *O);
+  bool isPinned(const Object *O) const;
+  const std::vector<Object *> &pinnedObjects() const { return Pinned; }
+
+  /// Runs a collection with the installed policy choosing the boundary.
+  /// Returns the scavenge record by value (the history may reallocate as
+  /// later scavenges are appended).
+  core::ScavengeRecord collect();
+
+  /// Runs a collection with an explicit threatening boundary (0 = full
+  /// collection). Records it in the history like any other scavenge.
+  core::ScavengeRecord collectAtBoundary(core::AllocClock Boundary);
+
+  /// Current allocation clock (bytes allocated so far, gross).
+  core::AllocClock now() const { return Clock; }
+
+  /// Resident bytes (live + not-yet-reclaimed garbage), gross.
+  uint64_t residentBytes() const { return ResidentBytes; }
+  size_t residentObjects() const { return Objects.size(); }
+
+  const core::ScavengeHistory &history() const { return History; }
+  const CollectionStats &lastCollectionStats() const { return LastStats; }
+  const RememberedSet &rememberedSet() const { return RemSet; }
+  const EpochDemographics &demographics() const { return Demographics; }
+  const HeapConfig &config() const { return Config; }
+
+  /// Read-only view of the birth-ordered allocation list (verification and
+  /// introspection).
+  const std::vector<Object *> &objects() const { return Objects; }
+  const std::vector<Object **> &globalRoots() const { return GlobalRoots; }
+  /// Handle-scope slots currently acting as roots.
+  const std::deque<Object *> &handleSlots() const { return HandleSlots; }
+  /// Registered weak references (introspection).
+  const std::vector<WeakRef *> &weakRefs() const { return WeakRefs; }
+
+private:
+  friend class HandleScope;
+  friend class WeakRef;
+
+  void registerWeakRef(WeakRef *Ref);
+  void unregisterWeakRef(WeakRef *Ref);
+
+  /// Index of the first object born strictly after \p Boundary.
+  size_t firstBornAfter(core::AllocClock Boundary) const;
+
+  /// Byte counts a scavenging strategy reports back to collectAtBoundary.
+  struct ScavengeWork {
+    uint64_t TracedBytes = 0;
+    uint64_t ReclaimedBytes = 0;
+  };
+  ScavengeWork runMarkSweep(core::AllocClock Boundary);
+  ScavengeWork runCopying(core::AllocClock Boundary);
+
+  void maybeTriggerCollection();
+  void reclaimObject(Object *O);
+  /// Frees (or quarantines+poisons) an object's storage.
+  void releaseStorage(Object *O);
+
+  HeapConfig Config;
+  std::unique_ptr<core::BoundaryPolicy> Policy;
+
+  core::AllocClock Clock = 0;
+  uint64_t ResidentBytes = 0;
+  uint64_t BytesSinceCollect = 0;
+  bool InCollection = false;
+
+  std::vector<Object *> Objects; // Birth-ordered.
+  std::vector<Object *> Quarantine;
+  std::vector<Object *> Pinned;
+  std::vector<WeakRef *> WeakRefs;
+  std::vector<Object **> GlobalRoots;
+  std::deque<Object *> HandleSlots; // Stable addresses; scopes pop suffixes.
+
+  RememberedSet RemSet;
+  EpochDemographics Demographics;
+  core::ScavengeHistory History;
+  CollectionStats LastStats;
+};
+
+/// RAII scope providing GC-visible local roots. Scopes must nest like a
+/// stack (destroyed in reverse creation order), mirroring the mutator's
+/// call stack.
+class HandleScope {
+public:
+  explicit HandleScope(Heap &H) : H(H), Base(H.HandleSlots.size()) {}
+  ~HandleScope();
+
+  HandleScope(const HandleScope &) = delete;
+  HandleScope &operator=(const HandleScope &) = delete;
+
+  /// Creates a new rooted slot initialized to \p Initial and returns a
+  /// stable reference to it. The reference is valid until the scope dies.
+  Object *&slot(Object *Initial);
+
+private:
+  Heap &H;
+  size_t Base;
+};
+
+} // namespace runtime
+} // namespace dtb
+
+#endif // DTB_RUNTIME_HEAP_H

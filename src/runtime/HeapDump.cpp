@@ -1,0 +1,130 @@
+//===- runtime/HeapDump.cpp -----------------------------------------------==//
+
+#include "runtime/HeapDump.h"
+
+#include "runtime/Heap.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace dtb;
+using namespace dtb::runtime;
+using core::AllocClock;
+
+namespace {
+
+/// Reachability set from the heap's roots (same traversal contract as the
+/// verifier, minus diagnostics).
+std::unordered_set<const Object *> reachableSet(const Heap &H) {
+  std::unordered_set<const Object *> Reachable;
+  std::vector<const Object *> Worklist;
+  auto Visit = [&](const Object *O) {
+    if (O && O->isAlive() && Reachable.insert(O).second)
+      Worklist.push_back(O);
+  };
+  for (Object *const *Root : H.globalRoots())
+    Visit(*Root);
+  for (const Object *Handle : H.handleSlots())
+    Visit(Handle);
+  for (const Object *PinnedObject : H.pinnedObjects())
+    Visit(PinnedObject);
+  while (!Worklist.empty()) {
+    const Object *O = Worklist.back();
+    Worklist.pop_back();
+    for (uint32_t I = 0, E = O->numSlots(); I != E; ++I)
+      Visit(O->slot(I));
+  }
+  return Reachable;
+}
+
+size_t bandIndexForAge(AllocClock Age, AllocClock Base, size_t NumBands) {
+  AllocClock Hi = Base;
+  for (size_t I = 0; I + 1 < NumBands; ++I) {
+    if (Age < Hi)
+      return I;
+    Hi *= 2;
+  }
+  return NumBands - 1;
+}
+
+} // namespace
+
+HeapDemographics
+dtb::runtime::collectDemographics(const Heap &H, AllocClock BaseAgeBytes) {
+  HeapDemographics Demo;
+  Demo.ResidentObjects = H.residentObjects();
+  Demo.ResidentBytes = H.residentBytes();
+  Demo.RememberedSetEntries = H.rememberedSet().size();
+
+  if (BaseAgeBytes == 0)
+    BaseAgeBytes = 1;
+
+  // Enough doubling bands to cover the whole clock.
+  size_t NumBands = 1;
+  for (AllocClock Span = BaseAgeBytes; Span < H.now() && NumBands < 40;
+       Span *= 2)
+    ++NumBands;
+  Demo.Bands.resize(NumBands);
+  AllocClock Lo = 0, Width = BaseAgeBytes;
+  for (size_t I = 0; I != NumBands; ++I) {
+    Demo.Bands[I].AgeLo = Lo;
+    Demo.Bands[I].AgeHi = I + 1 == NumBands ? ~0ull : Lo + Width;
+    Lo += Width;
+    Width *= 2;
+  }
+
+  std::unordered_set<const Object *> Reachable = reachableSet(H);
+  for (const Object *O : H.objects()) {
+    AllocClock Age = H.now() - O->birth();
+    AgeBand &Band =
+        Demo.Bands[bandIndexForAge(Age, BaseAgeBytes, NumBands)];
+    Band.ResidentObjects += 1;
+    Band.ResidentBytes += O->grossBytes();
+    if (Reachable.count(O)) {
+      Band.ReachableBytes += O->grossBytes();
+      Demo.ReachableBytes += O->grossBytes();
+    }
+  }
+  return Demo;
+}
+
+void dtb::runtime::printDemographics(const HeapDemographics &Demo,
+                                     std::FILE *Out) {
+  std::fprintf(Out,
+               "heap: %llu objects, %llu bytes resident, %llu reachable "
+               "(%.0f%%), %zu remembered entries\n",
+               static_cast<unsigned long long>(Demo.ResidentObjects),
+               static_cast<unsigned long long>(Demo.ResidentBytes),
+               static_cast<unsigned long long>(Demo.ReachableBytes),
+               Demo.ResidentBytes == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(Demo.ReachableBytes) /
+                         static_cast<double>(Demo.ResidentBytes),
+               Demo.RememberedSetEntries);
+
+  uint64_t MaxBytes = 1;
+  for (const AgeBand &Band : Demo.Bands)
+    MaxBytes = std::max(MaxBytes, Band.ResidentBytes);
+
+  std::fprintf(Out, "%22s %10s %10s %10s  %s\n", "age (bytes alloc'd)",
+               "objects", "resident", "reachable", "bytes");
+  for (const AgeBand &Band : Demo.Bands) {
+    if (Band.ResidentObjects == 0)
+      continue;
+    char Range[48];
+    if (Band.AgeHi == ~0ull)
+      std::snprintf(Range, sizeof(Range), ">=%llu",
+                    static_cast<unsigned long long>(Band.AgeLo));
+    else
+      std::snprintf(Range, sizeof(Range), "%llu-%llu",
+                    static_cast<unsigned long long>(Band.AgeLo),
+                    static_cast<unsigned long long>(Band.AgeHi));
+    int BarLength = static_cast<int>(40 * Band.ResidentBytes / MaxBytes);
+    std::fprintf(Out, "%22s %10llu %10llu %10llu  %.*s\n", Range,
+                 static_cast<unsigned long long>(Band.ResidentObjects),
+                 static_cast<unsigned long long>(Band.ResidentBytes),
+                 static_cast<unsigned long long>(Band.ReachableBytes),
+                 BarLength,
+                 "########################################");
+  }
+}

@@ -1,0 +1,62 @@
+//===- runtime/HeapDump.h - Heap demographics introspection ----*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Introspection over a live heap's age demographics — the information a
+/// threatening-boundary policy acts on, made visible. Buckets the
+/// resident objects by age (now − birth) on a log scale and reports,
+/// per bucket, resident and reachable bytes; the difference is garbage
+/// that a boundary older than the bucket would reclaim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_RUNTIME_HEAPDUMP_H
+#define DTB_RUNTIME_HEAPDUMP_H
+
+#include "core/AllocClock.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace dtb {
+namespace runtime {
+
+class Heap;
+
+/// One age band of the demographics report.
+struct AgeBand {
+  /// Age range [AgeLo, AgeHi) in allocated bytes.
+  core::AllocClock AgeLo = 0;
+  core::AllocClock AgeHi = 0;
+  uint64_t ResidentObjects = 0;
+  uint64_t ResidentBytes = 0;
+  /// Bytes in this band reachable from the roots.
+  uint64_t ReachableBytes = 0;
+};
+
+/// The full demographics snapshot.
+struct HeapDemographics {
+  uint64_t ResidentObjects = 0;
+  uint64_t ResidentBytes = 0;
+  uint64_t ReachableBytes = 0;
+  size_t RememberedSetEntries = 0;
+  /// Oldest-first age bands, log2-scaled starting at \c BaseAgeBytes.
+  std::vector<AgeBand> Bands;
+};
+
+/// Collects a demographics snapshot of \p H. \p BaseAgeBytes is the width
+/// of the youngest band; each subsequent band doubles.
+HeapDemographics collectDemographics(const Heap &H,
+                                     core::AllocClock BaseAgeBytes = 4096);
+
+/// Pretty-prints the snapshot with text bars to \p Out.
+void printDemographics(const HeapDemographics &Demo, std::FILE *Out);
+
+} // namespace runtime
+} // namespace dtb
+
+#endif // DTB_RUNTIME_HEAPDUMP_H

@@ -1,0 +1,60 @@
+//===- runtime/WeakRef.h - Weak references ---------------------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Weak references: GC-aware pointers that do not keep their target
+/// alive. After any scavenge, a weak reference whose target was
+/// reclaimed reads as null; under the copying collector a weak reference
+/// to a surviving (moved) object follows it to its new address.
+///
+/// The interplay with the threatening boundary is worth noting: a weak
+/// reference to a *tenured garbage* object (dead but immune) still reads
+/// non-null — weak clearing happens only when the collector actually
+/// reclaims the target, which for immune garbage waits until a boundary
+/// moves behind it. Observing that delay is itself a good probe of the
+/// DTB mechanism (see tests/runtime_weakref_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_RUNTIME_WEAKREF_H
+#define DTB_RUNTIME_WEAKREF_H
+
+#include "runtime/Object.h"
+
+namespace dtb {
+namespace runtime {
+
+class Heap;
+
+/// A registered weak reference. Non-copyable; its address is known to the
+/// heap until destruction. Does not root its target.
+class WeakRef {
+public:
+  /// Registers with \p H, initially referencing \p Target (may be null).
+  explicit WeakRef(Heap &H, Object *Target = nullptr);
+  ~WeakRef();
+
+  WeakRef(const WeakRef &) = delete;
+  WeakRef &operator=(const WeakRef &) = delete;
+
+  /// The current target: null if never set, cleared, or reclaimed.
+  Object *get() const { return Target; }
+
+  /// Retargets the reference.
+  void set(Object *NewTarget) { Target = NewTarget; }
+
+  explicit operator bool() const { return Target != nullptr; }
+
+private:
+  friend class Heap;
+  Heap &H;
+  Object *Target = nullptr;
+};
+
+} // namespace runtime
+} // namespace dtb
+
+#endif // DTB_RUNTIME_WEAKREF_H

@@ -1,0 +1,73 @@
+//===- sim/HeapModel.cpp --------------------------------------------------==//
+
+#include "sim/HeapModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dtb;
+using namespace dtb::sim;
+
+void HeapModel::addObject(AllocClock Birth, uint32_t Size, AllocClock Death) {
+  assert(Size > 0 && "zero-size object");
+  assert((Residents.empty() || Residents.back().Birth < Birth) &&
+         "births must be strictly increasing");
+  assert(Death >= Birth && "object dies before it is born");
+  Residents.push_back({Birth, Size, Death});
+  ResidentBytes += Size;
+}
+
+size_t HeapModel::firstBornAfter(AllocClock Boundary) const {
+  auto It = std::upper_bound(
+      Residents.begin(), Residents.end(), Boundary,
+      [](AllocClock B, const ResidentObject &R) { return B < R.Birth; });
+  return static_cast<size_t>(It - Residents.begin());
+}
+
+ScavengeOutcome HeapModel::scavenge(AllocClock Now, AllocClock Boundary) {
+  assert(Boundary <= Now && "boundary in the future");
+  ScavengeOutcome Outcome;
+  Outcome.MemBeforeBytes = ResidentBytes;
+
+  size_t Begin = firstBornAfter(Boundary);
+  size_t Out = Begin;
+  for (size_t I = Begin; I != Residents.size(); ++I) {
+    const ResidentObject &R = Residents[I];
+    if (R.Death > Now) {
+      // Live and threatened: traced, survives in place.
+      Outcome.TracedBytes += R.Size;
+      Residents[Out++] = R;
+    } else {
+      // Dead and threatened: reclaimed.
+      Outcome.ReclaimedBytes += R.Size;
+    }
+  }
+  Residents.resize(Out);
+  ResidentBytes -= Outcome.ReclaimedBytes;
+  Outcome.SurvivedBytes = ResidentBytes;
+  return Outcome;
+}
+
+uint64_t HeapModel::liveBytesBornAfter(AllocClock Boundary,
+                                       AllocClock Now) const {
+  uint64_t Bytes = 0;
+  for (size_t I = firstBornAfter(Boundary); I != Residents.size(); ++I)
+    if (Residents[I].Death > Now)
+      Bytes += Residents[I].Size;
+  return Bytes;
+}
+
+uint64_t HeapModel::residentBytesBornAfter(AllocClock Boundary) const {
+  uint64_t Bytes = 0;
+  for (size_t I = firstBornAfter(Boundary); I != Residents.size(); ++I)
+    Bytes += Residents[I].Size;
+  return Bytes;
+}
+
+uint64_t HeapModel::garbageBytes(AllocClock Now) const {
+  uint64_t Bytes = 0;
+  for (const ResidentObject &R : Residents)
+    if (R.Death <= Now)
+      Bytes += R.Size;
+  return Bytes;
+}

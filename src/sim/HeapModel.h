@@ -1,0 +1,95 @@
+//===- sim/HeapModel.h - Oracle heap model for simulation ------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated heap: the set of *resident* objects — live objects plus
+/// garbage that no scavenge has reclaimed yet. Deaths are oracle events
+/// from the allocation trace (the paper drives its simulations with
+/// malloc/free traces, so the simulated collector reclaims exactly the
+/// threatened objects whose free event has passed).
+///
+/// Residents are kept in birth order, so the threatened suffix for any
+/// boundary is found by binary search and scavenges touch only that
+/// suffix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_SIM_HEAPMODEL_H
+#define DTB_SIM_HEAPMODEL_H
+
+#include "core/AllocClock.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dtb {
+namespace sim {
+
+using core::AllocClock;
+
+/// One resident object.
+struct ResidentObject {
+  AllocClock Birth = 0;
+  uint32_t Size = 0;
+  /// Oracle death clock (trace::NeverDies for immortal objects).
+  AllocClock Death = 0;
+};
+
+/// Byte counts produced by one scavenge.
+struct ScavengeOutcome {
+  /// Live threatened bytes examined by the collector (Trace_n).
+  uint64_t TracedBytes = 0;
+  /// Dead threatened bytes reclaimed.
+  uint64_t ReclaimedBytes = 0;
+  /// Resident bytes before the scavenge (Mem_n).
+  uint64_t MemBeforeBytes = 0;
+  /// Resident bytes after (S_n = Mem_n - Reclaimed).
+  uint64_t SurvivedBytes = 0;
+};
+
+/// The resident-object set.
+class HeapModel {
+public:
+  /// Adds a newly allocated object; births must arrive in increasing
+  /// clock order.
+  void addObject(AllocClock Birth, uint32_t Size, AllocClock Death);
+
+  /// Performs a scavenge at clock \p Now with threatening boundary
+  /// \p Boundary: every resident born after the boundary is threatened;
+  /// threatened objects dead at \p Now are reclaimed, live ones are traced.
+  /// Immune objects (born at or before the boundary) are untouched —
+  /// dead immune objects remain resident as tenured garbage.
+  ScavengeOutcome scavenge(AllocClock Now, AllocClock Boundary);
+
+  /// Total resident bytes (live + unreclaimed garbage).
+  uint64_t residentBytes() const { return ResidentBytes; }
+  size_t residentObjects() const { return Residents.size(); }
+
+  /// Exact live bytes born strictly after \p Boundary, judged at clock
+  /// \p Now — the tracing cost a scavenge with that boundary would incur.
+  uint64_t liveBytesBornAfter(AllocClock Boundary, AllocClock Now) const;
+
+  /// Exact dead-but-resident (garbage) bytes at clock \p Now.
+  uint64_t garbageBytes(AllocClock Now) const;
+
+  /// Exact resident bytes born strictly after \p Boundary.
+  uint64_t residentBytesBornAfter(AllocClock Boundary) const;
+
+  const std::vector<ResidentObject> &residents() const { return Residents; }
+
+private:
+  /// Index of the first resident born strictly after \p Boundary.
+  size_t firstBornAfter(AllocClock Boundary) const;
+
+  std::vector<ResidentObject> Residents; // Sorted by Birth (strictly).
+  uint64_t ResidentBytes = 0;
+};
+
+} // namespace sim
+} // namespace dtb
+
+#endif // DTB_SIM_HEAPMODEL_H

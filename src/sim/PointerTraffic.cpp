@@ -1,0 +1,208 @@
+//===- sim/PointerTraffic.cpp ---------------------------------------------==//
+
+#include "sim/PointerTraffic.h"
+
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace dtb;
+using namespace dtb::sim;
+using trace::AllocClock;
+using trace::AllocationRecord;
+
+namespace {
+
+/// Fenwick tree over object indices supporting alive-count prefix sums
+/// and select-by-rank, so endpoints can be drawn by age order in
+/// O(log n).
+class AliveIndex {
+public:
+  explicit AliveIndex(size_t Capacity)
+      : Tree(Capacity + 1, 0), Capacity(Capacity) {}
+
+  void insert(size_t Index) { update(Index, +1); }
+  void erase(size_t Index) { update(Index, -1); }
+
+  uint64_t aliveCount() const { return Count; }
+
+  /// Returns the object index of the \p Rank-th oldest alive object
+  /// (0-based). Rank must be < aliveCount().
+  size_t selectByRank(uint64_t Rank) const {
+    assert(Rank < Count && "rank out of range");
+    size_t Position = 0;
+    uint64_t Remaining = Rank + 1;
+    // Standard Fenwick binary lifting.
+    size_t LogStep = 1;
+    while ((LogStep << 1) <= Capacity)
+      LogStep <<= 1;
+    for (size_t Step = LogStep; Step != 0; Step >>= 1) {
+      size_t Next = Position + Step;
+      if (Next <= Capacity &&
+          static_cast<uint64_t>(Tree[Next]) < Remaining) {
+        Position = Next;
+        Remaining -= static_cast<uint64_t>(Tree[Next]);
+      }
+    }
+    return Position; // 1-based tree position == 0-based object index + 1…
+  }
+
+private:
+  void update(size_t Index, int Delta) {
+    Count += Delta;
+    for (size_t I = Index + 1; I <= Capacity; I += I & (~I + 1))
+      Tree[I] += Delta;
+  }
+
+  std::vector<int32_t> Tree;
+  size_t Capacity;
+  uint64_t Count = 0;
+};
+
+/// One synthesized pointer (an entry in the modelled remembered sets).
+struct PointerEntry {
+  uint32_t Source = 0;
+  uint32_t Target = 0;
+  bool Alive = true;
+  bool InterGenerational = false;
+};
+
+} // namespace
+
+RemSetDemand
+dtb::sim::measureRemSetDemand(const trace::Trace &T,
+                              const PointerTrafficModel &Model) {
+  RemSetDemand Demand;
+  const std::vector<AllocationRecord> &Records = T.records();
+  if (Records.empty())
+    return Demand;
+  if (Model.StoresPerKB < 0.0 || Model.YoungBias <= 0.0 ||
+      Model.YoungBias > 1.0)
+    fatalError("invalid pointer-traffic model parameters");
+
+  Rng R(Model.Seed);
+  AliveIndex Alive(Records.size());
+
+  // Deaths ordered by clock for incremental processing.
+  std::vector<uint32_t> DeathOrder;
+  DeathOrder.reserve(Records.size());
+  for (uint32_t I = 0; I != Records.size(); ++I)
+    if (Records[I].Death != trace::NeverDies &&
+        Records[I].Death <= T.totalAllocated())
+      DeathOrder.push_back(I);
+  std::sort(DeathOrder.begin(), DeathOrder.end(),
+            [&](uint32_t A, uint32_t B) {
+              return Records[A].Death < Records[B].Death;
+            });
+
+  // Live pointer entries, indexed per endpoint for death processing, plus
+  // per-source live lists for slot-reuse overwrites.
+  std::vector<PointerEntry> Entries;
+  std::vector<std::vector<uint32_t>> EntriesByObject(Records.size());
+  std::vector<std::vector<uint32_t>> LiveBySource(Records.size());
+  uint64_t LiveUnified = 0, LiveGenerational = 0;
+
+  auto killEntry = [&](uint32_t EntryIndex) {
+    PointerEntry &Entry = Entries[EntryIndex];
+    if (!Entry.Alive)
+      return;
+    Entry.Alive = false;
+    LiveUnified -= 1;
+    if (Entry.InterGenerational)
+      LiveGenerational -= 1;
+  };
+
+  auto killEntriesOf = [&](uint32_t ObjectIndex) {
+    for (uint32_t EntryIndex : EntriesByObject[ObjectIndex])
+      killEntry(EntryIndex);
+    EntriesByObject[ObjectIndex].clear();
+    LiveBySource[ObjectIndex].clear();
+  };
+
+  // Draws an endpoint by age: with probability YoungBias from the younger
+  // half of the live population, else from the older half.
+  auto pickEndpoint = [&]() -> uint32_t {
+    uint64_t N = Alive.aliveCount();
+    assert(N > 0);
+    uint64_t Half = N / 2;
+    uint64_t Rank;
+    if (N == 1 || Half == 0)
+      Rank = R.nextBelow(N);
+    else if (R.nextDouble() < Model.YoungBias)
+      Rank = Half + R.nextBelow(N - Half); // Younger half (higher ranks).
+    else
+      Rank = R.nextBelow(Half);
+    return static_cast<uint32_t>(Alive.selectByRank(Rank));
+  };
+
+  double StoreBudget = 0.0;
+  size_t DeathCursor = 0;
+  for (uint32_t I = 0; I != Records.size(); ++I) {
+    const AllocationRecord &NewObject = Records[I];
+    // Apply deaths up to this birth.
+    while (DeathCursor != DeathOrder.size() &&
+           Records[DeathOrder[DeathCursor]].Death <= NewObject.Birth) {
+      uint32_t Dead = DeathOrder[DeathCursor++];
+      Alive.erase(Dead);
+      killEntriesOf(Dead);
+    }
+    Alive.insert(I);
+
+    // Synthesize this interval's stores.
+    StoreBudget +=
+        Model.StoresPerKB * static_cast<double>(NewObject.Size) / 1000.0;
+    while (StoreBudget >= 1.0) {
+      StoreBudget -= 1.0;
+      uint32_t Source = pickEndpoint();
+      uint32_t Target = pickEndpoint();
+      Demand.TotalStores += 1;
+      if (Records[Target].Birth <= Records[Source].Birth)
+        continue; // Backward or self: never remembered.
+      Demand.ForwardInTimeStores += 1;
+
+      // Classic two-generation discipline: remember only if the source is
+      // old-generation (older than the boundary age) and the target young.
+      AllocClock Now = NewObject.Birth;
+      bool SourceOld =
+          Now - Records[Source].Birth > Model.GenerationAgeBytes;
+      bool TargetYoung =
+          Now - Records[Target].Birth <= Model.GenerationAgeBytes;
+      bool InterGen = SourceOld && TargetYoung;
+      if (InterGen)
+        Demand.InterGenerationalStores += 1;
+
+      // Slot reuse: a source already holding a full complement of live
+      // outgoing pointers overwrites its oldest one.
+      std::vector<uint32_t> &SourceLive = LiveBySource[Source];
+      for (size_t K = 0; K != SourceLive.size();) {
+        if (Entries[SourceLive[K]].Alive) {
+          ++K;
+          continue;
+        }
+        SourceLive[K] = SourceLive.back();
+        SourceLive.pop_back();
+      }
+      if (SourceLive.size() >= Model.MaxPointerSlotsPerObject) {
+        killEntry(SourceLive.front());
+        SourceLive.erase(SourceLive.begin());
+      }
+
+      uint32_t EntryIndex = static_cast<uint32_t>(Entries.size());
+      Entries.push_back({Source, Target, true, InterGen});
+      EntriesByObject[Source].push_back(EntryIndex);
+      EntriesByObject[Target].push_back(EntryIndex);
+      SourceLive.push_back(EntryIndex);
+      LiveUnified += 1;
+      if (InterGen)
+        LiveGenerational += 1;
+      Demand.PeakUnifiedEntries =
+          std::max(Demand.PeakUnifiedEntries, LiveUnified);
+      Demand.PeakGenerationalEntries =
+          std::max(Demand.PeakGenerationalEntries, LiveGenerational);
+    }
+  }
+  return Demand;
+}

@@ -1,0 +1,144 @@
+//===- sim/Simulator.cpp --------------------------------------------------==//
+
+#include "sim/Simulator.h"
+
+#include "sim/Trigger.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace dtb;
+using namespace dtb::sim;
+using core::AllocClock;
+
+namespace {
+
+/// Oracle demographics for the policies: exact live bytes from the heap
+/// model judged at the current clock.
+class OracleDemographics final : public core::Demographics {
+public:
+  OracleDemographics(const HeapModel &Heap, const AllocClock &Now)
+      : Heap(Heap), Now(Now) {}
+
+  uint64_t liveBytesBornAfter(AllocClock Boundary) const override {
+    return Heap.liveBytesBornAfter(Boundary, Now);
+  }
+
+  uint64_t residentBytesBornAfter(AllocClock Boundary) const override {
+    return Heap.residentBytesBornAfter(Boundary);
+  }
+
+private:
+  const HeapModel &Heap;
+  const AllocClock &Now;
+};
+
+} // namespace
+
+SimulationResult dtb::sim::simulate(const trace::Trace &T,
+                                    core::BoundaryPolicy &Policy,
+                                    const SimulatorConfig &Config) {
+  if (Config.TriggerBytes == 0 && !Config.Trigger)
+    fatalError("simulator trigger interval must be nonzero");
+
+  Policy.reset();
+  if (Config.Trigger)
+    Config.Trigger->reset();
+
+  SimulationResult Result;
+  HeapModel Heap;
+  AllocClock Now = 0;
+  OracleDemographics Demo(Heap, Now);
+
+  TimeWeightedStats Memory;
+  Memory.setLevel(0, 0.0);
+
+  AllocClock NextTrigger = Config.TriggerBytes;
+  AllocClock NextCurveSample =
+      Config.RecordMemoryCurve ? Config.CurveSampleBytes : 0;
+
+  auto recordCurvePoint = [&](bool AfterScavenge) {
+    if (Config.RecordMemoryCurve)
+      Result.Curve.push_back({Now, Heap.residentBytes(), AfterScavenge});
+  };
+
+  auto runScavenge = [&] {
+    uint64_t Index = Result.History.size() + 1;
+    core::BoundaryRequest Request;
+    Request.Index = Index;
+    Request.Now = Now;
+    Request.MemBytes = Heap.residentBytes();
+    Request.History = &Result.History;
+    Request.Demo = &Demo;
+
+    AllocClock Boundary = Policy.chooseBoundary(Request);
+    if (Boundary > Now)
+      fatalError("policy chose a boundary in the future");
+
+    // The heap is at a local maximum just before the scavenge.
+    Memory.setLevel(Now, static_cast<double>(Heap.residentBytes()));
+    recordCurvePoint(/*AfterScavenge=*/false);
+
+    ScavengeOutcome Outcome = Heap.scavenge(Now, Boundary);
+
+    core::ScavengeRecord Record;
+    Record.Index = Index;
+    Record.Time = Now;
+    Record.Boundary = Boundary;
+    Record.TracedBytes = Outcome.TracedBytes;
+    Record.MemBeforeBytes = Outcome.MemBeforeBytes;
+    Record.SurvivedBytes = Outcome.SurvivedBytes;
+    Record.ReclaimedBytes = Outcome.ReclaimedBytes;
+    Result.History.append(Record);
+
+    Result.TotalTracedBytes += Outcome.TracedBytes;
+    Result.PauseMillis.add(
+        Config.Machine.pauseMillisForTracedBytes(Outcome.TracedBytes));
+
+    Memory.setLevel(Now, static_cast<double>(Heap.residentBytes()));
+    recordCurvePoint(/*AfterScavenge=*/true);
+  };
+
+  for (const trace::AllocationRecord &R : T.records()) {
+    Now = R.Birth;
+    Heap.addObject(R.Birth, R.Size, R.Death);
+    Memory.setLevel(Now, static_cast<double>(Heap.residentBytes()));
+
+    if (Config.RecordMemoryCurve && Now >= NextCurveSample) {
+      recordCurvePoint(/*AfterScavenge=*/false);
+      while (NextCurveSample <= Now)
+        NextCurveSample += Config.CurveSampleBytes;
+    }
+
+    if (Config.Trigger) {
+      // Pluggable when-to-collect policy (sim/Trigger.h).
+      TriggerContext Context;
+      Context.Now = Now;
+      Context.BytesSinceLastScavenge =
+          Now - (Result.History.empty() ? 0 : Result.History.last().Time);
+      Context.ResidentBytes = Heap.residentBytes();
+      Context.LastSurvivedBytes =
+          Result.History.empty() ? 0 : Result.History.last().SurvivedBytes;
+      Context.NumScavenges = Result.History.size();
+      if (Config.Trigger->shouldScavenge(Context))
+        runScavenge();
+    } else if (Now >= NextTrigger) {
+      // The paper's trigger: a scavenge once every TriggerBytes of
+      // allocation. A single huge allocation can cross several trigger
+      // points but still causes one scavenge, matching "triggered after
+      // every 1 MB of allocation".
+      runScavenge();
+      while (NextTrigger <= Now)
+        NextTrigger += Config.TriggerBytes;
+    }
+  }
+
+  Memory.finish(T.totalAllocated());
+
+  Result.MemMeanBytes = Memory.mean();
+  Result.MemMaxBytes = static_cast<uint64_t>(Memory.max());
+  Result.NumScavenges = Result.History.size();
+  Result.CpuOverheadPercent = Config.Machine.cpuOverheadPercent(
+      Result.TotalTracedBytes, Config.ProgramSeconds);
+  return Result;
+}

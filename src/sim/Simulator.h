@@ -1,0 +1,93 @@
+//===- sim/Simulator.h - Trace-driven collector simulation -----*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-driven garbage-collection simulator of the paper's §5:
+/// allocation/deallocation events drive a heap model; scavenges are
+/// triggered after every TriggerBytes of allocation (paper: 1 MB); a
+/// threatening-boundary policy chooses what to collect; and the simulator
+/// records memory usage, pause times, and tracing work, which are then
+/// reduced to the paper's Table 2/3/4 metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_SIM_SIMULATOR_H
+#define DTB_SIM_SIMULATOR_H
+
+#include "core/BoundaryPolicy.h"
+#include "core/MachineModel.h"
+#include "core/ScavengeHistory.h"
+#include "sim/HeapModel.h"
+#include "support/Statistics.h"
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dtb {
+namespace sim {
+
+class TriggerPolicy;
+
+/// Static simulation parameters.
+struct SimulatorConfig {
+  /// Bytes of allocation between scavenges (paper: 1,000,000). Ignored
+  /// when Trigger is set.
+  uint64_t TriggerBytes = 1'000'000;
+  /// Optional when-to-collect policy (sim/Trigger.h); overrides
+  /// TriggerBytes. Not owned; must outlive the simulation.
+  TriggerPolicy *Trigger = nullptr;
+  /// The pause/overhead cost model (paper: 10 MIPS, 500 KB/s tracing).
+  core::MachineModel Machine;
+  /// Mutator execution time in seconds, used for the CPU-overhead
+  /// percentage; comes from the workload definition. Zero disables the
+  /// overhead computation.
+  double ProgramSeconds = 0.0;
+  /// When true, record a (clock, resident bytes) curve for figures.
+  bool RecordMemoryCurve = false;
+  /// Curve sampling granularity between scavenges.
+  uint64_t CurveSampleBytes = 100'000;
+};
+
+/// One point of the Figure-2-style memory curve.
+struct MemoryCurvePoint {
+  core::AllocClock Clock = 0;
+  uint64_t ResidentBytes = 0;
+  /// True for the post-scavenge point (the vertical drop in Figure 2).
+  bool AfterScavenge = false;
+};
+
+/// Everything measured by one simulation run.
+struct SimulationResult {
+  /// Per-scavenge records (t_n, TB_n, Trace_n, Mem_n, S_n, ...).
+  core::ScavengeHistory History;
+
+  /// Time-weighted mean and max of resident bytes (Table 2 rows).
+  double MemMeanBytes = 0.0;
+  uint64_t MemMaxBytes = 0;
+
+  /// Per-scavenge pause times in milliseconds (Table 3 medians/90ths).
+  SampleSet PauseMillis;
+
+  /// Total bytes traced over the run and the CPU overhead (Table 4).
+  uint64_t TotalTracedBytes = 0;
+  double CpuOverheadPercent = 0.0;
+
+  uint64_t NumScavenges = 0;
+
+  /// Optional Figure-2 curve (empty unless requested).
+  std::vector<MemoryCurvePoint> Curve;
+};
+
+/// Runs \p Policy over \p T under \p Config. The policy is reset() first,
+/// so a policy instance may be reused across runs.
+SimulationResult simulate(const trace::Trace &T, core::BoundaryPolicy &Policy,
+                          const SimulatorConfig &Config);
+
+} // namespace sim
+} // namespace dtb
+
+#endif // DTB_SIM_SIMULATOR_H

@@ -1,0 +1,49 @@
+//===- sim/Trigger.cpp ----------------------------------------------------==//
+
+#include "sim/Trigger.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace dtb;
+using namespace dtb::sim;
+
+TriggerPolicy::~TriggerPolicy() = default;
+
+FixedBytesTrigger::FixedBytesTrigger(uint64_t IntervalBytes)
+    : IntervalBytes(IntervalBytes) {
+  if (IntervalBytes == 0)
+    fatalError("trigger interval must be nonzero");
+}
+
+std::string FixedBytesTrigger::name() const {
+  return "fixed-bytes(" + std::to_string(IntervalBytes) + ")";
+}
+
+bool FixedBytesTrigger::shouldScavenge(const TriggerContext &Context) {
+  return Context.BytesSinceLastScavenge >= IntervalBytes;
+}
+
+HeapGrowthTrigger::HeapGrowthTrigger(double GrowthFactor,
+                                     uint64_t MinHeapBytes,
+                                     uint64_t MinSpacingBytes)
+    : GrowthFactor(GrowthFactor), MinHeapBytes(MinHeapBytes),
+      MinSpacingBytes(MinSpacingBytes) {
+  if (GrowthFactor <= 1.0)
+    fatalError("heap growth factor must exceed 1");
+}
+
+std::string HeapGrowthTrigger::name() const {
+  return "heap-growth(" + std::to_string(GrowthFactor) + ")";
+}
+
+bool HeapGrowthTrigger::shouldScavenge(const TriggerContext &Context) {
+  if (Context.BytesSinceLastScavenge < MinSpacingBytes)
+    return false;
+  uint64_t Threshold = std::max(
+      MinHeapBytes, static_cast<uint64_t>(
+                        GrowthFactor *
+                        static_cast<double>(Context.LastSurvivedBytes)));
+  return Context.ResidentBytes >= Threshold;
+}

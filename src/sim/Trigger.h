@@ -1,0 +1,93 @@
+//===- sim/Trigger.h - When-to-collect policies ----------------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §4 of the paper separates *what* to collect (the threatening boundary)
+/// from *when* to collect (the scavenge trigger) and answers only the
+/// former, citing Wilson & Moher's opportunism for the latter. This
+/// module makes the trigger a first-class policy so the two axes can be
+/// studied independently (bench/ablation_trigger_policy):
+///
+///  * FixedBytesTrigger — the paper's evaluation setting: scavenge after
+///    every N bytes of allocation.
+///  * HeapGrowthTrigger — scavenge when residency exceeds a multiple of
+///    the last survivor set (the classic Boehm/Go-style heap-growth
+///    rule): collections speed up when garbage accumulates and slow down
+///    when the heap is quiet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_SIM_TRIGGER_H
+#define DTB_SIM_TRIGGER_H
+
+#include "core/AllocClock.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dtb {
+namespace sim {
+
+/// Everything a trigger policy may consult after an allocation.
+struct TriggerContext {
+  core::AllocClock Now = 0;
+  /// Bytes allocated since the previous scavenge (or program start).
+  uint64_t BytesSinceLastScavenge = 0;
+  /// Current resident bytes (live + unreclaimed garbage).
+  uint64_t ResidentBytes = 0;
+  /// Survivor bytes of the previous scavenge (0 before the first).
+  uint64_t LastSurvivedBytes = 0;
+  uint64_t NumScavenges = 0;
+};
+
+/// Decides, after each allocation, whether to scavenge now.
+class TriggerPolicy {
+public:
+  virtual ~TriggerPolicy();
+
+  virtual std::string name() const = 0;
+  virtual bool shouldScavenge(const TriggerContext &Context) = 0;
+  virtual void reset() {}
+};
+
+/// The paper's trigger: every \p IntervalBytes of allocation.
+class FixedBytesTrigger final : public TriggerPolicy {
+public:
+  explicit FixedBytesTrigger(uint64_t IntervalBytes);
+
+  std::string name() const override;
+  bool shouldScavenge(const TriggerContext &Context) override;
+
+  uint64_t intervalBytes() const { return IntervalBytes; }
+
+private:
+  uint64_t IntervalBytes;
+};
+
+/// Heap-growth rule: scavenge when resident bytes reach
+/// max(MinHeapBytes, GrowthFactor * LastSurvivedBytes). A minimum
+/// inter-scavenge allocation spacing prevents degenerate back-to-back
+/// collections when the survivor set barely shrinks.
+class HeapGrowthTrigger final : public TriggerPolicy {
+public:
+  HeapGrowthTrigger(double GrowthFactor, uint64_t MinHeapBytes,
+                    uint64_t MinSpacingBytes = 10'000);
+
+  std::string name() const override;
+  bool shouldScavenge(const TriggerContext &Context) override;
+
+  double growthFactor() const { return GrowthFactor; }
+
+private:
+  double GrowthFactor;
+  uint64_t MinHeapBytes;
+  uint64_t MinSpacingBytes;
+};
+
+} // namespace sim
+} // namespace dtb
+
+#endif // DTB_SIM_TRIGGER_H

@@ -1,0 +1,20 @@
+//===- support/Error.cpp --------------------------------------------------==//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dtb;
+
+void dtb::fatalError(std::string_view Message) {
+  std::fprintf(stderr, "dtbgc fatal error: %.*s\n",
+               static_cast<int>(Message.size()), Message.data());
+  std::abort();
+}
+
+void dtb::unreachable(std::string_view Message) {
+  std::fprintf(stderr, "dtbgc unreachable executed: %.*s\n",
+               static_cast<int>(Message.size()), Message.data());
+  std::abort();
+}

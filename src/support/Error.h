@@ -1,0 +1,33 @@
+//===- support/Error.h - Fatal errors and unreachable markers --*- C++ -*-===//
+//
+// Part of the dtbgc project: a reproduction of Barrett & Zorn, "Garbage
+// Collection Using a Dynamic Threatening Boundary" (PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal programmatic-error facilities for library code. The libraries do
+/// not use exceptions; invariant violations abort with a message and
+/// recoverable conditions are reported through return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_SUPPORT_ERROR_H
+#define DTB_SUPPORT_ERROR_H
+
+#include <string_view>
+
+namespace dtb {
+
+/// Prints \p Message to stderr and aborts. Used for unrecoverable usage or
+/// environment errors in library code (never for conditions a caller could
+/// reasonably handle).
+[[noreturn]] void fatalError(std::string_view Message);
+
+/// Marks a point in the code that must never be reached if program
+/// invariants hold. Aborts with \p Message.
+[[noreturn]] void unreachable(std::string_view Message);
+
+} // namespace dtb
+
+#endif // DTB_SUPPORT_ERROR_H

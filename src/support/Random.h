@@ -1,0 +1,105 @@
+//===- support/Random.h - Deterministic pseudo-random sources --*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic random-number library. The workload
+/// generators must produce byte-identical traces for a given seed on every
+/// platform, so we avoid std::mt19937 + std::*_distribution (whose outputs
+/// are implementation-defined for some distributions) and implement the few
+/// distributions we need directly on top of SplitMix64.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_SUPPORT_RANDOM_H
+#define DTB_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace dtb {
+
+/// SplitMix64 generator: tiny state, excellent statistical quality for
+/// simulation workloads, and trivially reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    // 53 random mantissa bits scaled into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns an integer uniformly distributed in [0, Bound). \p Bound must
+  /// be nonzero. Uses the widening-multiply technique (slight modulo bias is
+  /// irrelevant for 64-bit state and simulation use).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns an integer uniformly distributed in [Lo, Hi]. Requires
+  /// Lo <= Hi.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// Samples an exponential distribution with the given \p Mean.
+  double nextExponential(double Mean) {
+    assert(Mean > 0.0 && "exponential mean must be positive");
+    // -log(1 - U) with U in [0, 1); 1 - U is in (0, 1] so log is finite.
+    return -Mean * std::log1p(-nextDouble());
+  }
+
+  /// Samples a standard normal via Marsaglia's polar method.
+  double nextStandardNormal() {
+    for (;;) {
+      double U = 2.0 * nextDouble() - 1.0;
+      double V = 2.0 * nextDouble() - 1.0;
+      double S = U * U + V * V;
+      if (S > 0.0 && S < 1.0)
+        return U * std::sqrt(-2.0 * std::log(S) / S);
+    }
+  }
+
+  /// Samples a lognormal distribution parameterized by the mean and sigma of
+  /// the underlying normal.
+  double nextLogNormal(double Mu, double Sigma) {
+    return std::exp(Mu + Sigma * nextStandardNormal());
+  }
+
+  /// Derives an independent child generator; useful for giving each workload
+  /// phase or object class its own stream.
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace dtb
+
+#endif // DTB_SUPPORT_RANDOM_H

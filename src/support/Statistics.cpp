@@ -1,0 +1,85 @@
+//===- support/Statistics.cpp ---------------------------------------------==//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace dtb;
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeightedStats::setLevel(uint64_t Clock, double Value) {
+  if (Value > Max)
+    Max = Value;
+  if (!HaveOrigin) {
+    HaveOrigin = true;
+    LastClock = Clock;
+    Current = Value;
+    return;
+  }
+  assert(Clock >= LastClock && "clock moved backwards");
+  uint64_t Dt = Clock - LastClock;
+  Integral += Current * static_cast<double>(Dt);
+  ElapsedTotal += Dt;
+  LastClock = Clock;
+  Current = Value;
+}
+
+double SampleSet::quantile(double Q) const {
+  if (Samples.empty())
+    return 0.0;
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+  std::vector<double> Sorted(Samples);
+  // Nearest-rank: the ceil(Q*N)-th smallest sample (1-based), so the median
+  // of {1,2,3,4} is 2 and quantile(1.0) is the maximum.
+  size_t Rank = static_cast<size_t>(
+      std::ceil(Q * static_cast<double>(Sorted.size())));
+  if (Rank == 0)
+    Rank = 1;
+  size_t Index = Rank - 1;
+  std::nth_element(Sorted.begin(),
+                   Sorted.begin() + static_cast<ptrdiff_t>(Index),
+                   Sorted.end());
+  return Sorted[Index];
+}
+
+double SampleSet::sum() const {
+  return std::accumulate(Samples.begin(), Samples.end(), 0.0);
+}
+
+double SampleSet::mean() const {
+  return Samples.empty() ? 0.0 : sum() / static_cast<double>(Samples.size());
+}
+
+double SampleSet::maxValue() const {
+  if (Samples.empty())
+    return 0.0;
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+Histogram::Histogram(double Lo, double Hi, size_t NumBuckets)
+    : Lo(Lo), Hi(Hi), Width((Hi - Lo) / static_cast<double>(NumBuckets)),
+      Counts(NumBuckets, 0) {
+  assert(Hi > Lo && "histogram range must be nonempty");
+  assert(NumBuckets > 0 && "histogram needs at least one bucket");
+}
+
+void Histogram::add(double X) {
+  Total += 1;
+  if (X < Lo) {
+    Counts.front() += 1;
+    return;
+  }
+  auto Index = static_cast<size_t>((X - Lo) / Width);
+  if (Index >= Counts.size())
+    Index = Counts.size() - 1;
+  Counts[Index] += 1;
+}
+
+double Histogram::bucketLow(size_t I) const {
+  assert(I < Counts.size() && "bucket index out of range");
+  return Lo + Width * static_cast<double>(I);
+}

@@ -1,0 +1,30 @@
+//===- support/Units.cpp --------------------------------------------------==//
+
+#include "support/Units.h"
+
+#include <cstdio>
+
+using namespace dtb;
+
+std::string dtb::formatBytes(uint64_t Bytes) {
+  char Buffer[64];
+  if (Bytes >= MB)
+    std::snprintf(Buffer, sizeof(Buffer), "%.2f MB",
+                  static_cast<double>(Bytes) / static_cast<double>(MB));
+  else if (Bytes >= KB)
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f KB",
+                  static_cast<double>(Bytes) / static_cast<double>(KB));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%llu B",
+                  static_cast<unsigned long long>(Bytes));
+  return Buffer;
+}
+
+std::string dtb::formatMilliseconds(double Ms) {
+  char Buffer[64];
+  if (Ms >= 1000.0)
+    std::snprintf(Buffer, sizeof(Buffer), "%.2f s", Ms / 1000.0);
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f ms", Ms);
+  return Buffer;
+}

@@ -1,0 +1,43 @@
+//===- support/Units.h - Byte/time unit helpers ----------------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit constants and formatting helpers. The paper reports memory in
+/// kilobytes (decimal: 1 KB = 1000 bytes, matching "500 kilobytes per
+/// second" / "50 thousand bytes traced" = 100 ms), pauses in milliseconds,
+/// and overhead in percent. We follow the same conventions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_SUPPORT_UNITS_H
+#define DTB_SUPPORT_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace dtb {
+
+/// One decimal kilobyte, the paper's reporting unit.
+inline constexpr uint64_t KB = 1000;
+/// One decimal megabyte ("scavenges were triggered after every 1 million
+/// bytes of allocation").
+inline constexpr uint64_t MB = 1000 * 1000;
+
+/// Converts a byte count to (fractional) kilobytes.
+inline double bytesToKB(double Bytes) { return Bytes / 1000.0; }
+inline double bytesToKB(uint64_t Bytes) {
+  return static_cast<double>(Bytes) / 1000.0;
+}
+
+/// Formats a byte count as a short human-readable string ("1.5 MB").
+std::string formatBytes(uint64_t Bytes);
+
+/// Formats milliseconds ("12.5 ms" / "1.74 s").
+std::string formatMilliseconds(double Ms);
+
+} // namespace dtb
+
+#endif // DTB_SUPPORT_UNITS_H

@@ -1,0 +1,62 @@
+//===- trace/Trace.cpp ----------------------------------------------------==//
+
+#include "trace/Trace.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace dtb;
+using namespace dtb::trace;
+
+Trace::Trace(std::vector<AllocationRecord> InRecords)
+    : Records(std::move(InRecords)) {
+  TotalAllocated = Records.empty() ? 0 : Records.back().Birth;
+}
+
+bool Trace::verify(std::string *ErrorMessage) const {
+  auto Fail = [&](const std::string &Message) {
+    if (ErrorMessage)
+      *ErrorMessage = Message;
+    return false;
+  };
+
+  AllocClock Running = 0;
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const AllocationRecord &R = Records[I];
+    if (R.Size == 0)
+      return Fail("record " + std::to_string(I) + " has zero size");
+    Running += R.Size;
+    if (R.Birth != Running)
+      return Fail("record " + std::to_string(I) +
+                  " birth clock is inconsistent with the running byte total");
+    if (R.Death != NeverDies && R.Death < R.Birth)
+      return Fail("record " + std::to_string(I) + " dies before it is born");
+  }
+  if (Running != TotalAllocated)
+    return Fail("cached total does not match the sum of record sizes");
+  return true;
+}
+
+TraceBuilder::ObjectIndex TraceBuilder::allocate(uint32_t Size) {
+  if (Size == 0)
+    fatalError("trace allocation of zero bytes");
+  Clock += Size;
+  Records.push_back({/*Birth=*/Clock, Size, /*Death=*/NeverDies});
+  return Records.size() - 1;
+}
+
+void TraceBuilder::free(ObjectIndex Index) {
+  assert(Index < Records.size() && "freeing unknown object");
+  AllocationRecord &R = Records[Index];
+  assert(R.Death == NeverDies && "double free in trace construction");
+  R.Death = Clock;
+}
+
+Trace TraceBuilder::finish() {
+  Trace Result(std::move(Records));
+  Records.clear();
+  Clock = 0;
+  return Result;
+}

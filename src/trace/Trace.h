@@ -1,0 +1,119 @@
+//===- trace/Trace.h - Allocation traces -----------------------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocation-trace model. The paper drives its collector simulations
+/// with malloc/free event traces captured by QPT from four C programs; this
+/// module provides the equivalent substrate: an object-lifetime trace.
+///
+/// Time is the *allocation clock*: cumulative bytes allocated so far. Every
+/// object carries its birth clock, size, and death clock (the point at which
+/// the program frees it, i.e. the oracle moment it becomes unreachable).
+/// This is exactly the information content of a malloc/free event stream,
+/// stored in birth order with deaths resolved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_TRACE_TRACE_H
+#define DTB_TRACE_TRACE_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dtb {
+namespace trace {
+
+/// The allocation clock: cumulative bytes allocated since program start.
+using AllocClock = uint64_t;
+
+/// Death clock value for objects that live to the end of the program.
+inline constexpr AllocClock NeverDies =
+    std::numeric_limits<AllocClock>::max();
+
+/// One heap object's lifetime. Birth is the clock value *after* the object's
+/// allocation completes (so the first object allocated has Birth == its
+/// size, and births increase strictly along the trace).
+struct AllocationRecord {
+  AllocClock Birth = 0;
+  uint32_t Size = 0;
+  AllocClock Death = NeverDies;
+
+  /// Returns true if the object is still live at clock \p Now (deaths take
+  /// effect at their clock value).
+  bool liveAt(AllocClock Now) const { return Death > Now; }
+
+  /// Returns the object's lifetime in allocated bytes (NeverDies-birth for
+  /// immortal objects).
+  AllocClock lifetime() const {
+    return Death == NeverDies ? NeverDies : Death - Birth;
+  }
+
+  bool operator==(const AllocationRecord &Other) const = default;
+};
+
+/// An immutable allocation trace: records in birth order. Built through
+/// TraceBuilder or deserialized by trace/TraceIO.
+class Trace {
+public:
+  Trace() = default;
+
+  /// Takes ownership of \p Records, which must already be in birth order
+  /// with consistent clocks; call verify() to check.
+  explicit Trace(std::vector<AllocationRecord> Records);
+
+  const std::vector<AllocationRecord> &records() const { return Records; }
+  size_t numObjects() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+
+  /// Total bytes allocated over the whole trace (== the final clock value).
+  AllocClock totalAllocated() const { return TotalAllocated; }
+
+  /// Checks structural invariants: sizes nonzero, births strictly
+  /// increasing and equal to the running byte total, deaths at-or-after
+  /// births. Returns true if well-formed; on failure fills \p ErrorMessage
+  /// if non-null.
+  bool verify(std::string *ErrorMessage = nullptr) const;
+
+private:
+  std::vector<AllocationRecord> Records;
+  AllocClock TotalAllocated = 0;
+};
+
+/// Incremental trace construction in program order: allocate objects, then
+/// free them in any order, then finish().
+class TraceBuilder {
+public:
+  /// Object handle used to free later; indexes the record array.
+  using ObjectIndex = size_t;
+
+  /// Appends an allocation of \p Size bytes (must be nonzero) and returns
+  /// its handle. Advances the allocation clock by \p Size.
+  ObjectIndex allocate(uint32_t Size);
+
+  /// Marks object \p Index as freed at the current clock. An object may be
+  /// freed at most once.
+  void free(ObjectIndex Index);
+
+  /// Current allocation clock.
+  AllocClock now() const { return Clock; }
+
+  /// Number of objects allocated so far.
+  size_t numObjects() const { return Records.size(); }
+
+  /// Finalizes and returns the trace; the builder is left empty.
+  Trace finish();
+
+private:
+  std::vector<AllocationRecord> Records;
+  AllocClock Clock = 0;
+};
+
+} // namespace trace
+} // namespace dtb
+
+#endif // DTB_TRACE_TRACE_H

@@ -1,0 +1,214 @@
+//===- trace/TraceIO.cpp --------------------------------------------------==//
+
+#include "trace/TraceIO.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace dtb;
+using namespace dtb::trace;
+
+namespace {
+
+constexpr char BinaryMagic[4] = {'D', 'T', 'B', 'T'};
+constexpr uint8_t BinaryVersion = 1;
+constexpr const char *TextHeader = "# dtb-trace v1";
+
+void appendVarint(std::string &Out, uint64_t Value) {
+  while (Value >= 0x80) {
+    Out.push_back(static_cast<char>((Value & 0x7f) | 0x80));
+    Value >>= 7;
+  }
+  Out.push_back(static_cast<char>(Value));
+}
+
+bool readVarint(std::string_view Data, size_t &Cursor, uint64_t *Out) {
+  uint64_t Value = 0;
+  unsigned Shift = 0;
+  while (Cursor != Data.size()) {
+    uint8_t Byte = static_cast<uint8_t>(Data[Cursor++]);
+    if (Shift >= 64 || (Shift == 63 && (Byte & 0x7e)))
+      return false; // Overflows 64 bits.
+    Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80)) {
+      *Out = Value;
+      return true;
+    }
+    Shift += 7;
+  }
+  return false; // Truncated.
+}
+
+bool fail(std::string *ErrorMessage, const char *Message) {
+  if (ErrorMessage)
+    *ErrorMessage = Message;
+  return false;
+}
+
+} // namespace
+
+std::string dtb::trace::serializeBinary(const Trace &T) {
+  std::string Out;
+  Out.append(BinaryMagic, sizeof(BinaryMagic));
+  Out.push_back(static_cast<char>(BinaryVersion));
+  appendVarint(Out, T.numObjects());
+  for (const AllocationRecord &R : T.records()) {
+    appendVarint(Out, R.Size);
+    // 0 encodes an immortal object; otherwise death - birth + 1 (deaths may
+    // coincide with births, so the +1 keeps the encoding unambiguous).
+    appendVarint(Out, R.Death == NeverDies ? 0 : R.Death - R.Birth + 1);
+  }
+  return Out;
+}
+
+std::optional<Trace>
+dtb::trace::deserializeBinary(std::string_view Data,
+                              std::string *ErrorMessage) {
+  if (Data.size() < sizeof(BinaryMagic) + 1 ||
+      std::memcmp(Data.data(), BinaryMagic, sizeof(BinaryMagic)) != 0) {
+    fail(ErrorMessage, "not a dtb binary trace (bad magic)");
+    return std::nullopt;
+  }
+  if (static_cast<uint8_t>(Data[4]) != BinaryVersion) {
+    fail(ErrorMessage, "unsupported binary trace version");
+    return std::nullopt;
+  }
+
+  size_t Cursor = 5;
+  uint64_t Count = 0;
+  if (!readVarint(Data, Cursor, &Count)) {
+    fail(ErrorMessage, "truncated object count");
+    return std::nullopt;
+  }
+
+  std::vector<AllocationRecord> Records;
+  // Never trust the declared count for the reservation: each record needs
+  // at least two bytes of input, so cap by what the data could hold (a
+  // hostile header must not be able to demand an exabyte up front).
+  Records.reserve(std::min<uint64_t>(Count, (Data.size() - Cursor) / 2 + 1));
+  AllocClock Clock = 0;
+  for (uint64_t I = 0; I != Count; ++I) {
+    uint64_t Size = 0, DeathCode = 0;
+    if (!readVarint(Data, Cursor, &Size) ||
+        !readVarint(Data, Cursor, &DeathCode)) {
+      fail(ErrorMessage, "truncated record");
+      return std::nullopt;
+    }
+    if (Size == 0 || Size > UINT32_MAX) {
+      fail(ErrorMessage, "record has invalid size");
+      return std::nullopt;
+    }
+    Clock += Size;
+    AllocationRecord R;
+    R.Birth = Clock;
+    R.Size = static_cast<uint32_t>(Size);
+    R.Death = DeathCode == 0 ? NeverDies : Clock + (DeathCode - 1);
+    Records.push_back(R);
+  }
+  if (Cursor != Data.size()) {
+    fail(ErrorMessage, "trailing bytes after final record");
+    return std::nullopt;
+  }
+  return Trace(std::move(Records));
+}
+
+std::string dtb::trace::serializeText(const Trace &T) {
+  std::string Out(TextHeader);
+  Out.push_back('\n');
+  char Line[64];
+  for (const AllocationRecord &R : T.records()) {
+    if (R.Death == NeverDies)
+      std::snprintf(Line, sizeof(Line), "%" PRIu32 " -\n", R.Size);
+    else
+      std::snprintf(Line, sizeof(Line), "%" PRIu32 " %" PRIu64 "\n", R.Size,
+                    R.Death);
+    Out += Line;
+  }
+  return Out;
+}
+
+std::optional<Trace> dtb::trace::deserializeText(std::string_view Data,
+                                                 std::string *ErrorMessage) {
+  size_t Pos = 0;
+  auto nextLine = [&]() -> std::optional<std::string_view> {
+    if (Pos >= Data.size())
+      return std::nullopt;
+    size_t End = Data.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Data.size();
+    std::string_view Line = Data.substr(Pos, End - Pos);
+    Pos = End + 1;
+    return Line;
+  };
+
+  std::optional<std::string_view> Header = nextLine();
+  if (!Header || *Header != TextHeader) {
+    fail(ErrorMessage, "missing '# dtb-trace v1' header");
+    return std::nullopt;
+  }
+
+  std::vector<AllocationRecord> Records;
+  AllocClock Clock = 0;
+  while (std::optional<std::string_view> Line = nextLine()) {
+    if (Line->empty() || Line->front() == '#')
+      continue;
+    std::string Copy(*Line);
+    char DeathText[32];
+    unsigned long long Size = 0;
+    if (std::sscanf(Copy.c_str(), "%llu %31s", &Size, DeathText) != 2 ||
+        Size == 0 || Size > UINT32_MAX) {
+      fail(ErrorMessage, "malformed trace line");
+      return std::nullopt;
+    }
+    Clock += Size;
+    AllocationRecord R;
+    R.Birth = Clock;
+    R.Size = static_cast<uint32_t>(Size);
+    if (std::strcmp(DeathText, "-") == 0) {
+      R.Death = NeverDies;
+    } else {
+      char *End = nullptr;
+      unsigned long long Death = std::strtoull(DeathText, &End, 10);
+      if (*End != '\0' || Death < Clock) {
+        fail(ErrorMessage, "malformed or premature death clock");
+        return std::nullopt;
+      }
+      R.Death = Death;
+    }
+    Records.push_back(R);
+  }
+  return Trace(std::move(Records));
+}
+
+bool dtb::trace::writeTraceFile(const Trace &T, const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  std::string Data = serializeBinary(T);
+  size_t Written = std::fwrite(Data.data(), 1, Data.size(), File);
+  bool Ok = Written == Data.size() && std::fclose(File) == 0;
+  if (Written != Data.size())
+    std::fclose(File);
+  return Ok;
+}
+
+std::optional<Trace> dtb::trace::readTraceFile(const std::string &Path,
+                                               std::string *ErrorMessage) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    fail(ErrorMessage, "cannot open trace file");
+    return std::nullopt;
+  }
+  std::string Data;
+  char Buffer[1 << 16];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Data.append(Buffer, Read);
+  std::fclose(File);
+
+  if (Data.size() >= 4 && std::memcmp(Data.data(), BinaryMagic, 4) == 0)
+    return deserializeBinary(Data, ErrorMessage);
+  return deserializeText(Data, ErrorMessage);
+}

@@ -1,0 +1,56 @@
+//===- trace/TraceIO.h - Trace serialization -------------------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization for allocation traces, playing the role QPT trace files
+/// play in the paper's methodology.
+///
+/// Two formats:
+///  * Binary ("DTBT"): magic, version, object count, then per record the
+///    LEB128-encoded size and death delta (0 = immortal, else
+///    death - birth + 1). Births are implied by the running byte total.
+///  * Text: a `# dtb-trace v1` header then one `<size> <death|->` line per
+///    record, for hand-written fixtures and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_TRACE_TRACEIO_H
+#define DTB_TRACE_TRACEIO_H
+
+#include "trace/Trace.h"
+
+#include <optional>
+#include <string>
+
+namespace dtb {
+namespace trace {
+
+/// Serializes \p T in the binary format.
+std::string serializeBinary(const Trace &T);
+
+/// Parses the binary format; returns std::nullopt (and fills
+/// \p ErrorMessage if non-null) on malformed input.
+std::optional<Trace> deserializeBinary(std::string_view Data,
+                                       std::string *ErrorMessage = nullptr);
+
+/// Serializes \p T in the text format.
+std::string serializeText(const Trace &T);
+
+/// Parses the text format.
+std::optional<Trace> deserializeText(std::string_view Data,
+                                     std::string *ErrorMessage = nullptr);
+
+/// Writes \p T to \p Path (binary format). Returns false on I/O failure.
+bool writeTraceFile(const Trace &T, const std::string &Path);
+
+/// Reads a trace from \p Path, auto-detecting the format from the magic.
+std::optional<Trace> readTraceFile(const std::string &Path,
+                                   std::string *ErrorMessage = nullptr);
+
+} // namespace trace
+} // namespace dtb
+
+#endif // DTB_TRACE_TRACEIO_H

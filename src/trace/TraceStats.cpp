@@ -1,0 +1,155 @@
+//===- trace/TraceStats.cpp -----------------------------------------------==//
+
+#include "trace/TraceStats.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dtb;
+using namespace dtb::trace;
+
+const std::vector<uint64_t> &TraceStats::lifetimeThresholds() {
+  static const std::vector<uint64_t> Thresholds = {
+      10'000,    100'000,    500'000,    1'000'000,
+      2'000'000, 4'000'000,  10'000'000, 100'000'000};
+  return Thresholds;
+}
+
+namespace {
+
+/// Walks the trace in clock order and invokes OnStep(Clock, Live) once for
+/// every clock value at which the live-byte level changes, with the exact
+/// level holding *from* that clock until the next step. The level at clock C
+/// counts objects with Birth <= C < Death.
+template <typename CallbackT>
+void sweepLiveBytes(const Trace &T, CallbackT OnStep) {
+  // Deaths past the end of the trace are outside the observation window:
+  // such objects are live for the whole run, exactly like immortals.
+  AllocClock End = T.totalAllocated();
+  std::vector<const AllocationRecord *> Deaths;
+  Deaths.reserve(T.numObjects());
+  for (const AllocationRecord &R : T.records())
+    if (R.Death != NeverDies && R.Death <= End)
+      Deaths.push_back(&R);
+  std::sort(Deaths.begin(), Deaths.end(),
+            [](const AllocationRecord *A, const AllocationRecord *B) {
+              return A->Death < B->Death;
+            });
+
+  const std::vector<AllocationRecord> &Births = T.records();
+  uint64_t Live = 0;
+  size_t BirthIndex = 0;
+  size_t DeathIndex = 0;
+  while (BirthIndex != Births.size() || DeathIndex != Deaths.size()) {
+    // Pick the next event clock; apply every birth and death at that clock
+    // before emitting, so the emitted level is exact for that clock value.
+    AllocClock Clock;
+    if (BirthIndex == Births.size())
+      Clock = Deaths[DeathIndex]->Death;
+    else if (DeathIndex == Deaths.size())
+      Clock = Births[BirthIndex].Birth;
+    else
+      Clock = std::min(Births[BirthIndex].Birth, Deaths[DeathIndex]->Death);
+
+    while (BirthIndex != Births.size() &&
+           Births[BirthIndex].Birth == Clock) {
+      Live += Births[BirthIndex].Size;
+      ++BirthIndex;
+    }
+    while (DeathIndex != Deaths.size() &&
+           Deaths[DeathIndex]->Death == Clock) {
+      assert(Live >= Deaths[DeathIndex]->Size && "live bytes underflow");
+      Live -= Deaths[DeathIndex]->Size;
+      ++DeathIndex;
+    }
+    OnStep(Clock, Live);
+  }
+}
+
+} // namespace
+
+TraceStats dtb::trace::computeTraceStats(const Trace &T) {
+  TraceStats Stats;
+  Stats.NumObjects = T.numObjects();
+  Stats.TotalAllocatedBytes = T.totalAllocated();
+  if (T.empty())
+    return Stats;
+
+  uint64_t SizeSum = 0;
+  for (const AllocationRecord &R : T.records()) {
+    SizeSum += R.Size;
+    Stats.MaxObjectSize = std::max(Stats.MaxObjectSize, R.Size);
+  }
+  Stats.MeanObjectSize =
+      static_cast<double>(SizeSum) / static_cast<double>(Stats.NumObjects);
+
+  // Live profile via a single chronological sweep.
+  TimeWeightedStats LiveProfile;
+  LiveProfile.setLevel(0, 0.0);
+  uint64_t LiveMax = 0;
+  sweepLiveBytes(T, [&](AllocClock Clock, uint64_t Live) {
+    LiveProfile.setLevel(Clock, static_cast<double>(Live));
+    LiveMax = std::max(LiveMax, Live);
+  });
+  LiveProfile.finish(T.totalAllocated());
+  Stats.LiveMeanBytes = LiveProfile.mean();
+  Stats.LiveMaxBytes = LiveMax;
+
+  uint64_t LiveAtEnd = 0;
+  AllocClock End = T.totalAllocated();
+  for (const AllocationRecord &R : T.records())
+    if (R.liveAt(End))
+      LiveAtEnd += R.Size;
+  Stats.LiveAtEndBytes = LiveAtEnd;
+
+  // No-GC profile: cumulative allocation equals the clock, so the level
+  // after each birth is the birth clock itself.
+  TimeWeightedStats NoGc;
+  NoGc.setLevel(0, 0.0);
+  for (const AllocationRecord &R : T.records())
+    NoGc.setLevel(R.Birth, static_cast<double>(R.Birth));
+  NoGc.finish(T.totalAllocated());
+  Stats.NoGcMeanBytes = NoGc.mean();
+
+  // Lifetime CDF over allocated bytes.
+  const std::vector<uint64_t> &Thresholds = TraceStats::lifetimeThresholds();
+  std::vector<uint64_t> BytesBelow(Thresholds.size(), 0);
+  for (const AllocationRecord &R : T.records()) {
+    if (R.Death == NeverDies)
+      continue;
+    uint64_t Lifetime = R.Death - R.Birth;
+    for (size_t I = 0; I != Thresholds.size(); ++I)
+      if (Lifetime < Thresholds[I])
+        BytesBelow[I] += R.Size;
+  }
+  Stats.LifetimeCdf.resize(Thresholds.size());
+  for (size_t I = 0; I != Thresholds.size(); ++I)
+    Stats.LifetimeCdf[I] = static_cast<double>(BytesBelow[I]) /
+                           static_cast<double>(Stats.TotalAllocatedBytes);
+  return Stats;
+}
+
+std::vector<uint64_t> dtb::trace::sampleLiveProfile(const Trace &T,
+                                                    size_t NumPoints) {
+  std::vector<uint64_t> Points(NumPoints, 0);
+  if (T.empty() || NumPoints == 0)
+    return Points;
+  AllocClock Total = T.totalAllocated();
+  size_t NextPoint = 0;
+  uint64_t PrevLive = 0;
+  sweepLiveBytes(T, [&](AllocClock Clock, uint64_t Live) {
+    // Sample points strictly before this step keep the previous level.
+    while (NextPoint != NumPoints) {
+      AllocClock PointClock = (Total * (NextPoint + 1)) / NumPoints;
+      if (PointClock > Clock)
+        break;
+      Points[NextPoint++] = PointClock == Clock ? Live : PrevLive;
+    }
+    PrevLive = Live;
+  });
+  while (NextPoint != NumPoints)
+    Points[NextPoint++] = PrevLive;
+  return Points;
+}

@@ -1,0 +1,63 @@
+//===- trace/TraceStats.h - Trace statistics (Tables 5/6) ------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the allocation-behaviour statistics the paper reports for its
+/// test programs (Tables 5 and 6) plus the LIVE and No-GC rows of Table 2:
+/// total allocation, object counts/sizes, the live-byte profile over the
+/// allocation clock, and the lifetime distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_TRACE_TRACESTATS_H
+#define DTB_TRACE_TRACESTATS_H
+
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dtb {
+namespace trace {
+
+/// Summary statistics for one trace.
+struct TraceStats {
+  uint64_t NumObjects = 0;
+  uint64_t TotalAllocatedBytes = 0;
+  double MeanObjectSize = 0.0;
+  uint32_t MaxObjectSize = 0;
+
+  /// Time-weighted mean and maximum of live bytes over the allocation
+  /// clock (the paper's LIVE row).
+  double LiveMeanBytes = 0.0;
+  uint64_t LiveMaxBytes = 0;
+  /// Live bytes at the very end of the trace (immortal data).
+  uint64_t LiveAtEndBytes = 0;
+
+  /// Time-weighted mean of cumulative allocation (the paper's "No GC" row;
+  /// its maximum is TotalAllocatedBytes).
+  double NoGcMeanBytes = 0.0;
+
+  /// Fraction of allocated bytes with lifetime below thresholds; index i
+  /// corresponds to LifetimeThresholds[i].
+  std::vector<double> LifetimeCdf;
+
+  /// The thresholds (in allocated bytes) used for LifetimeCdf.
+  static const std::vector<uint64_t> &lifetimeThresholds();
+};
+
+/// Computes statistics for \p T in O(n log n).
+TraceStats computeTraceStats(const Trace &T);
+
+/// Samples the live-bytes profile at \p NumPoints evenly spaced clock
+/// values (for figure generation). Point i is the live bytes at clock
+/// (i+1) * total/NumPoints.
+std::vector<uint64_t> sampleLiveProfile(const Trace &T, size_t NumPoints);
+
+} // namespace trace
+} // namespace dtb
+
+#endif // DTB_TRACE_TRACESTATS_H

@@ -1,0 +1,312 @@
+//===- workload/Workload.cpp ----------------------------------------------==//
+
+#include "workload/Workload.h"
+
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dtb;
+using namespace dtb::workload;
+using trace::AllocClock;
+using trace::AllocationRecord;
+using trace::NeverDies;
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint32_t sampleSize(Rng &R, const SizeModel &Model) {
+  double Size = R.nextLogNormal(Model.LogMean, Model.LogSigma);
+  Size = std::clamp(Size, static_cast<double>(Model.MinSize),
+                    static_cast<double>(Model.MaxSize));
+  return static_cast<uint32_t>(Size);
+}
+
+/// Picks a class index by weight.
+size_t sampleClass(Rng &R, const std::vector<LifetimeClass> &Classes,
+                   double TotalWeight) {
+  double Pick = R.nextDouble() * TotalWeight;
+  for (size_t I = 0; I != Classes.size(); ++I) {
+    Pick -= Classes[I].Weight;
+    if (Pick < 0.0)
+      return I;
+  }
+  return Classes.size() - 1; // Rounding fell off the end.
+}
+
+/// Samples a lifetime in bytes; NeverDies-like lifetimes return no value.
+AllocClock sampleLifetime(Rng &R, const LifetimeClass &Class,
+                          bool *Immortal) {
+  *Immortal = false;
+  switch (Class.Kind) {
+  case LifetimeKind::Exponential:
+    return static_cast<AllocClock>(R.nextExponential(Class.ParamA));
+  case LifetimeKind::Uniform: {
+    double Span = Class.ParamB - Class.ParamA;
+    return static_cast<AllocClock>(Class.ParamA + R.nextDouble() * Span);
+  }
+  case LifetimeKind::Immortal:
+    *Immortal = true;
+    return 0;
+  }
+  unreachable("covered switch");
+}
+
+} // namespace
+
+trace::Trace dtb::workload::generateTrace(const WorkloadSpec &Spec) {
+  if (Spec.TotalAllocationBytes == 0)
+    fatalError("workload has zero total allocation");
+  if (Spec.Phases.empty())
+    fatalError("workload has no phases");
+
+  Rng R(Spec.Seed);
+  std::vector<AllocationRecord> Records;
+  Records.reserve(Spec.TotalAllocationBytes /
+                      static_cast<uint64_t>(std::exp(Spec.Sizes.LogMean)) +
+                  16);
+
+  AllocClock Clock = 0;
+  double FractionDone = 0.0;
+  for (const Phase &P : Spec.Phases) {
+    assert(!P.Classes.empty() && "phase without lifetime classes");
+    double TotalWeight = 0.0;
+    for (const LifetimeClass &C : P.Classes)
+      TotalWeight += C.Weight;
+    assert(TotalWeight > 0.0 && "phase weights must be positive");
+
+    FractionDone += P.AllocFraction;
+    auto PhaseEnd = static_cast<AllocClock>(
+        FractionDone * static_cast<double>(Spec.TotalAllocationBytes));
+    while (Clock < PhaseEnd) {
+      uint32_t Size = sampleSize(R, Spec.Sizes);
+      Clock += Size;
+      const LifetimeClass &Class =
+          P.Classes[sampleClass(R, P.Classes, TotalWeight)];
+      bool Immortal = false;
+      AllocClock Lifetime = sampleLifetime(R, Class, &Immortal);
+      AllocationRecord Rec;
+      Rec.Birth = Clock;
+      Rec.Size = Size;
+      Rec.Death = Immortal ? NeverDies : Clock + Lifetime;
+      Records.push_back(Rec);
+    }
+  }
+  return trace::Trace(std::move(Records));
+}
+
+//===----------------------------------------------------------------------===//
+// The six paper workloads
+//===----------------------------------------------------------------------===//
+//
+// Calibration approach (see DESIGN.md §6): in allocation-clock units, a
+// class with byte weight w and mean lifetime m contributes a steady-state
+// live level of w*m bytes (Little's law); an immortal class with weight w
+// contributes a ramp reaching w*PhaseBytes. "Medium" classes with uniform
+// lifetimes in (1 MB, 3.5 MB) die while still threatened under FIXED4 but
+// become tenured garbage under FIXED1, reproducing the FULL/FIXED1/FIXED4
+// memory spreads of Table 2; classes beyond 4 MB (ESPRESSO(2)) leak under
+// FIXED4 too.
+
+namespace {
+
+constexpr double MB = 1.0e6;
+constexpr double KBytes = 1.0e3;
+
+LifetimeClass expClass(double Weight, double MeanBytes) {
+  return {Weight, LifetimeKind::Exponential, MeanBytes, 0.0};
+}
+
+LifetimeClass uniformClass(double Weight, double LoBytes, double HiBytes) {
+  return {Weight, LifetimeKind::Uniform, LoBytes, HiBytes};
+}
+
+LifetimeClass immortalClass(double Weight) {
+  return {Weight, LifetimeKind::Immortal, 0.0, 0.0};
+}
+
+WorkloadSpec makeGhost1() {
+  WorkloadSpec Spec;
+  Spec.Name = "ghost1";
+  Spec.DisplayName = "GHOST (1)";
+  Spec.TotalAllocationBytes = 49'000'000;
+  Spec.ProgramSeconds = 45.0;
+  Spec.Seed = 0x6105701;
+  // GhostScript interpreting a reference manual. A startup phase loads
+  // ~500 KB of permanent interpreter/font state; a steady immortal trickle
+  // (fonts and cached resources accumulated per page) carries live bytes
+  // to ~1.1 MB by the end. Day-to-day allocation is very short-lived
+  // (FIXED1's 31 ms median pause implies only ~15 KB of young survivors
+  // per scavenge), with a thin 1-3.4 MB medium band that tenures under
+  // FIXED1 but never under FIXED4 (Table 2: FIXED4 == FULL for GHOST).
+  Spec.Phases = {
+      {0.05,
+       {immortalClass(0.205), expClass(0.791, 4.0 * KBytes),
+        uniformClass(0.004, 1.05 * MB, 3.4 * MB)}},
+      {0.95,
+       {immortalClass(0.0120), expClass(0.9840, 4.0 * KBytes),
+        uniformClass(0.004, 1.05 * MB, 3.4 * MB)}},
+  };
+  return Spec;
+}
+
+WorkloadSpec makeGhost2() {
+  WorkloadSpec Spec;
+  Spec.Name = "ghost2";
+  Spec.DisplayName = "GHOST (2)";
+  Spec.TotalAllocationBytes = 88'000'000;
+  Spec.ProgramSeconds = 117.0;
+  Spec.Seed = 0x6105702;
+  // The larger input (a masters thesis): ~750 KB of startup state and a
+  // heavier immortal trickle reaching ~2 MB, same steady-state structure.
+  Spec.Phases = {
+      {0.03,
+       {immortalClass(0.284), expClass(0.7123, 4.0 * KBytes),
+        uniformClass(0.0037, 1.05 * MB, 3.4 * MB)}},
+      {0.97,
+       {immortalClass(0.0152), expClass(0.9811, 4.0 * KBytes),
+        uniformClass(0.0037, 1.05 * MB, 3.4 * MB)}},
+  };
+  return Spec;
+}
+
+/// Espresso's pass structure: long "work" stretches of very short-lived
+/// minimization temporaries punctuated by bursts that allocate cover data
+/// living 1-3.5 MB — the tenured-garbage source that FIXED1 and FEEDMED
+/// accumulate but DTBFM reclaims. Each burst's medium bytes exceed the
+/// 50 KB pause budget so FEEDMED is forced to promote.
+WorkloadSpec makeEspresso(const char *Name, const char *Display,
+                          uint64_t Total, double Seconds, uint64_t Seed,
+                          unsigned Cycles, double BurstFraction,
+                          double MediumWeightInBurst,
+                          double ImmortalWeight, double MedLongWeight) {
+  WorkloadSpec Spec;
+  Spec.Name = Name;
+  Spec.DisplayName = Display;
+  Spec.TotalAllocationBytes = Total;
+  Spec.ProgramSeconds = Seconds;
+  Spec.Seed = Seed;
+
+  double CycleFraction = 1.0 / static_cast<double>(Cycles);
+  double WorkFraction = CycleFraction * (1.0 - BurstFraction);
+  double BurstPhaseFraction = CycleFraction * BurstFraction;
+  for (unsigned I = 0; I != Cycles; ++I) {
+    Phase Work;
+    Work.AllocFraction = WorkFraction;
+    Work.Classes = {expClass(1.0 - ImmortalWeight - MedLongWeight,
+                             6.0 * KBytes),
+                    immortalClass(ImmortalWeight)};
+    if (MedLongWeight > 0.0)
+      Work.Classes.push_back(uniformClass(MedLongWeight, 4.2 * MB, 8.0 * MB));
+    Spec.Phases.push_back(std::move(Work));
+
+    Phase Burst;
+    Burst.AllocFraction = BurstPhaseFraction;
+    Burst.Classes = {
+        expClass(1.0 - MediumWeightInBurst - ImmortalWeight, 6.0 * KBytes),
+        uniformClass(MediumWeightInBurst, 1.05 * MB, 3.5 * MB),
+        immortalClass(ImmortalWeight)};
+    Spec.Phases.push_back(std::move(Burst));
+  }
+  return Spec;
+}
+
+WorkloadSpec makeEspresso1() {
+  // 15 MB; medium band totals ~0.0137 of bytes (FIXED1 memory gap), in 8
+  // bursts; immortal ramp to ~100 KB.
+  return makeEspresso("espresso1", "ESPRESSO (1)", 15'000'000, 60.0,
+                      0xE59E5501, /*Cycles=*/4, /*BurstFraction=*/0.04,
+                      /*MediumWeightInBurst=*/0.343,
+                      /*ImmortalWeight=*/0.0075, /*MedLongWeight=*/0.0);
+}
+
+WorkloadSpec makeEspresso2() {
+  // 104 MB; the adversarial FIXED1 input: a heavy medium band (~1.9 MB of
+  // tenured garbage by the end) in 40 bursts, plus a 4.2-8 MB band that
+  // leaks even under FIXED4.
+  return makeEspresso("espresso2", "ESPRESSO (2)", 104'000'000, 233.0,
+                      0xE59E5502, /*Cycles=*/23, /*BurstFraction=*/0.05,
+                      /*MediumWeightInBurst=*/0.24,
+                      /*ImmortalWeight=*/0.0019, /*MedLongWeight=*/0.0023);
+}
+
+WorkloadSpec makeSis() {
+  WorkloadSpec Spec;
+  Spec.Name = "sis";
+  Spec.DisplayName = "SIS";
+  Spec.TotalAllocationBytes = 14'550'000;
+  Spec.ProgramSeconds = 29.6;
+  Spec.Seed = 0x515;
+  // Circuit synthesis: most allocation is permanent network structure.
+  // A steep build phase then a slower permanent ramp; live max ~6.5 MB of
+  // 15 MB allocated, so the 3000 KB memory budget is an over-constraint
+  // and DTBMEM must degrade to FULL behaviour.
+  Spec.Phases = {
+      {0.30,
+       {immortalClass(0.80), expClass(0.185, 90.0 * KBytes),
+        uniformClass(0.015, 1.05 * MB, 3.4 * MB)}},
+      {0.70,
+       {immortalClass(0.270), expClass(0.700, 90.0 * KBytes),
+        uniformClass(0.015, 1.05 * MB, 3.4 * MB)}},
+  };
+  return Spec;
+}
+
+WorkloadSpec makeCfrac() {
+  WorkloadSpec Spec;
+  Spec.Name = "cfrac";
+  Spec.DisplayName = "CFRAC";
+  // The paper's Table 6 lists 3 MB total but its own Table 2 No-GC row
+  // (3853 mean / 7813 max KB) implies ~7.8 MB; we follow Table 2, which is
+  // what the collector comparisons are computed from.
+  Spec.TotalAllocationBytes = 7'800'000;
+  Spec.ProgramSeconds = 20.0;
+  Spec.Seed = 0xCF4AC;
+  // Continued-fraction factoring: bignum temporaries that die almost
+  // immediately; essentially no long-lived data (live max ~21 KB).
+  Spec.Sizes.LogMean = 3.3; // exp(3.3) ~ 27 bytes: small bignum limbs.
+  Spec.Sizes.LogSigma = 0.6;
+  Spec.Phases = {
+      {1.0, {expClass(0.99840, 3.0 * KBytes), immortalClass(0.00160)}},
+  };
+  return Spec;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &dtb::workload::paperWorkloads() {
+  static const std::vector<WorkloadSpec> Workloads = {
+      makeGhost1(),    makeGhost2(), makeEspresso1(),
+      makeEspresso2(), makeSis(),    makeCfrac()};
+  return Workloads;
+}
+
+const WorkloadSpec *dtb::workload::findWorkload(const std::string &Name) {
+  for (const WorkloadSpec &Spec : paperWorkloads())
+    if (Spec.Name == Name)
+      return &Spec;
+  return nullptr;
+}
+
+WorkloadSpec dtb::workload::makeSteadyStateSpec(uint64_t TotalBytes,
+                                                uint64_t Seed) {
+  WorkloadSpec Spec;
+  Spec.Name = "steady";
+  Spec.DisplayName = "STEADY";
+  Spec.TotalAllocationBytes = TotalBytes;
+  Spec.ProgramSeconds =
+      static_cast<double>(TotalBytes) / 1.0e6; // 1 MB/s nominal.
+  Spec.Seed = Seed;
+  Spec.Phases = {
+      {1.0,
+       {expClass(0.95, 40.0 * KBytes), uniformClass(0.03, 1.1 * MB, 3.0 * MB),
+        immortalClass(0.02)}},
+  };
+  return Spec;
+}

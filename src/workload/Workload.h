@@ -1,0 +1,108 @@
+//===- workload/Workload.h - Synthetic allocation workloads ----*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic allocation-trace generators standing in for the paper's QPT
+/// malloc/free traces of GhostScript, Espresso, SIS, and CFRAC (which are
+/// not available). A workload is a sequence of *phases*; each phase
+/// allocates a fraction of the program's bytes and draws object lifetimes
+/// from a mixture of classes (exponential, uniform-range, or immortal),
+/// measured in bytes of subsequent allocation.
+///
+/// The mixtures are calibrated so each generated trace matches the
+/// program's published statistics — total allocation (Table 6), LIVE and
+/// No-GC profiles (Table 2), and the lifetime structure implied by the
+/// FULL/FIXED1/FIXED4 memory spreads. tests/workload_calibration_test.cpp
+/// enforces the calibration bands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_WORKLOAD_WORKLOAD_H
+#define DTB_WORKLOAD_WORKLOAD_H
+
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtb {
+namespace workload {
+
+/// How a lifetime class distributes object lifetimes.
+enum class LifetimeKind {
+  /// Exponential with mean ParamA bytes.
+  Exponential,
+  /// Uniform over [ParamA, ParamB] bytes.
+  Uniform,
+  /// The object lives to the end of the program.
+  Immortal,
+};
+
+/// One component of a phase's lifetime mixture.
+struct LifetimeClass {
+  /// Relative byte weight within the phase (need not sum to 1).
+  double Weight = 0.0;
+  LifetimeKind Kind = LifetimeKind::Exponential;
+  /// Exponential mean, or uniform lower bound (bytes).
+  double ParamA = 0.0;
+  /// Uniform upper bound (bytes); unused otherwise.
+  double ParamB = 0.0;
+};
+
+/// A contiguous region of the program's allocation with its own mixture.
+struct Phase {
+  /// Fraction of the program's total allocation in this phase.
+  double AllocFraction = 0.0;
+  std::vector<LifetimeClass> Classes;
+};
+
+/// Object-size distribution: lognormal, clamped.
+struct SizeModel {
+  /// Mean of log(size).
+  double LogMean = 3.9; // exp(3.9) ~ 49 bytes.
+  double LogSigma = 0.8;
+  uint32_t MinSize = 16;
+  uint32_t MaxSize = 4096;
+};
+
+/// A complete synthetic program description.
+struct WorkloadSpec {
+  std::string Name;
+  /// Presentation name matching the paper's tables ("GHOST (1)", ...).
+  std::string DisplayName;
+  /// Target total allocation; the generator stops at the first object that
+  /// reaches it, so actual totals overshoot by at most one object.
+  uint64_t TotalAllocationBytes = 0;
+  /// Mutator execution seconds at the paper's 10 MIPS (derived from the
+  /// paper's published overhead ratios); used for Table 4.
+  double ProgramSeconds = 0.0;
+  SizeModel Sizes;
+  std::vector<Phase> Phases;
+  uint64_t Seed = 1;
+};
+
+/// Generates the allocation trace for \p Spec. Deterministic in the spec
+/// (including its seed).
+trace::Trace generateTrace(const WorkloadSpec &Spec);
+
+/// The six calibrated workloads of the paper's evaluation, in table order:
+/// GHOST(1), GHOST(2), ESPRESSO(1), ESPRESSO(2), SIS, CFRAC.
+const std::vector<WorkloadSpec> &paperWorkloads();
+
+/// Finds a paper workload by name ("ghost1", "ghost2", "espresso1",
+/// "espresso2", "sis", "cfrac"); returns nullptr if unknown.
+const WorkloadSpec *findWorkload(const std::string &Name);
+
+/// A small generic steady-state workload for tests and examples: \p Total
+/// bytes, mostly short-lived objects plus a medium class and an immortal
+/// trickle.
+WorkloadSpec makeSteadyStateSpec(uint64_t TotalBytes, uint64_t Seed);
+
+} // namespace workload
+} // namespace dtb
+
+#endif // DTB_WORKLOAD_WORKLOAD_H

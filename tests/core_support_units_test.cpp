@@ -1,0 +1,91 @@
+//===- tests/core_support_units_test.cpp ----------------------------------==//
+//
+// Coverage for the small leaf modules: the machine model's conversions
+// (the paper's 10 MIPS / 500 KB-per-sec constants), scavenge history
+// bookkeeping, and the unit formatting helpers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MachineModel.h"
+#include "core/ScavengeHistory.h"
+#include "support/Units.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::core;
+
+TEST(MachineModelTest, PaperConstants) {
+  MachineModel M;
+  // "The maximum pause-time was set to 100 milliseconds (50 thousand
+  // bytes traced)."
+  EXPECT_EQ(M.tracedBytesForPauseMillis(100.0), 50'000u);
+  EXPECT_DOUBLE_EQ(M.pauseMillisForTracedBytes(50'000), 100.0);
+  // Tracing a megabyte takes two seconds at 500 KB/s.
+  EXPECT_DOUBLE_EQ(M.secondsForTracedBytes(1'000'000), 2.0);
+}
+
+TEST(MachineModelTest, RoundTripConversions) {
+  MachineModel M;
+  for (uint64_t Bytes : {0ull, 500ull, 123'456ull, 10'000'000ull}) {
+    double Ms = M.pauseMillisForTracedBytes(Bytes);
+    EXPECT_EQ(M.tracedBytesForPauseMillis(Ms), Bytes);
+  }
+}
+
+TEST(MachineModelTest, OverheadPercent) {
+  MachineModel M;
+  // 40153 KB traced over a 45-second program: the paper's GHOST(1) FULL
+  // row computes to ~178.5%.
+  EXPECT_NEAR(M.cpuOverheadPercent(40'153'000, 45.0), 178.5, 0.1);
+  EXPECT_DOUBLE_EQ(M.cpuOverheadPercent(1'000'000, 0.0), 0.0);
+}
+
+TEST(MachineModelTest, CustomRates) {
+  MachineModel M;
+  M.TraceBytesPerSecond = 1.0e6;
+  EXPECT_DOUBLE_EQ(M.pauseMillisForTracedBytes(1'000'000), 1000.0);
+}
+
+TEST(ScavengeHistoryTest, AppendAndQuery) {
+  ScavengeHistory H;
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.timeOf(0), 0u);
+  EXPECT_EQ(H.timeOf(-5), 0u);
+
+  ScavengeRecord R1;
+  R1.Index = 1;
+  R1.Time = 1'000;
+  H.append(R1);
+  ScavengeRecord R2;
+  R2.Index = 2;
+  R2.Time = 2'000;
+  H.append(R2);
+
+  EXPECT_EQ(H.size(), 2u);
+  EXPECT_EQ(H.timeOf(1), 1'000u);
+  EXPECT_EQ(H.timeOf(2), 2'000u);
+  EXPECT_EQ(H.record(1).Time, 1'000u);
+  EXPECT_EQ(H.last().Time, 2'000u);
+
+  H.clear();
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(UnitsTest, BytesToKB) {
+  EXPECT_DOUBLE_EQ(bytesToKB(static_cast<uint64_t>(1'500)), 1.5);
+  EXPECT_DOUBLE_EQ(bytesToKB(2'000.0), 2.0);
+  EXPECT_EQ(KB, 1'000u);
+  EXPECT_EQ(MB, 1'000'000u);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(formatBytes(999), "999 B");
+  EXPECT_EQ(formatBytes(1'500), "1.5 KB");
+  EXPECT_EQ(formatBytes(2'500'000), "2.50 MB");
+}
+
+TEST(UnitsTest, FormatMilliseconds) {
+  EXPECT_EQ(formatMilliseconds(12.34), "12.3 ms");
+  EXPECT_EQ(formatMilliseconds(1'500.0), "1.50 s");
+}

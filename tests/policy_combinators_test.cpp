@@ -1,0 +1,168 @@
+//===- tests/policy_combinators_test.cpp ----------------------------------==//
+//
+// Tests for the policy combinators: dual-constraint composition
+// (oldest/youngest boundary) and age quantization, both as unit tests on
+// scripted requests and end-to-end on the simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Combinators.h"
+
+#include "core/Policies.h"
+#include "sim/Simulator.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::core;
+
+namespace {
+
+/// A policy that always returns a fixed boundary (test double).
+class ConstantPolicy final : public BoundaryPolicy {
+public:
+  explicit ConstantPolicy(AllocClock Boundary) : Boundary(Boundary) {}
+  std::string name() const override { return "const"; }
+  AllocClock chooseBoundary(const BoundaryRequest &) override {
+    return Boundary;
+  }
+
+private:
+  AllocClock Boundary;
+};
+
+std::unique_ptr<BoundaryPolicy> constant(AllocClock Boundary) {
+  return std::make_unique<ConstantPolicy>(Boundary);
+}
+
+BoundaryRequest trivialRequest(const ScavengeHistory &History) {
+  BoundaryRequest Request;
+  Request.Index = History.size() + 1;
+  Request.Now = 10'000'000;
+  Request.MemBytes = 1;
+  Request.History = &History;
+  return Request;
+}
+
+} // namespace
+
+TEST(CombinatorTest, OldestPicksMinimum) {
+  ScavengeHistory History;
+  OldestBoundaryPolicy P(constant(300), constant(700));
+  EXPECT_EQ(P.chooseBoundary(trivialRequest(History)), 300u);
+  EXPECT_EQ(P.name(), "oldest(const,const)");
+}
+
+TEST(CombinatorTest, YoungestPicksMaximum) {
+  ScavengeHistory History;
+  YoungestBoundaryPolicy P(constant(300), constant(700));
+  EXPECT_EQ(P.chooseBoundary(trivialRequest(History)), 700u);
+  EXPECT_EQ(P.name(), "youngest(const,const)");
+}
+
+TEST(CombinatorTest, QuantizedSnapsDown) {
+  ScavengeHistory History;
+  QuantizedBoundaryPolicy P(constant(10'500), 4'000);
+  EXPECT_EQ(P.chooseBoundary(trivialRequest(History)), 8'000u);
+  EXPECT_EQ(P.quantumBytes(), 4'000u);
+}
+
+TEST(CombinatorTest, QuantizedExactMultipleUnchanged) {
+  ScavengeHistory History;
+  QuantizedBoundaryPolicy P(constant(8'000), 4'000);
+  EXPECT_EQ(P.chooseBoundary(trivialRequest(History)), 8'000u);
+}
+
+TEST(CombinatorTest, QuantizedZeroBoundaryStaysZero) {
+  ScavengeHistory History;
+  QuantizedBoundaryPolicy P(constant(0), 4'000);
+  EXPECT_EQ(P.chooseBoundary(trivialRequest(History)), 0u);
+}
+
+namespace {
+
+sim::SimulatorConfig comboConfig() {
+  sim::SimulatorConfig Config;
+  Config.TriggerBytes = 50'000;
+  Config.ProgramSeconds = 1.0;
+  return Config;
+}
+
+trace::Trace comboTrace() {
+  return workload::generateTrace(
+      workload::makeSteadyStateSpec(2'000'000, 99));
+}
+
+} // namespace
+
+TEST(CombinatorSimTest, OldestCompositionSatisfiesMemoryConstraint) {
+  trace::Trace T = comboTrace();
+
+  // Memory-first composition: DTBMEM's boundary wins whenever it is
+  // older. The memory budget must hold as well as DTBMEM alone holds it.
+  const uint64_t MemMax = 180'000;
+  core::DtbMemoryPolicy MemAlone(MemMax);
+  sim::SimulationResult RAlone = sim::simulate(T, MemAlone, comboConfig());
+
+  OldestBoundaryPolicy Combined(
+      std::make_unique<DtbMemoryPolicy>(MemMax),
+      std::make_unique<DtbPausePolicy>(20'000));
+  sim::SimulationResult RCombined =
+      sim::simulate(T, Combined, comboConfig());
+
+  EXPECT_LE(RCombined.MemMaxBytes, RAlone.MemMaxBytes);
+  // And it traces at least as much (older boundaries trace more).
+  EXPECT_GE(RCombined.TotalTracedBytes, RAlone.TotalTracedBytes);
+}
+
+TEST(CombinatorSimTest, YoungestCompositionBoundsTracing) {
+  trace::Trace T = comboTrace();
+
+  // Pause-first composition: the boundary is never older than DTBFM's,
+  // so per-scavenge tracing never exceeds what DTBFM alone would do at
+  // the same scavenge.
+  const uint64_t TraceMax = 20'000;
+  core::DtbPausePolicy PauseAlone(TraceMax);
+  sim::SimulationResult RAlone =
+      sim::simulate(T, PauseAlone, comboConfig());
+
+  YoungestBoundaryPolicy Combined(
+      std::make_unique<DtbPausePolicy>(TraceMax),
+      std::make_unique<DtbMemoryPolicy>(120'000));
+  sim::SimulationResult RCombined =
+      sim::simulate(T, Combined, comboConfig());
+
+  ASSERT_EQ(RCombined.NumScavenges, RAlone.NumScavenges);
+  EXPECT_LE(RCombined.TotalTracedBytes,
+            RAlone.TotalTracedBytes + RAlone.TotalTracedBytes / 10);
+}
+
+TEST(CombinatorSimTest, QuantizationIsSafeAndCoarse) {
+  trace::Trace T = comboTrace();
+  for (uint64_t Quantum : {1'000ull, 10'000ull, 100'000ull}) {
+    QuantizedBoundaryPolicy Policy(
+        std::make_unique<DtbPausePolicy>(20'000), Quantum);
+    sim::SimulationResult R = sim::simulate(T, Policy, comboConfig());
+    // Boundaries are multiples of the quantum and within range.
+    for (const ScavengeRecord &Rec : R.History.records()) {
+      EXPECT_EQ(Rec.Boundary % Quantum, 0u);
+      EXPECT_LE(Rec.Boundary, Rec.Time);
+      EXPECT_EQ(Rec.MemBeforeBytes, Rec.SurvivedBytes + Rec.ReclaimedBytes);
+    }
+  }
+}
+
+TEST(CombinatorSimTest, CoarserQuantaTraceMore) {
+  trace::Trace T = comboTrace();
+  // Snapping down only adds to the threatened set, so total tracing is
+  // monotone in the quantum (with identical scavenge times).
+  QuantizedBoundaryPolicy Fine(std::make_unique<FixedAgePolicy>(1),
+                               1'000);
+  QuantizedBoundaryPolicy Coarse(std::make_unique<FixedAgePolicy>(1),
+                                 200'000);
+  sim::SimulationResult RFine = sim::simulate(T, Fine, comboConfig());
+  sim::SimulationResult RCoarse = sim::simulate(T, Coarse, comboConfig());
+  ASSERT_EQ(RFine.NumScavenges, RCoarse.NumScavenges);
+  EXPECT_GE(RCoarse.TotalTracedBytes, RFine.TotalTracedBytes);
+}

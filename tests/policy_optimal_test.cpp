@@ -1,0 +1,224 @@
+//===- tests/policy_optimal_test.cpp --------------------------------------==//
+//
+// Tests for the clairvoyant regret-baseline policies: unit behaviour on
+// scripted demographics and dominance properties against the paper's
+// feedback policies on the simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OptimalPolicies.h"
+
+#include "core/Policies.h"
+#include "sim/Simulator.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::core;
+
+namespace {
+
+/// Demographics with linear live/resident profiles: live born after B is
+/// LiveTotal * (Now - B) / Now (and similarly for resident), a smooth
+/// stand-in good enough to pin the binary searches.
+class LinearDemographics final : public Demographics {
+public:
+  LinearDemographics(AllocClock Now, uint64_t LiveTotal,
+                     uint64_t ResidentTotal)
+      : Now(Now), LiveTotal(LiveTotal), ResidentTotal(ResidentTotal) {}
+
+  uint64_t liveBytesBornAfter(AllocClock Boundary) const override {
+    if (Boundary >= Now)
+      return 0;
+    return LiveTotal * (Now - Boundary) / Now;
+  }
+  uint64_t residentBytesBornAfter(AllocClock Boundary) const override {
+    if (Boundary >= Now)
+      return 0;
+    return ResidentTotal * (Now - Boundary) / Now;
+  }
+
+private:
+  AllocClock Now;
+  uint64_t LiveTotal;
+  uint64_t ResidentTotal;
+};
+
+BoundaryRequest makeRequest(const ScavengeHistory &History, AllocClock Now,
+                            uint64_t MemBytes, const Demographics &Demo) {
+  BoundaryRequest Request;
+  Request.Index = History.size() + 1;
+  Request.Now = Now;
+  Request.MemBytes = MemBytes;
+  Request.History = &History;
+  Request.Demo = &Demo;
+  return Request;
+}
+
+void addScavenge(ScavengeHistory &History, AllocClock Time) {
+  ScavengeRecord R;
+  R.Index = History.size() + 1;
+  R.Time = Time;
+  History.append(R);
+}
+
+} // namespace
+
+TEST(OptimalPauseTest, FirstScavengeIsFull) {
+  OptimalPausePolicy P(50'000);
+  ScavengeHistory History;
+  LinearDemographics Demo(1'000'000, 500'000, 700'000);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 1'000'000, 0, Demo)), 0u);
+}
+
+TEST(OptimalPauseTest, FullWhenBudgetAllows) {
+  OptimalPausePolicy P(600'000); // More than all live bytes.
+  ScavengeHistory History;
+  addScavenge(History, 1'000'000);
+  LinearDemographics Demo(2'000'000, 500'000, 700'000);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 2'000'000, 0, Demo)), 0u);
+}
+
+TEST(OptimalPauseTest, FindsExactThresholdBoundary) {
+  // Live born after B = 500,000 * (2M - B) / 2M; budget 125,000 is met
+  // exactly at B = 1,500,000.
+  OptimalPausePolicy P(125'000);
+  ScavengeHistory History;
+  addScavenge(History, 1'600'000);
+  LinearDemographics Demo(2'000'000, 500'000, 700'000);
+  AllocClock B = P.chooseBoundary(makeRequest(History, 2'000'000, 0, Demo));
+  EXPECT_NEAR(static_cast<double>(B), 1'500'000.0, 8.0);
+  // And the predicted trace at the chosen boundary fits.
+  EXPECT_LE(Demo.liveBytesBornAfter(B), 125'000u);
+}
+
+TEST(OptimalPauseTest, ClampsToNewestIntervalWhenOverConstrained) {
+  OptimalPausePolicy P(1'000); // Impossible.
+  ScavengeHistory History;
+  addScavenge(History, 1'900'000);
+  LinearDemographics Demo(2'000'000, 500'000, 700'000);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 2'000'000, 0, Demo)),
+            1'900'000u);
+}
+
+TEST(OptimalMemoryTest, LaziestBoundaryWhenBudgetSlack) {
+  OptimalMemoryPolicy P(10'000'000); // Huge budget.
+  ScavengeHistory History;
+  addScavenge(History, 1'500'000);
+  LinearDemographics Demo(2'000'000, 500'000, 700'000);
+  EXPECT_EQ(P.chooseBoundary(
+                makeRequest(History, 2'000'000, 700'000, Demo)),
+            1'500'000u);
+}
+
+TEST(OptimalMemoryTest, FullWhenOverConstrained) {
+  OptimalMemoryPolicy P(100'000); // Below even the live bytes.
+  ScavengeHistory History;
+  addScavenge(History, 1'500'000);
+  LinearDemographics Demo(2'000'000, 500'000, 700'000);
+  EXPECT_EQ(P.chooseBoundary(
+                makeRequest(History, 2'000'000, 700'000, Demo)),
+            0u);
+}
+
+TEST(OptimalMemoryTest, FindsYoungestFittingBoundary) {
+  // Garbage born after B = 200,000 * (2M - B) / 2M. Mem_n = 700,000;
+  // budget 650,000 requires garbage >= 50,000 => B <= 1,500,000.
+  OptimalMemoryPolicy P(650'000);
+  ScavengeHistory History;
+  addScavenge(History, 1'900'000);
+  LinearDemographics Demo(2'000'000, 500'000, 700'000);
+  AllocClock B = P.chooseBoundary(
+      makeRequest(History, 2'000'000, 700'000, Demo));
+  EXPECT_NEAR(static_cast<double>(B), 1'500'000.0, 8.0);
+}
+
+TEST(OptimalFactoryTest, CreatableByName) {
+  PolicyConfig Config;
+  EXPECT_NE(createPolicy("opt-pause", Config), nullptr);
+  EXPECT_NE(createPolicy("opt-mem", Config), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Dominance on the simulator (oracle demographics)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+trace::Trace dominanceTrace(uint64_t Seed) {
+  return workload::generateTrace(
+      workload::makeSteadyStateSpec(2'000'000, Seed));
+}
+
+sim::SimulatorConfig dominanceConfig() {
+  sim::SimulatorConfig Config;
+  Config.TriggerBytes = 50'000;
+  Config.ProgramSeconds = 1.0;
+  return Config;
+}
+
+} // namespace
+
+TEST(OptimalDominanceTest, OptPauseNeverExceedsBudgetUnlessImpossible) {
+  trace::Trace T = dominanceTrace(31);
+  const uint64_t Budget = 20'000;
+  OptimalPausePolicy Policy(Budget);
+  sim::SimulationResult R = sim::simulate(T, Policy, dominanceConfig());
+  // The oracle search makes every pause except the first (full) scavenge
+  // fit the budget exactly — unless even the newest interval exceeds it.
+  const auto &Records = R.History.records();
+  for (size_t I = 1; I < Records.size(); ++I) {
+    if (Records[I].Boundary == Records[I - 1].Time)
+      continue; // Best-effort clamp: budget impossible at this scavenge.
+    EXPECT_LE(Records[I].TracedBytes, Budget) << I;
+  }
+}
+
+TEST(OptimalDominanceTest, OptPauseUsesNoMoreMemoryThanDtbFm) {
+  trace::Trace T = dominanceTrace(32);
+  const uint64_t Budget = 20'000;
+  OptimalPausePolicy Opt(Budget);
+  DtbPausePolicy DtbFm(Budget);
+  sim::SimulationResult ROpt = sim::simulate(T, Opt, dominanceConfig());
+  sim::SimulationResult RFm = sim::simulate(T, DtbFm, dominanceConfig());
+  // The clairvoyant baseline reclaims at least as aggressively.
+  EXPECT_LE(ROpt.MemMeanBytes, RFm.MemMeanBytes * 1.01);
+}
+
+TEST(OptimalDominanceTest, OptMemCloseToDtbMemWhenFeasible) {
+  trace::Trace T = dominanceTrace(33);
+  core::FullPolicy Full;
+  sim::SimulationResult RFull = sim::simulate(T, Full, dominanceConfig());
+  uint64_t Budget = RFull.MemMaxBytes + 50'000; // Comfortably feasible.
+
+  OptimalMemoryPolicy Opt(Budget);
+  DtbMemoryPolicy DtbMem(Budget);
+  sim::SimulationResult ROpt = sim::simulate(T, Opt, dominanceConfig());
+  sim::SimulationResult RMem = sim::simulate(T, DtbMem, dominanceConfig());
+  // The policy bounds post-scavenge residency by the budget; the observed
+  // maximum adds at most one trigger interval of fresh allocation (plus
+  // the final object that crossed the trigger point).
+  EXPECT_LE(ROpt.MemMaxBytes, Budget + 50'000 + 4'096);
+  // Greedy-per-scavenge is not globally trace-minimal, so the clairvoyant
+  // baseline and DTBMEM's estimate-driven heuristic land close to each
+  // other (the regret the ablation bench quantifies), not in a strict
+  // order.
+  EXPECT_NEAR(static_cast<double>(ROpt.TotalTracedBytes),
+              static_cast<double>(RMem.TotalTracedBytes),
+              static_cast<double>(RMem.TotalTracedBytes) * 0.10);
+}
+
+TEST(OptimalDominanceTest, OptMemHoldsTheBudgetExactly) {
+  trace::Trace T = dominanceTrace(34);
+  core::FullPolicy Full;
+  sim::SimulationResult RFull = sim::simulate(T, Full, dominanceConfig());
+  // A feasible but tight budget: a bit above FULL's peak.
+  uint64_t Budget = RFull.MemMaxBytes + 20'000;
+  OptimalMemoryPolicy Opt(Budget);
+  sim::SimulationResult R = sim::simulate(T, Opt, dominanceConfig());
+  // The oracle holds residency-after within budget at every scavenge; the
+  // observed max can exceed it only by the between-scavenge allocation.
+  for (const core::ScavengeRecord &Rec : R.History.records())
+    EXPECT_LE(Rec.SurvivedBytes, Budget) << Rec.Index;
+}

@@ -1,0 +1,374 @@
+//===- tests/policy_test.cpp ----------------------------------------------==//
+//
+// Unit tests for every threatening-boundary policy of the paper's Table 1,
+// on hand-built scavenge histories with scripted demographics. Each test
+// pins down one clause of the published formulas, including the clamps and
+// first-collection behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Policies.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace dtb;
+using namespace dtb::core;
+
+namespace {
+
+/// Demographics answering from a scripted table: liveBytesBornAfter(B) is
+/// the value of the largest scripted key <= B (steps down as B grows).
+class ScriptedDemographics final : public Demographics {
+public:
+  ScriptedDemographics(
+      std::initializer_list<std::pair<const AllocClock, uint64_t>> Entries)
+      : Table(Entries) {}
+
+  uint64_t liveBytesBornAfter(AllocClock Boundary) const override {
+    auto It = Table.upper_bound(Boundary);
+    if (It == Table.begin())
+      return Table.empty() ? 0 : Table.begin()->second;
+    return std::prev(It)->second;
+  }
+
+private:
+  std::map<AllocClock, uint64_t> Table;
+};
+
+/// Builds a request for scavenge n at time Now over the given history.
+BoundaryRequest makeRequest(const ScavengeHistory &History, AllocClock Now,
+                            uint64_t MemBytes, const Demographics &Demo) {
+  BoundaryRequest Request;
+  Request.Index = History.size() + 1;
+  Request.Now = Now;
+  Request.MemBytes = MemBytes;
+  Request.History = &History;
+  Request.Demo = &Demo;
+  return Request;
+}
+
+/// Appends a scavenge record with the fields the policies read.
+void addScavenge(ScavengeHistory &History, AllocClock Time,
+                 AllocClock Boundary, uint64_t Traced, uint64_t Survived,
+                 uint64_t MemBefore) {
+  ScavengeRecord R;
+  R.Index = History.size() + 1;
+  R.Time = Time;
+  R.Boundary = Boundary;
+  R.TracedBytes = Traced;
+  R.SurvivedBytes = Survived;
+  R.MemBeforeBytes = MemBefore;
+  R.ReclaimedBytes = MemBefore - Survived;
+  History.append(R);
+}
+
+const ScriptedDemographics EmptyDemo({{0, 0}});
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FULL
+//===----------------------------------------------------------------------===//
+
+TEST(FullPolicyTest, AlwaysZero) {
+  FullPolicy P;
+  ScavengeHistory History;
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 1'000'000, 500, EmptyDemo)),
+            0u);
+  addScavenge(History, 1'000'000, 0, 100, 100, 200);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 2'000'000, 500, EmptyDemo)),
+            0u);
+  EXPECT_EQ(P.name(), "full");
+}
+
+//===----------------------------------------------------------------------===//
+// FIXEDk
+//===----------------------------------------------------------------------===//
+
+TEST(FixedAgePolicyTest, Fixed1TracksPreviousScavengeTime) {
+  FixedAgePolicy P(1);
+  ScavengeHistory History;
+  // First scavenge: t_0 = 0 -> full collection.
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 1'000'000, 0, EmptyDemo)),
+            0u);
+  addScavenge(History, 1'000'000, 0, 0, 0, 0);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 2'000'000, 0, EmptyDemo)),
+            1'000'000u);
+  addScavenge(History, 2'000'000, 1'000'000, 0, 0, 0);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 3'000'000, 0, EmptyDemo)),
+            2'000'000u);
+  EXPECT_EQ(P.name(), "fixed1");
+}
+
+TEST(FixedAgePolicyTest, Fixed4FullUntilFourScavenges) {
+  FixedAgePolicy P(4);
+  ScavengeHistory History;
+  for (int N = 1; N <= 4; ++N) {
+    AllocClock Now = static_cast<AllocClock>(N) * 1'000'000;
+    // n - 4 <= 0 until the 5th scavenge: boundary 0.
+    EXPECT_EQ(P.chooseBoundary(makeRequest(History, Now, 0, EmptyDemo)), 0u)
+        << "scavenge " << N;
+    addScavenge(History, Now, 0, 0, 0, 0);
+  }
+  // Fifth scavenge: TB = t_1.
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 5'000'000, 0, EmptyDemo)),
+            1'000'000u);
+  EXPECT_EQ(P.name(), "fixed4");
+}
+
+//===----------------------------------------------------------------------===//
+// FEEDMED
+//===----------------------------------------------------------------------===//
+
+TEST(FeedbackMediationTest, FirstScavengeIsFull) {
+  FeedbackMediationPolicy P(50'000);
+  ScavengeHistory History;
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 1'000'000, 0, EmptyDemo)),
+            0u);
+}
+
+TEST(FeedbackMediationTest, KeepsBoundaryWhenWithinBudget) {
+  FeedbackMediationPolicy P(50'000);
+  ScavengeHistory History;
+  addScavenge(History, 1'000'000, 0, /*Traced=*/40'000, 100, 200);
+  addScavenge(History, 2'000'000, /*Boundary=*/700'000, /*Traced=*/30'000,
+              100, 200);
+  // Last trace (30 KB) <= budget: boundary stays at 700,000.
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 3'000'000, 0, EmptyDemo)),
+            700'000u);
+}
+
+TEST(FeedbackMediationTest, AdvancesToLeastFittingCandidateWhenOver) {
+  FeedbackMediationPolicy P(50'000);
+  ScavengeHistory History;
+  addScavenge(History, 1'000'000, 0, 40'000, 100, 200);
+  addScavenge(History, 2'000'000, 0, 40'000, 100, 200);
+  addScavenge(History, 3'000'000, /*Boundary=*/1'000'000,
+              /*Traced=*/80'000, 100, 200);
+
+  // Over budget. Candidates (>= previous boundary 1,000,000): t_1, t_2,
+  // t_3. Predicted traces: after t_1 -> 80K (too big), after t_2 -> 45K
+  // (fits). The least fitting candidate is t_2.
+  ScriptedDemographics Demo(
+      {{0, 120'000}, {1'000'000, 80'000}, {2'000'000, 45'000},
+       {3'000'000, 10'000}});
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 4'000'000, 0, Demo)),
+            2'000'000u);
+}
+
+TEST(FeedbackMediationTest, NeverMovesBoundaryBackward) {
+  FeedbackMediationPolicy P(50'000);
+  ScavengeHistory History;
+  addScavenge(History, 1'000'000, 0, 40'000, 100, 200);
+  addScavenge(History, 2'000'000, /*Boundary=*/1'500'000,
+              /*Traced=*/80'000, 100, 200);
+  // t_1 = 1,000,000 would fit, but it is before the previous boundary
+  // (1,500,000), so it is not a candidate; t_2 = 2,000,000 is chosen.
+  ScriptedDemographics Demo({{0, 80'000}, {1'000'000, 10'000}});
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 3'000'000, 0, Demo)),
+            2'000'000u);
+}
+
+TEST(FeedbackMediationTest, FallsBackToNewestIntervalWhenNothingFits) {
+  FeedbackMediationPolicy P(50'000);
+  ScavengeHistory History;
+  addScavenge(History, 1'000'000, 0, 40'000, 100, 200);
+  addScavenge(History, 2'000'000, 0, 80'000, 100, 200);
+  // Even the newest candidate t_2 predicts 70K > 50K: fall back to t_2
+  // (trace the newest interval only).
+  ScriptedDemographics Demo({{0, 90'000}});
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 3'000'000, 0, Demo)),
+            2'000'000u);
+}
+
+TEST(FeedbackMediationTest, CandidateZeroAllowsReturnToFull) {
+  FeedbackMediationPolicy P(50'000);
+  ScavengeHistory History;
+  addScavenge(History, 1'000'000, 0, 80'000, 100, 200);
+  // Previous boundary 0; if even a full collection fits the budget, t_0=0
+  // is the least candidate.
+  ScriptedDemographics Demo({{0, 30'000}});
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 2'000'000, 0, Demo)), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// DTBFM
+//===----------------------------------------------------------------------===//
+
+TEST(DtbPauseTest, FirstScavengeIsFull) {
+  DtbPausePolicy P(50'000);
+  ScavengeHistory History;
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 1'000'000, 0, EmptyDemo)),
+            0u);
+  EXPECT_EQ(P.name(), "dtbfm");
+}
+
+TEST(DtbPauseTest, WidensWindowProportionallyWhenUnderBudget) {
+  DtbPausePolicy P(50'000);
+  ScavengeHistory History;
+  // Previous: t_1 = 2,000,000, TB_1 = 1,000,000, traced 25,000 (half the
+  // budget). Window doubles: TB_2 = t_2 - (t_1 - TB_1) * 50/25
+  //                               = 3,000,000 - 2,000,000 = 1,000,000.
+  addScavenge(History, 2'000'000, 1'000'000, 25'000, 100, 200);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 3'000'000, 0, EmptyDemo)),
+            1'000'000u);
+}
+
+TEST(DtbPauseTest, WindowClampedToPreviousScavengeTime) {
+  DtbPausePolicy P(50'000);
+  ScavengeHistory History;
+  // Tiny previous window and a trace just under budget would place the
+  // boundary after t_1; it must clamp to t_1 so new objects are traced at
+  // least once.
+  addScavenge(History, 2'000'000, 1'990'000, 49'000, 100, 200);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 3'000'000, 0, EmptyDemo)),
+            2'000'000u);
+}
+
+TEST(DtbPauseTest, LargeRatioClampsToFullCollection) {
+  DtbPausePolicy P(50'000);
+  ScavengeHistory History;
+  // Traced only 1 byte within a 1,000,000-byte window: the widened window
+  // exceeds t_n entirely -> full collection.
+  addScavenge(History, 2'000'000, 1'000'000, 1, 100, 200);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 3'000'000, 0, EmptyDemo)),
+            0u);
+}
+
+TEST(DtbPauseTest, ZeroTraceFallsBackToFull) {
+  DtbPausePolicy P(50'000);
+  ScavengeHistory History;
+  addScavenge(History, 2'000'000, 1'000'000, 0, 100, 200);
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 3'000'000, 0, EmptyDemo)),
+            0u);
+}
+
+TEST(DtbPauseTest, UsesFeedbackMediationWhenOverBudget) {
+  DtbPausePolicy P(50'000);
+  ScavengeHistory History;
+  addScavenge(History, 1'000'000, 0, 40'000, 100, 200);
+  addScavenge(History, 2'000'000, /*Boundary=*/1'000'000,
+              /*Traced=*/80'000, 100, 200);
+  ScriptedDemographics Demo(
+      {{0, 90'000}, {1'000'000, 60'000}, {2'000'000, 20'000}});
+  // Over budget -> FEEDMED search: t_2 is the least candidate that fits.
+  EXPECT_EQ(P.chooseBoundary(makeRequest(History, 3'000'000, 0, Demo)),
+            2'000'000u);
+}
+
+//===----------------------------------------------------------------------===//
+// DTBMEM
+//===----------------------------------------------------------------------===//
+
+TEST(DtbMemoryTest, FirstScavengeIsFull) {
+  DtbMemoryPolicy P(3'000'000);
+  ScavengeHistory History;
+  EXPECT_EQ(
+      P.chooseBoundary(makeRequest(History, 1'000'000, 500'000, EmptyDemo)),
+      0u);
+  EXPECT_EQ(P.name(), "dtbmem");
+}
+
+TEST(DtbMemoryTest, FormulaHandComputed) {
+  DtbMemoryPolicy P(3'000'000);
+  ScavengeHistory History;
+  // Previous: S_1 = 1,200,000, Trace_1 = 800,000 -> L_est = 1,000,000.
+  // Headroom = 3,000,000 - 1,000,000 = 2,000,000. Mem_2 = 4,000,000,
+  // t_2 = 8,000,000: TB = 8,000,000 * 2/4 = 4,000,000, clamped to
+  // t_1 = 5,000,000 -> stays 4,000,000.
+  addScavenge(History, 5'000'000, 0, /*Traced=*/800'000,
+              /*Survived=*/1'200'000, /*MemBefore=*/2'000'000);
+  EXPECT_EQ(P.chooseBoundary(
+                makeRequest(History, 8'000'000, 4'000'000, EmptyDemo)),
+            4'000'000u);
+}
+
+TEST(DtbMemoryTest, ClampsToPreviousScavengeTime) {
+  DtbMemoryPolicy P(100'000'000); // Enormous budget.
+  ScavengeHistory History;
+  addScavenge(History, 5'000'000, 0, 500'000, 500'000, 1'000'000);
+  // Unclamped formula would land far beyond t_1; every object must still
+  // be traced once, so TB = t_1.
+  EXPECT_EQ(P.chooseBoundary(
+                makeRequest(History, 8'000'000, 1'000'000, EmptyDemo)),
+            5'000'000u);
+}
+
+TEST(DtbMemoryTest, OverConstraintDegradesToFull) {
+  DtbMemoryPolicy P(1'000'000);
+  ScavengeHistory History;
+  // L_est = 2,000,000 > budget: headroom negative -> full collection
+  // (the paper's SIS behaviour).
+  addScavenge(History, 5'000'000, 0, 2'000'000, 2'000'000, 3'000'000);
+  EXPECT_EQ(P.chooseBoundary(
+                makeRequest(History, 8'000'000, 3'000'000, EmptyDemo)),
+            0u);
+}
+
+TEST(DtbMemoryTest, EstimatorVariants) {
+  ScavengeHistory History;
+  addScavenge(History, 5'000'000, 0, /*Traced=*/800'000,
+              /*Survived=*/1'200'000, 2'000'000);
+  BoundaryRequest Request =
+      makeRequest(History, 8'000'000, 4'000'000, EmptyDemo);
+
+  // Survived estimator: headroom 1.8M -> TB = 8M * 1.8/4 = 3.6M.
+  DtbMemoryPolicy Survived(3'000'000, LiveEstimateKind::Survived);
+  EXPECT_EQ(Survived.chooseBoundary(Request), 3'600'000u);
+  EXPECT_EQ(Survived.name(), "dtbmem-s");
+
+  // Traced estimator: headroom 2.2M -> TB = 8M * 2.2/4 = 4.4M.
+  DtbMemoryPolicy Traced(3'000'000, LiveEstimateKind::Traced);
+  EXPECT_EQ(Traced.chooseBoundary(Request), 4'400'000u);
+  EXPECT_EQ(Traced.name(), "dtbmem-t");
+
+  // Oracle estimator: live = 1.5M -> TB = 8M * 1.5/4 = 3M.
+  ScriptedDemographics Oracle({{0, 1'500'000}});
+  BoundaryRequest OracleRequest =
+      makeRequest(History, 8'000'000, 4'000'000, Oracle);
+  DtbMemoryPolicy WithOracle(3'000'000, LiveEstimateKind::Oracle);
+  EXPECT_EQ(WithOracle.chooseBoundary(OracleRequest), 3'000'000u);
+  EXPECT_EQ(WithOracle.name(), "dtbmem-oracle");
+}
+
+//===----------------------------------------------------------------------===//
+// Factory
+//===----------------------------------------------------------------------===//
+
+TEST(PolicyFactoryTest, CreatesAllPaperPolicies) {
+  PolicyConfig Config;
+  for (const std::string &Name : paperPolicyNames()) {
+    std::unique_ptr<BoundaryPolicy> P = createPolicy(Name, Config);
+    ASSERT_NE(P, nullptr) << Name;
+    EXPECT_EQ(P->name(), Name);
+  }
+}
+
+TEST(PolicyFactoryTest, ParsesFixedK) {
+  PolicyConfig Config;
+  std::unique_ptr<BoundaryPolicy> P = createPolicy("fixed7", Config);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->name(), "fixed7");
+}
+
+TEST(PolicyFactoryTest, RejectsUnknownNames) {
+  PolicyConfig Config;
+  EXPECT_EQ(createPolicy("bogus", Config), nullptr);
+  EXPECT_EQ(createPolicy("fixed0", Config), nullptr);
+  EXPECT_EQ(createPolicy("fixedx", Config), nullptr);
+  EXPECT_EQ(createPolicy("fixed", Config), nullptr);
+}
+
+TEST(PolicyFactoryTest, ConfigPlumbsThrough) {
+  PolicyConfig Config;
+  Config.TraceMaxBytes = 12'345;
+  Config.MemMaxBytes = 67'890;
+  auto FM = createPolicy("dtbfm", Config);
+  auto Mem = createPolicy("dtbmem", Config);
+  EXPECT_EQ(static_cast<DtbPausePolicy *>(FM.get())->traceMaxBytes(),
+            12'345u);
+  EXPECT_EQ(static_cast<DtbMemoryPolicy *>(Mem.get())->memMaxBytes(),
+            67'890u);
+}

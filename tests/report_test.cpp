@@ -1,0 +1,109 @@
+//===- tests/report_test.cpp ----------------------------------------------==//
+//
+// Tests for the experiment harness and the embedded paper reference data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Experiments.h"
+#include "report/PaperReference.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::report;
+
+namespace {
+
+/// A small grid (two tiny workloads, three policies) for fast testing.
+ExperimentGrid makeSmallGrid() {
+  std::vector<workload::WorkloadSpec> Workloads = {
+      workload::makeSteadyStateSpec(200'000, 1),
+      workload::makeSteadyStateSpec(300'000, 2)};
+  Workloads[1].Name = "steady2";
+  Workloads[1].DisplayName = "STEADY2";
+  ExperimentConfig Config;
+  Config.TriggerBytes = 20'000;
+  Config.TraceMaxBytes = 5'000;
+  Config.MemMaxBytes = 60'000;
+  return ExperimentGrid(std::move(Workloads),
+                        {"full", "fixed1", "dtbmem"}, Config);
+}
+
+} // namespace
+
+TEST(ExperimentGridTest, RunsAllCells) {
+  ExperimentGrid Grid = makeSmallGrid();
+  for (const std::string &Policy : Grid.policyNames())
+    for (const workload::WorkloadSpec &Spec : Grid.workloads()) {
+      const sim::SimulationResult &R = Grid.result(Policy, Spec.Name);
+      EXPECT_GT(R.NumScavenges, 0u) << Policy << "/" << Spec.Name;
+    }
+}
+
+TEST(ExperimentGridTest, BaselinesAvailable) {
+  ExperimentGrid Grid = makeSmallGrid();
+  const trace::TraceStats &B = Grid.baseline("steady");
+  EXPECT_GE(B.TotalAllocatedBytes, 200'000u);
+  EXPECT_GT(B.LiveMaxBytes, 0u);
+}
+
+TEST(ExperimentGridTest, TablesHaveExpectedShape) {
+  ExperimentGrid Grid = makeSmallGrid();
+  Table T2 = buildTable2(Grid);
+  // One column for the collector plus two per workload.
+  EXPECT_EQ(T2.numColumns(), 1u + 2u * Grid.workloads().size());
+  // Three policy rows plus No GC and Live.
+  EXPECT_EQ(T2.numRows(), Grid.policyNames().size() + 2);
+
+  Table T3 = buildTable3(Grid);
+  EXPECT_EQ(T3.numRows(), Grid.policyNames().size());
+  Table T4 = buildTable4(Grid);
+  EXPECT_EQ(T4.numRows(), Grid.policyNames().size());
+  Table T6 = buildTable6(Grid);
+  EXPECT_EQ(T6.numRows(), Grid.workloads().size());
+}
+
+TEST(PaperReferenceTest, AllPaperCellsPresent) {
+  for (const char *Policy :
+       {"full", "fixed1", "fixed4", "dtbmem", "feedmed", "dtbfm"})
+    for (const char *Workload : {"ghost1", "ghost2", "espresso1",
+                                 "espresso2", "sis", "cfrac"}) {
+      auto Cell = paperCell(Policy, Workload);
+      ASSERT_TRUE(Cell.has_value()) << Policy << "/" << Workload;
+      EXPECT_GT(Cell->MemMeanKB, 0.0);
+      EXPECT_GT(Cell->PauseMedianMs, 0.0);
+      EXPECT_GT(Cell->TracedKB, 0.0);
+    }
+}
+
+TEST(PaperReferenceTest, SpotCheckAgainstThePaper) {
+  // A few cells transcribed straight from the tables.
+  auto FullGhost1 = paperCell("full", "ghost1");
+  ASSERT_TRUE(FullGhost1.has_value());
+  EXPECT_DOUBLE_EQ(FullGhost1->MemMeanKB, 1262.0);
+  EXPECT_DOUBLE_EQ(FullGhost1->MemMaxKB, 2065.0);
+  EXPECT_DOUBLE_EQ(FullGhost1->PauseMedianMs, 1743.0);
+  EXPECT_DOUBLE_EQ(FullGhost1->OverheadPercent, 179.2);
+
+  auto DtbFmEspresso2 = paperCell("dtbfm", "espresso2");
+  ASSERT_TRUE(DtbFmEspresso2.has_value());
+  EXPECT_DOUBLE_EQ(DtbFmEspresso2->MemMeanKB, 695.0);
+  EXPECT_DOUBLE_EQ(DtbFmEspresso2->TracedKB, 8201.0);
+
+  auto Baseline = paperBaseline("sis");
+  ASSERT_TRUE(Baseline.has_value());
+  EXPECT_DOUBLE_EQ(Baseline->LiveMeanKB, 4197.0);
+  EXPECT_DOUBLE_EQ(Baseline->LiveMaxKB, 6423.0);
+}
+
+TEST(PaperReferenceTest, UnknownNamesRejected) {
+  EXPECT_FALSE(paperCell("nope", "ghost1").has_value());
+  EXPECT_FALSE(paperCell("full", "nope").has_value());
+  EXPECT_FALSE(paperBaseline("nope").has_value());
+}
+
+TEST(PaperReferenceTest, PaperTablesRender) {
+  EXPECT_EQ(paperTable2().numRows(), 8u); // 6 policies + No GC + Live.
+  EXPECT_EQ(paperTable3().numRows(), 6u);
+  EXPECT_EQ(paperTable4().numRows(), 6u);
+}

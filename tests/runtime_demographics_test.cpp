@@ -1,0 +1,132 @@
+//===- tests/runtime_demographics_test.cpp --------------------------------==//
+//
+// Tests for the survivor-table demographics (the runtime's stand-in for
+// the simulator's oracle): epoch bookkeeping, conservative estimates, and
+// integration with the heap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/EpochDemographics.h"
+
+#include "core/Policies.h"
+#include "runtime/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::runtime;
+
+TEST(EpochDemographicsTest, FreshTableCountsNewAllocationAsLive) {
+  EpochDemographics D;
+  D.setBytesSinceLastScavenge(500);
+  EXPECT_EQ(D.liveBytesBornAfter(0), 500u);
+  EXPECT_EQ(D.liveBytesBornAfter(100), 500u); // Open epoch counts wholly.
+}
+
+TEST(EpochDemographicsTest, SurvivorsAccumulateIntoEpochs) {
+  EpochDemographics D;
+  // Scavenge 1 at t=1000 over a full boundary.
+  D.beginScavenge(0);
+  D.recordSurvivor(/*Birth=*/300, 50);
+  D.recordSurvivor(/*Birth=*/900, 70);
+  D.endScavenge(1000);
+
+  // Epoch [0,1000) has 120 live bytes; nothing allocated since.
+  EXPECT_EQ(D.liveBytesBornAfter(0), 120u);
+  // Boundary at 1000: only the (empty) open epoch.
+  EXPECT_EQ(D.liveBytesBornAfter(1000), 0u);
+
+  D.setBytesSinceLastScavenge(40);
+  EXPECT_EQ(D.liveBytesBornAfter(1000), 40u);
+  EXPECT_EQ(D.liveBytesBornAfter(0), 160u);
+}
+
+TEST(EpochDemographicsTest, ThreatenedEpochsAreRefreshed) {
+  EpochDemographics D;
+  D.beginScavenge(0);
+  D.recordSurvivor(500, 100);
+  D.endScavenge(1000);
+  D.setBytesSinceLastScavenge(200);
+
+  // Scavenge 2 at t=2000 with boundary 1000: epoch [1000,2000) is
+  // re-measured; epoch [0,1000) keeps its stale estimate.
+  D.beginScavenge(1000);
+  D.recordSurvivor(1500, 30);
+  D.endScavenge(2000);
+
+  EXPECT_EQ(D.liveBytesBornAfter(1000), 30u);
+  EXPECT_EQ(D.liveBytesBornAfter(0), 130u);
+}
+
+TEST(EpochDemographicsTest, FullScavengeRefreshesEverything) {
+  EpochDemographics D;
+  D.beginScavenge(0);
+  D.recordSurvivor(500, 100);
+  D.endScavenge(1000);
+
+  D.beginScavenge(0); // Full: all epochs re-measured.
+  D.recordSurvivor(500, 60); // Some of the old bytes died.
+  D.endScavenge(2000);
+  EXPECT_EQ(D.liveBytesBornAfter(0), 60u);
+}
+
+TEST(EpochDemographicsTest, EpochOfMapsBirthsToIntervals) {
+  EpochDemographics D;
+  D.beginScavenge(0);
+  D.endScavenge(1000);
+  D.beginScavenge(0);
+  D.endScavenge(2000);
+  // Epochs: [0,1000), [1000,2000), [2000,...).
+  EXPECT_EQ(D.epochOf(500), 0u);
+  // A birth exactly at an epoch start belongs to the previous epoch (it
+  // was allocated before that scavenge ran).
+  EXPECT_EQ(D.epochOf(1000), 0u);
+  EXPECT_EQ(D.epochOf(1500), 1u);
+  EXPECT_EQ(D.epochOf(2500), 2u);
+}
+
+TEST(EpochDemographicsTest, HeapIntegrationTracksSurvivors) {
+  HeapConfig Config;
+  Config.TriggerBytes = 0;
+  Heap H(Config);
+  HandleScope Scope(H);
+  Object *&Keep = Scope.slot(H.allocate(0, 100));
+  H.allocate(0, 100); // Garbage.
+
+  H.collectAtBoundary(0);
+  // After the scavenge the survivor table knows exactly the survivor.
+  EXPECT_EQ(H.demographics().liveBytesBornAfter(0), Keep->grossBytes());
+
+  // New allocation counts as live immediately.
+  Object *Fresh = H.allocate(0, 50);
+  EXPECT_EQ(H.demographics().liveBytesBornAfter(0),
+            Keep->grossBytes() + Fresh->grossBytes());
+  // Born after the first scavenge: only the fresh bytes.
+  EXPECT_EQ(H.demographics().liveBytesBornAfter(H.history().last().Time),
+            Fresh->grossBytes());
+}
+
+TEST(EpochDemographicsTest, FeedMedOnHeapUsesEstimates) {
+  // End-to-end: FEEDMED on the real heap promotes after an over-budget
+  // pause using the survivor-table estimates.
+  HeapConfig Config;
+  Config.TriggerBytes = 0;
+  Heap H(Config);
+  core::PolicyConfig PolicyConfig;
+  PolicyConfig.TraceMaxBytes = 300;
+  H.setPolicy(core::createPolicy("feedmed", PolicyConfig));
+
+  HandleScope Scope(H);
+  // 10 live objects of ~56 bytes: a full trace (~560B) busts the 300-byte
+  // budget.
+  for (int I = 0; I != 10; ++I)
+    Scope.slot(H.allocate(0, 32));
+  H.collect(); // Full, over budget.
+  core::AllocClock T1 = H.history().last().Time;
+  for (int I = 0; I != 4; ++I)
+    Scope.slot(H.allocate(0, 32));
+  H.collect();
+  // Over budget last time: the boundary must have advanced to t_1 (the
+  // only candidate whose estimated trace fits).
+  EXPECT_EQ(H.history().last().Boundary, T1);
+}

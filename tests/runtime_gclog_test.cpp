@@ -1,0 +1,80 @@
+//===- tests/runtime_gclog_test.cpp ---------------------------------------==//
+//
+// Tests for the per-collection GC log.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace dtb;
+using namespace dtb::runtime;
+
+namespace {
+
+/// Runs \p Body with a heap logging into a memory stream; returns the log.
+template <typename BodyT>
+std::string captureLog(CollectorKind Kind, BodyT Body) {
+  char *Buffer = nullptr;
+  size_t Size = 0;
+  std::FILE *Stream = open_memstream(&Buffer, &Size);
+  EXPECT_NE(Stream, nullptr);
+  {
+    HeapConfig Config;
+    Config.TriggerBytes = 0;
+    Config.Collector = Kind;
+    Config.LogStream = Stream;
+    Heap H(Config);
+    Body(H);
+  }
+  std::fclose(Stream);
+  std::string Log(Buffer, Size);
+  std::free(Buffer);
+  return Log;
+}
+
+} // namespace
+
+TEST(GcLogTest, OneLinePerCollection) {
+  std::string Log = captureLog(CollectorKind::MarkSweep, [](Heap &H) {
+    H.allocate(0, 64);
+    H.collectAtBoundary(0);
+    H.allocate(0, 64);
+    H.collectAtBoundary(0);
+  });
+  size_t Lines = 0;
+  for (char C : Log)
+    Lines += C == '\n' ? 1 : 0;
+  EXPECT_EQ(Lines, 2u);
+  EXPECT_NE(Log.find("[gc 1]"), std::string::npos);
+  EXPECT_NE(Log.find("[gc 2]"), std::string::npos);
+  EXPECT_NE(Log.find("mark-sweep"), std::string::npos);
+}
+
+TEST(GcLogTest, ReportsStrategyAndCounts) {
+  std::string Log = captureLog(CollectorKind::Copying, [](Heap &H) {
+    HandleScope Scope(H);
+    Scope.slot(H.allocate(0, 40)); // 64 gross: survives.
+    H.allocate(0, 40);             // 64 gross: reclaimed.
+    H.collectAtBoundary(0);
+  });
+  EXPECT_NE(Log.find("copying"), std::string::npos);
+  EXPECT_NE(Log.find("traced 64"), std::string::npos);
+  EXPECT_NE(Log.find("reclaimed 64"), std::string::npos);
+  EXPECT_NE(Log.find("survived 64"), std::string::npos);
+  EXPECT_NE(Log.find("tb=0"), std::string::npos);
+}
+
+TEST(GcLogTest, SilentWithoutStream) {
+  // Just exercises the no-log path (no crash, no output expected).
+  HeapConfig Config;
+  Config.TriggerBytes = 0;
+  Heap H(Config);
+  H.allocate(0, 16);
+  H.collectAtBoundary(0);
+  SUCCEED();
+}

@@ -1,0 +1,179 @@
+//===- tests/runtime_property_test.cpp ------------------------------------==//
+//
+// Property-based tests for the managed runtime: a random mutator builds
+// and shreds object graphs while collections run with random boundaries
+// and every paper policy. Invariants checked after every collection:
+//
+//  * no reachable object is ever reclaimed (canary via quarantine mode);
+//  * the verifier's full battery passes (structure, accounting, barrier
+//    completeness);
+//  * a full collection leaves exactly the independently computed
+//    reachable bytes;
+//  * collections never increase resident bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+#include "runtime/HeapVerifier.h"
+
+#include "core/Policies.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace dtb;
+using namespace dtb::runtime;
+
+namespace {
+
+/// A mutator that keeps a root frontier of live objects and randomly
+/// allocates, links, unlinks, and drops them.
+class RandomMutator {
+public:
+  RandomMutator(Heap &H, uint64_t Seed, HandleScope &Scope)
+      : H(H), R(Seed), Scope(Scope) {}
+
+  void step() {
+    double Action = R.nextDouble();
+    if (Action < 0.55 || Rooted.empty()) {
+      allocateOne();
+    } else if (Action < 0.75) {
+      linkTwo();
+    } else if (Action < 0.9) {
+      unlinkOne();
+    } else {
+      dropRoot();
+    }
+  }
+
+private:
+  void allocateOne() {
+    auto NumSlots = static_cast<uint32_t>(R.nextBelow(4));
+    auto RawBytes = static_cast<uint32_t>(R.nextBelow(128));
+    Object *O = H.allocate(NumSlots, RawBytes);
+    if (R.nextBool(0.5)) {
+      // Root it...
+      Rooted.push_back(&Scope.slot(O));
+    } else if (!Rooted.empty()) {
+      // ...or hang it off a random rooted object (if it has slots).
+      Object *Parent = *Rooted[R.nextBelow(Rooted.size())];
+      if (Parent && Parent->numSlots() > 0)
+        H.writeSlot(Parent, static_cast<uint32_t>(
+                                R.nextBelow(Parent->numSlots())),
+                    O);
+      // Otherwise the object is instant garbage — also a useful case.
+    }
+  }
+
+  Object *randomRooted() {
+    if (Rooted.empty())
+      return nullptr;
+    return *Rooted[R.nextBelow(Rooted.size())];
+  }
+
+  void linkTwo() {
+    Object *A = randomRooted();
+    Object *B = randomRooted();
+    if (A && B && A->numSlots() > 0)
+      H.writeSlot(A, static_cast<uint32_t>(R.nextBelow(A->numSlots())), B);
+  }
+
+  void unlinkOne() {
+    Object *A = randomRooted();
+    if (A && A->numSlots() > 0)
+      H.writeSlot(A, static_cast<uint32_t>(R.nextBelow(A->numSlots())),
+                  nullptr);
+  }
+
+  void dropRoot() {
+    if (Rooted.empty())
+      return;
+    size_t Index = R.nextBelow(Rooted.size());
+    *Rooted[Index] = nullptr; // The handle slot stays; the tree is cut.
+    Rooted[Index] = Rooted.back();
+    Rooted.pop_back();
+  }
+
+  Heap &H;
+  Rng R;
+  HandleScope &Scope;
+  std::vector<Object **> Rooted;
+};
+
+/// Checks that every object reachable from the handle slots is alive.
+void expectNoReclaimedReachable(const Heap &H) {
+  VerifyResult Result = verifyHeap(H);
+  ASSERT_TRUE(Result.Ok) << Result.Problems.front();
+}
+
+class RuntimePropertyTest : public testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RuntimePropertyTest, RandomBoundariesNeverHurtReachableObjects) {
+  HeapConfig Config;
+  Config.TriggerBytes = 0;
+  Config.QuarantineFreedObjects = true;
+  Heap H(Config);
+  HandleScope Scope(H);
+  RandomMutator Mutator(H, GetParam(), Scope);
+  Rng R(GetParam() ^ 0xB0DA7); // Separate stream for boundary choices.
+
+  for (int Round = 0; Round != 30; ++Round) {
+    for (int Step = 0; Step != 40; ++Step)
+      Mutator.step();
+
+    uint64_t Before = H.residentBytes();
+    // Random boundary anywhere in [0, now].
+    core::AllocClock Boundary = R.nextBelow(H.now() + 1);
+    const core::ScavengeRecord &Rec = H.collectAtBoundary(Boundary);
+    EXPECT_LE(H.residentBytes(), Before);
+    EXPECT_EQ(Rec.MemBeforeBytes, Rec.SurvivedBytes + Rec.ReclaimedBytes);
+    expectNoReclaimedReachable(H);
+  }
+
+  // Finish with a full collection: survivors must equal the independent
+  // reachability computation exactly.
+  H.collectAtBoundary(0);
+  EXPECT_EQ(H.residentBytes(), reachableBytes(H));
+  expectNoReclaimedReachable(H);
+}
+
+TEST_P(RuntimePropertyTest, EveryPaperPolicyKeepsTheHeapSound) {
+  for (const std::string &PolicyName : core::paperPolicyNames()) {
+    HeapConfig Config;
+    Config.TriggerBytes = 8'192;
+    Config.QuarantineFreedObjects = true;
+    Heap H(Config);
+    core::PolicyConfig PolicyConfig;
+    PolicyConfig.TraceMaxBytes = 2'000;
+    PolicyConfig.MemMaxBytes = 20'000;
+    H.setPolicy(core::createPolicy(PolicyName, PolicyConfig));
+
+    HandleScope Scope(H);
+    RandomMutator Mutator(H, GetParam() * 7919 + 13, Scope);
+    for (int Step = 0; Step != 1200; ++Step)
+      Mutator.step();
+
+    EXPECT_GT(H.history().size(), 0u) << PolicyName;
+    for (const core::ScavengeRecord &Rec : H.history().records()) {
+      EXPECT_LE(Rec.Boundary, Rec.Time) << PolicyName;
+      EXPECT_EQ(Rec.MemBeforeBytes, Rec.SurvivedBytes + Rec.ReclaimedBytes)
+          << PolicyName;
+    }
+    VerifyResult Result = verifyHeap(H);
+    EXPECT_TRUE(Result.Ok)
+        << PolicyName << ": " << Result.Problems.front();
+
+    // After a final full collection the heap holds exactly the reachable
+    // bytes — no policy can leave unreclaimable garbage behind.
+    H.collectAtBoundary(0);
+    EXPECT_EQ(H.residentBytes(), reachableBytes(H)) << PolicyName;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimePropertyTest,
+                         testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                         13ull, 21ull, 34ull));

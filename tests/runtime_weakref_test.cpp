@@ -1,0 +1,134 @@
+//===- tests/runtime_weakref_test.cpp -------------------------------------==//
+//
+// Tests for weak references under both collection strategies, including
+// the DTB-specific behaviour: a weak reference to *immune garbage* stays
+// readable until a boundary finally reaches the target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/WeakRef.h"
+
+#include "runtime/Heap.h"
+#include "runtime/HeapVerifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::runtime;
+
+namespace {
+
+HeapConfig config(CollectorKind Kind) {
+  HeapConfig Config;
+  Config.TriggerBytes = 0;
+  Config.QuarantineFreedObjects = true;
+  Config.Collector = Kind;
+  return Config;
+}
+
+class WeakRefTest : public testing::TestWithParam<CollectorKind> {};
+
+} // namespace
+
+TEST_P(WeakRefTest, DoesNotKeepTargetAlive) {
+  Heap H(config(GetParam()));
+  WeakRef Weak(H, H.allocate(0, 16)); // Only a weak reference.
+  ASSERT_NE(Weak.get(), nullptr);
+  H.collectAtBoundary(0);
+  EXPECT_EQ(Weak.get(), nullptr);
+  EXPECT_EQ(H.residentObjects(), 0u);
+}
+
+TEST_P(WeakRefTest, SurvivingTargetRemainsReadable) {
+  Heap H(config(GetParam()));
+  HandleScope Scope(H);
+  Object *&Strong = Scope.slot(H.allocate(0, 16));
+  WeakRef Weak(H, Strong);
+  H.collectAtBoundary(0);
+  ASSERT_NE(Weak.get(), nullptr);
+  EXPECT_TRUE(Weak.get()->isAlive());
+  // Under copying, the weak reference followed the move.
+  EXPECT_EQ(Weak.get(), Strong);
+}
+
+TEST_P(WeakRefTest, ImmuneGarbageStaysWeaklyReachableUntilUntenured) {
+  // The DTB-specific observation: tenured garbage is not yet reclaimed,
+  // so a weak reference to it still reads non-null until a boundary
+  // moves behind the target.
+  Heap H(config(GetParam()));
+  Object *Doomed = H.allocate(0, 16);
+  WeakRef Weak(H, Doomed);
+  core::AllocClock Boundary = H.now();
+  H.allocate(0, 16);
+
+  H.collectAtBoundary(Boundary); // Target immune: survives as garbage.
+  EXPECT_EQ(Weak.get(), Doomed);
+  EXPECT_TRUE(Weak.get()->isAlive());
+
+  H.collectAtBoundary(0); // Untenured: now reclaimed.
+  EXPECT_EQ(Weak.get(), nullptr);
+}
+
+TEST_P(WeakRefTest, SetRetargets) {
+  Heap H(config(GetParam()));
+  HandleScope Scope(H);
+  Object *&A = Scope.slot(H.allocate(0));
+  WeakRef Weak(H);
+  EXPECT_FALSE(Weak);
+  Weak.set(A);
+  EXPECT_TRUE(Weak);
+  Weak.set(nullptr);
+  EXPECT_EQ(Weak.get(), nullptr);
+}
+
+TEST_P(WeakRefTest, ManyWeakRefsMixedFates) {
+  Heap H(config(GetParam()));
+  HandleScope Scope(H);
+  std::vector<std::unique_ptr<WeakRef>> Refs;
+  for (int I = 0; I != 50; ++I) {
+    Object *O = H.allocate(0, 8);
+    if (I % 2 == 0)
+      Scope.slot(O); // Half survive.
+    Refs.push_back(std::make_unique<WeakRef>(H, O));
+  }
+  H.collectAtBoundary(0);
+  int Live = 0, Cleared = 0;
+  for (const auto &Ref : Refs) {
+    if (Ref->get()) {
+      EXPECT_TRUE(Ref->get()->isAlive());
+      ++Live;
+    } else {
+      ++Cleared;
+    }
+  }
+  EXPECT_EQ(Live, 25);
+  EXPECT_EQ(Cleared, 25);
+}
+
+TEST_P(WeakRefTest, UnregisteredRefIsIgnored) {
+  Heap H(config(GetParam()));
+  {
+    WeakRef Weak(H, H.allocate(0));
+    EXPECT_EQ(H.weakRefs().size(), 1u);
+  }
+  EXPECT_TRUE(H.weakRefs().empty());
+  H.collectAtBoundary(0); // Must not touch the destroyed reference.
+}
+
+TEST_P(WeakRefTest, WeakToPinnedSurvivesInPlace) {
+  Heap H(config(GetParam()));
+  Object *Pinned = H.allocate(0, 8);
+  H.pinObject(Pinned);
+  WeakRef Weak(H, Pinned);
+  H.collectAtBoundary(0);
+  EXPECT_EQ(Weak.get(), Pinned); // Pinned: alive, same address.
+  EXPECT_TRUE(Weak.get()->isAlive());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, WeakRefTest,
+    testing::Values(CollectorKind::MarkSweep, CollectorKind::Copying),
+    [](const testing::TestParamInfo<CollectorKind> &Info) {
+      return Info.param == CollectorKind::MarkSweep ? "MarkSweep"
+                                                    : "Copying";
+    });

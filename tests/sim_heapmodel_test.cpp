@@ -1,0 +1,120 @@
+//===- tests/sim_heapmodel_test.cpp ---------------------------------------==//
+//
+// Tests for the oracle heap model: threatened/immune partitioning, tenured
+// garbage retention, untenuring, and the demographics queries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/HeapModel.h"
+
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::sim;
+
+namespace {
+constexpr AllocClock Never = trace::NeverDies;
+} // namespace
+
+TEST(HeapModelTest, AddTracksResidentBytes) {
+  HeapModel H;
+  H.addObject(100, 100, Never);
+  H.addObject(150, 50, Never);
+  EXPECT_EQ(H.residentBytes(), 150u);
+  EXPECT_EQ(H.residentObjects(), 2u);
+}
+
+TEST(HeapModelTest, FullScavengeReclaimsExactlyTheDead) {
+  HeapModel H;
+  H.addObject(100, 100, /*Death=*/300); // Dead at 300.
+  H.addObject(200, 100, Never);         // Live.
+  H.addObject(300, 100, /*Death=*/900); // Still live at 300.
+
+  ScavengeOutcome Outcome = H.scavenge(/*Now=*/300, /*Boundary=*/0);
+  EXPECT_EQ(Outcome.MemBeforeBytes, 300u);
+  EXPECT_EQ(Outcome.ReclaimedBytes, 100u);
+  EXPECT_EQ(Outcome.TracedBytes, 200u);
+  EXPECT_EQ(Outcome.SurvivedBytes, 200u);
+  EXPECT_EQ(H.residentBytes(), 200u);
+}
+
+TEST(HeapModelTest, ImmuneGarbageBecomesTenured) {
+  HeapModel H;
+  H.addObject(100, 100, /*Death=*/150); // Dies young...
+  H.addObject(200, 100, Never);
+
+  // Boundary at 150: the dead object (born 100) is immune and survives
+  // the scavenge as tenured garbage.
+  ScavengeOutcome Outcome = H.scavenge(/*Now=*/200, /*Boundary=*/150);
+  EXPECT_EQ(Outcome.ReclaimedBytes, 0u);
+  EXPECT_EQ(Outcome.TracedBytes, 100u); // Only the young live object.
+  EXPECT_EQ(H.residentBytes(), 200u);
+  EXPECT_EQ(H.garbageBytes(200), 100u);
+}
+
+TEST(HeapModelTest, MovingBoundaryBackUntenures) {
+  HeapModel H;
+  H.addObject(100, 100, /*Death=*/150);
+  H.addObject(200, 100, Never);
+  H.scavenge(/*Now=*/200, /*Boundary=*/150); // Tenured garbage remains.
+
+  // A later scavenge with an older boundary reclaims it (demotion).
+  ScavengeOutcome Outcome = H.scavenge(/*Now=*/250, /*Boundary=*/0);
+  EXPECT_EQ(Outcome.ReclaimedBytes, 100u);
+  EXPECT_EQ(H.residentBytes(), 100u);
+  EXPECT_EQ(H.garbageBytes(250), 0u);
+}
+
+TEST(HeapModelTest, BoundaryIsExclusive) {
+  HeapModel H;
+  H.addObject(100, 100, /*Death=*/150);
+  // Boundary exactly at the object's birth: born *at* 100 is not after
+  // 100, so it is immune.
+  ScavengeOutcome Outcome = H.scavenge(/*Now=*/200, /*Boundary=*/100);
+  EXPECT_EQ(Outcome.ReclaimedBytes, 0u);
+  // One tick earlier, it is threatened.
+  Outcome = H.scavenge(/*Now=*/200, /*Boundary=*/99);
+  EXPECT_EQ(Outcome.ReclaimedBytes, 100u);
+}
+
+TEST(HeapModelTest, DeathAtScavengeTimeIsReclaimable) {
+  HeapModel H;
+  H.addObject(100, 100, /*Death=*/200);
+  ScavengeOutcome Outcome = H.scavenge(/*Now=*/200, /*Boundary=*/0);
+  EXPECT_EQ(Outcome.ReclaimedBytes, 100u);
+}
+
+TEST(HeapModelTest, LiveBytesBornAfter) {
+  HeapModel H;
+  H.addObject(100, 100, Never);
+  H.addObject(200, 100, /*Death=*/250);
+  H.addObject(300, 100, Never);
+
+  EXPECT_EQ(H.liveBytesBornAfter(/*Boundary=*/0, /*Now=*/300), 200u);
+  EXPECT_EQ(H.liveBytesBornAfter(/*Boundary=*/100, /*Now=*/300), 100u);
+  EXPECT_EQ(H.liveBytesBornAfter(/*Boundary=*/0, /*Now=*/240), 300u);
+  EXPECT_EQ(H.liveBytesBornAfter(/*Boundary=*/300, /*Now=*/300), 0u);
+}
+
+TEST(HeapModelTest, ScavengePreservesBirthOrder) {
+  HeapModel H;
+  for (int I = 1; I <= 10; ++I)
+    H.addObject(static_cast<AllocClock>(I) * 10, 10,
+                I % 2 == 0 ? static_cast<AllocClock>(I) * 10 + 5 : Never);
+  H.scavenge(/*Now=*/200, /*Boundary=*/35);
+  AllocClock Prev = 0;
+  for (const ResidentObject &R : H.residents()) {
+    EXPECT_GT(R.Birth, Prev);
+    Prev = R.Birth;
+  }
+}
+
+TEST(HeapModelTest, EmptyScavenge) {
+  HeapModel H;
+  ScavengeOutcome Outcome = H.scavenge(0, 0);
+  EXPECT_EQ(Outcome.MemBeforeBytes, 0u);
+  EXPECT_EQ(Outcome.TracedBytes, 0u);
+  EXPECT_EQ(Outcome.ReclaimedBytes, 0u);
+}

@@ -1,0 +1,140 @@
+//===- tests/sim_trigger_test.cpp -----------------------------------------==//
+//
+// Tests for the when-to-collect trigger policies and their integration
+// with the simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Trigger.h"
+
+#include "core/Policies.h"
+#include "sim/Simulator.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::sim;
+
+TEST(FixedBytesTriggerTest, FiresAtInterval) {
+  FixedBytesTrigger T(1'000);
+  TriggerContext Context;
+  Context.BytesSinceLastScavenge = 999;
+  EXPECT_FALSE(T.shouldScavenge(Context));
+  Context.BytesSinceLastScavenge = 1'000;
+  EXPECT_TRUE(T.shouldScavenge(Context));
+  EXPECT_EQ(T.intervalBytes(), 1'000u);
+}
+
+TEST(HeapGrowthTriggerTest, FiresOnGrowthFactor) {
+  HeapGrowthTrigger T(/*GrowthFactor=*/2.0, /*MinHeapBytes=*/10'000,
+                      /*MinSpacingBytes=*/100);
+  TriggerContext Context;
+  Context.BytesSinceLastScavenge = 5'000;
+  Context.LastSurvivedBytes = 20'000;
+
+  Context.ResidentBytes = 39'999;
+  EXPECT_FALSE(T.shouldScavenge(Context));
+  Context.ResidentBytes = 40'000; // 2x the survivors.
+  EXPECT_TRUE(T.shouldScavenge(Context));
+}
+
+TEST(HeapGrowthTriggerTest, MinHeapFloorBeforeFirstScavenge) {
+  HeapGrowthTrigger T(2.0, /*MinHeapBytes=*/10'000, /*MinSpacing=*/100);
+  TriggerContext Context;
+  Context.BytesSinceLastScavenge = 9'999;
+  Context.LastSurvivedBytes = 0; // No scavenge yet.
+  Context.ResidentBytes = 9'999;
+  EXPECT_FALSE(T.shouldScavenge(Context));
+  Context.ResidentBytes = 10'000;
+  Context.BytesSinceLastScavenge = 10'000;
+  EXPECT_TRUE(T.shouldScavenge(Context));
+}
+
+TEST(HeapGrowthTriggerTest, SpacingSuppressesBackToBack) {
+  HeapGrowthTrigger T(2.0, 10'000, /*MinSpacingBytes=*/5'000);
+  TriggerContext Context;
+  Context.ResidentBytes = 1'000'000; // Way over threshold...
+  Context.LastSurvivedBytes = 1'000;
+  Context.BytesSinceLastScavenge = 100; // ...but too soon.
+  EXPECT_FALSE(T.shouldScavenge(Context));
+}
+
+TEST(SimulatorTriggerTest, FixedTriggerPolicyCloseToBuiltinTrigger) {
+  // The builtin trigger fires at absolute multiples of the interval; the
+  // policy form measures bytes since the previous scavenge, which drifts
+  // by a fraction of an object per scavenge. The two must agree to
+  // within one scavenge and a few percent of work.
+  trace::Trace T = workload::generateTrace(
+      workload::makeSteadyStateSpec(1'000'000, 5));
+
+  core::FullPolicy P1, P2;
+  SimulatorConfig Builtin;
+  Builtin.TriggerBytes = 50'000;
+  Builtin.ProgramSeconds = 1.0;
+  SimulationResult RBuiltin = simulate(T, P1, Builtin);
+
+  FixedBytesTrigger Trigger(50'000);
+  SimulatorConfig WithPolicy;
+  WithPolicy.Trigger = &Trigger;
+  WithPolicy.ProgramSeconds = 1.0;
+  SimulationResult RPolicy = simulate(T, P2, WithPolicy);
+
+  EXPECT_NEAR(static_cast<double>(RBuiltin.NumScavenges),
+              static_cast<double>(RPolicy.NumScavenges), 1.0);
+  EXPECT_NEAR(static_cast<double>(RBuiltin.TotalTracedBytes),
+              static_cast<double>(RPolicy.TotalTracedBytes),
+              static_cast<double>(RBuiltin.TotalTracedBytes) * 0.1);
+}
+
+TEST(SimulatorTriggerTest, HeapGrowthTriggerBoundsHeapByFactor) {
+  trace::Trace T = workload::generateTrace(
+      workload::makeSteadyStateSpec(2'000'000, 6));
+
+  core::FullPolicy Policy;
+  HeapGrowthTrigger Trigger(/*GrowthFactor=*/1.5,
+                            /*MinHeapBytes=*/50'000,
+                            /*MinSpacingBytes=*/5'000);
+  SimulatorConfig Config;
+  Config.Trigger = &Trigger;
+  Config.ProgramSeconds = 1.0;
+  SimulationResult R = simulate(T, Policy, Config);
+
+  ASSERT_GT(R.NumScavenges, 3u);
+  // Under FULL + growth trigger, residency just before each scavenge is
+  // bounded by ~1.5x the previous survivors (plus one allocation and the
+  // spacing slack).
+  const auto &Records = R.History.records();
+  for (size_t I = 1; I != Records.size(); ++I) {
+    uint64_t Bound = std::max<uint64_t>(
+        50'000, static_cast<uint64_t>(
+                    1.5 * static_cast<double>(Records[I - 1].SurvivedBytes)));
+    EXPECT_LE(Records[I].MemBeforeBytes, Bound + 10'000) << I;
+  }
+}
+
+TEST(SimulatorTriggerTest, GrowthTriggerAdaptsFrequencyToGarbageRate) {
+  // A workload whose live set is flat: the growth trigger should space
+  // collections roughly evenly; with a rising live set collections must
+  // become *less* frequent in allocation terms (threshold grows).
+  workload::WorkloadSpec Flat = workload::makeSteadyStateSpec(2'000'000, 7);
+  workload::WorkloadSpec Rising = Flat;
+  Rising.Phases = {{1.0,
+                    {{0.5, workload::LifetimeKind::Exponential, 20'000.0,
+                      0.0},
+                     {0.5, workload::LifetimeKind::Immortal, 0.0, 0.0}}}};
+
+  core::FullPolicy P1, P2;
+  HeapGrowthTrigger T1(1.5, 50'000), T2(1.5, 50'000);
+  SimulatorConfig C1, C2;
+  C1.Trigger = &T1;
+  C1.ProgramSeconds = 1.0;
+  C2.Trigger = &T2;
+  C2.ProgramSeconds = 1.0;
+
+  SimulationResult RFlat =
+      simulate(workload::generateTrace(Flat), P1, C1);
+  SimulationResult RRising =
+      simulate(workload::generateTrace(Rising), P2, C2);
+  EXPECT_GT(RFlat.NumScavenges, RRising.NumScavenges);
+}

@@ -1,0 +1,126 @@
+//===- tests/support_random_test.cpp --------------------------------------==//
+//
+// Tests for the deterministic PRNG: reproducibility (the workload
+// generators rely on byte-identical streams per seed), range contracts,
+// and coarse distribution sanity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dtb;
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I != 64; ++I)
+    if (A.next() == B.next())
+      ++Equal;
+  EXPECT_EQ(Equal, 0);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I != 10000; ++I) {
+    double X = R.nextDouble();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng R(9);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int I = 0; I != 1000; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 10000; ++I) {
+    uint64_t X = R.nextInRange(3, 5);
+    EXPECT_GE(X, 3u);
+    EXPECT_LE(X, 5u);
+    SawLo |= X == 3;
+    SawHi |= X == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, BoolProbabilityEdges) {
+  Rng R(13);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(RngTest, BoolProbabilityRoughlyCalibrated) {
+  Rng R(15);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Hits += R.nextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng R(17);
+  double Sum = 0.0;
+  const int N = 200000;
+  for (int I = 0; I != N; ++I) {
+    double X = R.nextExponential(40.0);
+    EXPECT_GE(X, 0.0);
+    Sum += X;
+  }
+  EXPECT_NEAR(Sum / N, 40.0, 0.5);
+}
+
+TEST(RngTest, StandardNormalMoments) {
+  Rng R(19);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 200000;
+  for (int I = 0; I != N; ++I) {
+    double X = R.nextStandardNormal();
+    Sum += X;
+    SumSq += X * X;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.01);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.02);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  // The median of lognormal(mu, sigma) is exp(mu).
+  Rng R(21);
+  const int N = 100001;
+  std::vector<double> Samples;
+  Samples.reserve(N);
+  for (int I = 0; I != N; ++I)
+    Samples.push_back(R.nextLogNormal(3.0, 0.5));
+  std::nth_element(Samples.begin(), Samples.begin() + N / 2, Samples.end());
+  EXPECT_NEAR(Samples[N / 2], std::exp(3.0), std::exp(3.0) * 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng A(33);
+  Rng Child = A.fork();
+  // The child stream must differ from the parent's continuation.
+  int Equal = 0;
+  for (int I = 0; I != 64; ++I)
+    if (A.next() == Child.next())
+      ++Equal;
+  EXPECT_EQ(Equal, 0);
+}

@@ -1,0 +1,144 @@
+//===- tests/support_statistics_test.cpp ----------------------------------==//
+//
+// Unit tests for support/Statistics.h: streaming stats, time-weighted
+// integration (the paper's mean-memory metric), exact percentiles, and the
+// fixed-width histogram.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.min(), 0.0);
+  EXPECT_EQ(S.max(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats S;
+  S.add(42.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(S.min(), 42.0);
+  EXPECT_DOUBLE_EQ(S.max(), 42.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 4.0); // Classic textbook data set.
+  EXPECT_DOUBLE_EQ(S.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats S;
+  S.add(-3.0);
+  S.add(3.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), -3.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+}
+
+TEST(TimeWeightedStatsTest, ConstantSignal) {
+  TimeWeightedStats S;
+  S.setLevel(0, 5.0);
+  S.finish(100);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.max(), 5.0);
+  EXPECT_EQ(S.elapsed(), 100u);
+}
+
+TEST(TimeWeightedStatsTest, StepSignalWeightsByDuration) {
+  TimeWeightedStats S;
+  S.setLevel(0, 10.0); // 10 for 90 ticks.
+  S.setLevel(90, 100.0); // 100 for 10 ticks.
+  S.finish(100);
+  EXPECT_DOUBLE_EQ(S.mean(), (10.0 * 90 + 100.0 * 10) / 100.0);
+  EXPECT_DOUBLE_EQ(S.max(), 100.0);
+}
+
+TEST(TimeWeightedStatsTest, ZeroDurationSpikeAffectsOnlyMax) {
+  TimeWeightedStats S;
+  S.setLevel(0, 1.0);
+  S.setLevel(50, 999.0); // Spike...
+  S.setLevel(50, 1.0);   // ...dropped at the same instant.
+  S.finish(100);
+  EXPECT_DOUBLE_EQ(S.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 999.0);
+}
+
+TEST(TimeWeightedStatsTest, NoElapsedTimeMeansZeroMean) {
+  TimeWeightedStats S;
+  S.setLevel(7, 3.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+}
+
+TEST(SampleSetTest, MedianOfOddCount) {
+  SampleSet S;
+  for (double X : {5.0, 1.0, 3.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.median(), 3.0);
+}
+
+TEST(SampleSetTest, NearestRankMedianOfEvenCount) {
+  SampleSet S;
+  for (double X : {1.0, 2.0, 3.0, 4.0})
+    S.add(X);
+  // Nearest-rank: ceil(0.5 * 4) = 2nd smallest.
+  EXPECT_DOUBLE_EQ(S.median(), 2.0);
+}
+
+TEST(SampleSetTest, Percentile90) {
+  SampleSet S;
+  for (int I = 1; I <= 10; ++I)
+    S.add(static_cast<double>(I));
+  EXPECT_DOUBLE_EQ(S.percentile90(), 9.0);
+  EXPECT_DOUBLE_EQ(S.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(S.quantile(0.0), 1.0);
+}
+
+TEST(SampleSetTest, EmptyQuantileIsZero) {
+  SampleSet S;
+  EXPECT_DOUBLE_EQ(S.median(), 0.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.maxValue(), 0.0);
+}
+
+TEST(SampleSetTest, SumMeanMax) {
+  SampleSet S;
+  for (double X : {2.0, 4.0, 6.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(S.maxValue(), 6.0);
+}
+
+TEST(HistogramTest, BucketsAndSaturation) {
+  Histogram H(0.0, 10.0, 5);
+  H.add(0.5);   // Bucket 0.
+  H.add(3.0);   // Bucket 1.
+  H.add(9.99);  // Bucket 4.
+  H.add(-5.0);  // Below range -> bucket 0.
+  H.add(100.0); // Above range -> bucket 4.
+  EXPECT_EQ(H.totalCount(), 5u);
+  EXPECT_EQ(H.bucketValue(0), 2u);
+  EXPECT_EQ(H.bucketValue(1), 1u);
+  EXPECT_EQ(H.bucketValue(2), 0u);
+  EXPECT_EQ(H.bucketValue(4), 2u);
+  EXPECT_DOUBLE_EQ(H.bucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(H.bucketLow(4), 8.0);
+}

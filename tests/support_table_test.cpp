@@ -1,0 +1,99 @@
+//===- tests/support_table_test.cpp ---------------------------------------==//
+//
+// Tests for the aligned-table and CSV renderer used by the benchmark
+// binaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace dtb;
+
+namespace {
+
+/// Renders a table into a string through a temporary stream.
+std::string render(const Table &T, bool Csv) {
+  char *Buffer = nullptr;
+  size_t Size = 0;
+  std::FILE *Stream = open_memstream(&Buffer, &Size);
+  EXPECT_NE(Stream, nullptr);
+  if (Csv)
+    T.printCsv(Stream);
+  else
+    T.print(Stream);
+  std::fclose(Stream);
+  std::string Result(Buffer, Size);
+  std::free(Buffer);
+  return Result;
+}
+
+} // namespace
+
+TEST(TableTest, AlignedRendering) {
+  Table T({"Name", "Value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22"});
+  std::string Out = render(T, /*Csv=*/false);
+  // Header, rule, two rows.
+  EXPECT_NE(Out.find("Name   Value\n"), std::string::npos);
+  EXPECT_NE(Out.find("-----  -----\n"), std::string::npos);
+  EXPECT_NE(Out.find("alpha      1\n"), std::string::npos);
+  EXPECT_NE(Out.find("b         22\n"), std::string::npos);
+}
+
+TEST(TableTest, FirstColumnLeftAlignedOthersRight) {
+  Table T({"K", "V"});
+  T.addRow({"a", "1"});
+  T.addRow({"long", "2"});
+  std::string Out = render(T, /*Csv=*/false);
+  EXPECT_NE(Out.find("a     1\n"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorRendersRule) {
+  Table T({"A"});
+  T.addRow({"x"});
+  T.addSeparator();
+  T.addRow({"y"});
+  std::string Out = render(T, /*Csv=*/false);
+  // Three rules total: one under the header, one separator.
+  size_t Count = 0;
+  for (size_t Pos = 0; (Pos = Out.find("-\n", Pos)) != std::string::npos;
+       ++Pos)
+    ++Count;
+  EXPECT_EQ(Count, 2u);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table T({"Name", "Note"});
+  T.addRow({"a,b", "say \"hi\""});
+  std::string Out = render(T, /*Csv=*/true);
+  EXPECT_NE(Out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(Out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, CsvOmitsSeparators) {
+  Table T({"A"});
+  T.addRow({"x"});
+  T.addSeparator();
+  T.addRow({"y"});
+  std::string Out = render(T, /*Csv=*/true);
+  EXPECT_EQ(Out, "A\nx\ny\n");
+}
+
+TEST(TableTest, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(3.14159, 0), "3");
+  EXPECT_EQ(Table::cell(static_cast<uint64_t>(123456)), "123456");
+}
+
+TEST(TableTest, NumColumnsAndRows) {
+  Table T({"A", "B", "C"});
+  EXPECT_EQ(T.numColumns(), 3u);
+  T.addRow({"1", "2", "3"});
+  EXPECT_EQ(T.numRows(), 1u);
+}

@@ -1,0 +1,118 @@
+//===- tests/trace_io_fuzz_test.cpp ---------------------------------------==//
+//
+// Robustness tests for trace deserialization: random corruption of valid
+// inputs and entirely random byte strings must be either parsed into a
+// well-formed trace or rejected cleanly — never crash, hang, or produce
+// an invalid Trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include "support/Random.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::trace;
+
+namespace {
+
+std::string validBinary() {
+  workload::WorkloadSpec Spec = workload::makeSteadyStateSpec(50'000, 3);
+  return serializeBinary(workload::generateTrace(Spec));
+}
+
+/// Every successful parse must satisfy the structural verifier.
+void expectParseIsSafe(std::string_view Data) {
+  std::string Error;
+  std::optional<Trace> Parsed = deserializeBinary(Data, &Error);
+  if (Parsed.has_value()) {
+    std::string VerifyError;
+    EXPECT_TRUE(Parsed->verify(&VerifyError)) << VerifyError;
+  } else {
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+class TraceIOFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(TraceIOFuzzTest, SingleByteCorruptionIsHandled) {
+  std::string Valid = validBinary();
+  Rng R(GetParam());
+  for (int Round = 0; Round != 300; ++Round) {
+    std::string Mutated = Valid;
+    size_t Position = R.nextBelow(Mutated.size());
+    Mutated[Position] = static_cast<char>(R.nextBelow(256));
+    expectParseIsSafe(Mutated);
+  }
+}
+
+TEST_P(TraceIOFuzzTest, TruncationAtEveryPrefixIsHandled) {
+  std::string Valid = validBinary();
+  Rng R(GetParam() * 3 + 1);
+  for (int Round = 0; Round != 200; ++Round) {
+    size_t Length = R.nextBelow(Valid.size());
+    expectParseIsSafe(std::string_view(Valid).substr(0, Length));
+  }
+}
+
+TEST_P(TraceIOFuzzTest, RandomBytesWithMagicAreHandled) {
+  Rng R(GetParam() * 7 + 5);
+  for (int Round = 0; Round != 300; ++Round) {
+    std::string Junk = "DTBT";
+    size_t Length = R.nextBelow(256);
+    for (size_t I = 0; I != Length; ++I)
+      Junk.push_back(static_cast<char>(R.nextBelow(256)));
+    expectParseIsSafe(Junk);
+  }
+}
+
+TEST_P(TraceIOFuzzTest, RandomTextIsHandled) {
+  Rng R(GetParam() * 11 + 3);
+  const char Alphabet[] = "0123456789 -#\nabcdefghij";
+  for (int Round = 0; Round != 300; ++Round) {
+    std::string Text = "# dtb-trace v1\n";
+    size_t Length = R.nextBelow(200);
+    for (size_t I = 0; I != Length; ++I)
+      Text.push_back(Alphabet[R.nextBelow(sizeof(Alphabet) - 1)]);
+    std::string Error;
+    std::optional<Trace> Parsed = deserializeText(Text, &Error);
+    if (Parsed.has_value()) {
+      std::string VerifyError;
+      EXPECT_TRUE(Parsed->verify(&VerifyError)) << VerifyError;
+    }
+  }
+}
+
+TEST(TraceIOFuzzTest, OversizedVarintRejected) {
+  // A count field of eleven 0x80 continuation bytes overflows 64 bits.
+  std::string Data = "DTBT";
+  Data.push_back(1); // Version.
+  for (int I = 0; I != 11; ++I)
+    Data.push_back(static_cast<char>(0x80));
+  Data.push_back(0x01);
+  std::string Error;
+  EXPECT_FALSE(deserializeBinary(Data, &Error).has_value());
+}
+
+TEST(TraceIOFuzzTest, HugeDeclaredCountWithNoDataRejected) {
+  std::string Data = "DTBT";
+  Data.push_back(1);
+  // Varint for ~1e18 objects, then nothing.
+  uint64_t Count = 1'000'000'000'000'000'000ull;
+  while (Count >= 0x80) {
+    Data.push_back(static_cast<char>((Count & 0x7f) | 0x80));
+    Count >>= 7;
+  }
+  Data.push_back(static_cast<char>(Count));
+  std::string Error;
+  EXPECT_FALSE(deserializeBinary(Data, &Error).has_value());
+  EXPECT_NE(Error.find("truncated"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIOFuzzTest,
+                         testing::Values(1ull, 2ull, 3ull));

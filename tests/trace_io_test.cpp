@@ -1,0 +1,143 @@
+//===- tests/trace_io_test.cpp --------------------------------------------==//
+//
+// Tests for trace serialization: binary and text round trips, malformed
+// input rejection, and file I/O with format auto-detection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace dtb;
+using namespace dtb::trace;
+
+namespace {
+
+Trace makeTrace() {
+  TraceBuilder Builder;
+  auto A = Builder.allocate(100);
+  Builder.allocate(17);
+  auto C = Builder.allocate(4096);
+  Builder.free(A);
+  Builder.allocate(1);
+  Builder.free(C);
+  return Builder.finish();
+}
+
+} // namespace
+
+TEST(TraceIOTest, BinaryRoundTrip) {
+  Trace Original = makeTrace();
+  std::string Data = serializeBinary(Original);
+  std::string Error;
+  std::optional<Trace> Restored = deserializeBinary(Data, &Error);
+  ASSERT_TRUE(Restored.has_value()) << Error;
+  EXPECT_EQ(Restored->records(), Original.records());
+  EXPECT_EQ(Restored->totalAllocated(), Original.totalAllocated());
+  EXPECT_TRUE(Restored->verify(&Error)) << Error;
+}
+
+TEST(TraceIOTest, BinaryRoundTripEmpty) {
+  std::string Data = serializeBinary(Trace());
+  std::optional<Trace> Restored = deserializeBinary(Data);
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_TRUE(Restored->empty());
+}
+
+TEST(TraceIOTest, BinaryRejectsBadMagic) {
+  std::string Error;
+  EXPECT_FALSE(deserializeBinary("XXXX\x01", &Error).has_value());
+  EXPECT_NE(Error.find("magic"), std::string::npos);
+}
+
+TEST(TraceIOTest, BinaryRejectsTruncation) {
+  std::string Data = serializeBinary(makeTrace());
+  std::string Error;
+  EXPECT_FALSE(
+      deserializeBinary(std::string_view(Data).substr(0, Data.size() - 1),
+                        &Error)
+          .has_value());
+}
+
+TEST(TraceIOTest, BinaryRejectsTrailingBytes) {
+  std::string Data = serializeBinary(makeTrace()) + "junk";
+  std::string Error;
+  EXPECT_FALSE(deserializeBinary(Data, &Error).has_value());
+  EXPECT_NE(Error.find("trailing"), std::string::npos);
+}
+
+TEST(TraceIOTest, BinaryRejectsWrongVersion) {
+  std::string Data = serializeBinary(Trace());
+  Data[4] = 99;
+  std::string Error;
+  EXPECT_FALSE(deserializeBinary(Data, &Error).has_value());
+  EXPECT_NE(Error.find("version"), std::string::npos);
+}
+
+TEST(TraceIOTest, TextRoundTrip) {
+  Trace Original = makeTrace();
+  std::string Data = serializeText(Original);
+  std::string Error;
+  std::optional<Trace> Restored = deserializeText(Data, &Error);
+  ASSERT_TRUE(Restored.has_value()) << Error;
+  EXPECT_EQ(Restored->records(), Original.records());
+}
+
+TEST(TraceIOTest, TextAcceptsCommentsAndBlankLines) {
+  std::string Data = "# dtb-trace v1\n\n# a comment\n100 -\n";
+  std::optional<Trace> Restored = deserializeText(Data);
+  ASSERT_TRUE(Restored.has_value());
+  ASSERT_EQ(Restored->numObjects(), 1u);
+  EXPECT_EQ(Restored->records()[0].Death, NeverDies);
+}
+
+TEST(TraceIOTest, TextRejectsMissingHeader) {
+  std::string Error;
+  EXPECT_FALSE(deserializeText("100 -\n", &Error).has_value());
+  EXPECT_NE(Error.find("header"), std::string::npos);
+}
+
+TEST(TraceIOTest, TextRejectsPrematureDeath) {
+  // Object born at clock 100 cannot die at clock 50.
+  std::string Error;
+  EXPECT_FALSE(
+      deserializeText("# dtb-trace v1\n100 50\n", &Error).has_value());
+}
+
+TEST(TraceIOTest, TextRejectsGarbageLine) {
+  std::string Error;
+  EXPECT_FALSE(
+      deserializeText("# dtb-trace v1\nhello world\n", &Error).has_value());
+}
+
+TEST(TraceIOTest, FileRoundTripWithAutoDetect) {
+  Trace Original = makeTrace();
+  std::string Path = testing::TempDir() + "/dtb_trace_io_test.trace";
+  ASSERT_TRUE(writeTraceFile(Original, Path));
+  std::string Error;
+  std::optional<Trace> Restored = readTraceFile(Path, &Error);
+  ASSERT_TRUE(Restored.has_value()) << Error;
+  EXPECT_EQ(Restored->records(), Original.records());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, ReadTextFileAutoDetects) {
+  std::string Path = testing::TempDir() + "/dtb_trace_io_text.trace";
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(File, nullptr);
+  std::fputs("# dtb-trace v1\n64 -\n32 96\n", File);
+  std::fclose(File);
+  std::optional<Trace> Restored = readTraceFile(Path);
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(Restored->numObjects(), 2u);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, ReadMissingFileFails) {
+  std::string Error;
+  EXPECT_FALSE(readTraceFile("/nonexistent/path/xyz.trace", &Error)
+                   .has_value());
+}

@@ -1,0 +1,117 @@
+//===- tests/trace_stats_test.cpp -----------------------------------------==//
+//
+// Tests for trace statistics against hand-computed small traces: live
+// profile (the LIVE row of Table 2), the No-GC profile, lifetime CDF, and
+// the sampled live curve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceStats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::trace;
+
+namespace {
+
+/// Three objects; the middle one dies halfway through.
+///   clock:   0...100...200...300
+///   A(100):  born@100, immortal
+///   B(100):  born@200, dies@300
+///   C(100):  born@300, immortal
+Trace makeSmallTrace() {
+  TraceBuilder Builder;
+  Builder.allocate(100);
+  auto B = Builder.allocate(100);
+  Builder.allocate(100);
+  Builder.free(B);
+  return Builder.finish();
+}
+
+} // namespace
+
+TEST(TraceStatsTest, Totals) {
+  TraceStats S = computeTraceStats(makeSmallTrace());
+  EXPECT_EQ(S.NumObjects, 3u);
+  EXPECT_EQ(S.TotalAllocatedBytes, 300u);
+  EXPECT_DOUBLE_EQ(S.MeanObjectSize, 100.0);
+  EXPECT_EQ(S.MaxObjectSize, 100u);
+}
+
+TEST(TraceStatsTest, LiveProfileHandComputed) {
+  // Live bytes: [0,100) = 0, [100,200) = 100, [200,300) = 200,
+  // at 300: B dies as C is born -> 200.
+  TraceStats S = computeTraceStats(makeSmallTrace());
+  EXPECT_DOUBLE_EQ(S.LiveMeanBytes, (0.0 * 100 + 100.0 * 100 + 200.0 * 100) /
+                                        300.0);
+  EXPECT_EQ(S.LiveMaxBytes, 200u);
+  EXPECT_EQ(S.LiveAtEndBytes, 200u);
+}
+
+TEST(TraceStatsTest, NoGcProfileHandComputed) {
+  // Cumulative allocation: 0 on [0,100), 100 on [100,200), 200 on
+  // [200,300).
+  TraceStats S = computeTraceStats(makeSmallTrace());
+  EXPECT_DOUBLE_EQ(S.NoGcMeanBytes, (0.0 + 100.0 + 200.0) / 3.0);
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  TraceStats S = computeTraceStats(Trace());
+  EXPECT_EQ(S.NumObjects, 0u);
+  EXPECT_EQ(S.TotalAllocatedBytes, 0u);
+  EXPECT_EQ(S.LiveMaxBytes, 0u);
+}
+
+TEST(TraceStatsTest, LifetimeCdf) {
+  TraceBuilder Builder;
+  auto A = Builder.allocate(100); // Will die at age 100.
+  Builder.allocate(100);          // Immortal: excluded from the CDF.
+  Builder.free(A);
+  Trace T = Builder.finish();
+  TraceStats S = computeTraceStats(T);
+
+  const std::vector<uint64_t> &Thresholds =
+      TraceStats::lifetimeThresholds();
+  ASSERT_EQ(S.LifetimeCdf.size(), Thresholds.size());
+  // A's lifetime is 100 bytes: below every threshold (the smallest is
+  // 10 KB). Half the allocated bytes die that young.
+  for (double Fraction : S.LifetimeCdf)
+    EXPECT_DOUBLE_EQ(Fraction, 0.5);
+}
+
+TEST(TraceStatsTest, DeathBeyondEndCountsAsLiveAtEnd) {
+  std::vector<AllocationRecord> Records = {
+      {/*Birth=*/100, /*Size=*/100, /*Death=*/5000}, // Past end of trace.
+  };
+  Trace T(std::move(Records));
+  TraceStats S = computeTraceStats(T);
+  EXPECT_EQ(S.LiveAtEndBytes, 100u);
+  EXPECT_EQ(S.LiveMaxBytes, 100u);
+}
+
+TEST(SampleLiveProfileTest, SamplesLevels) {
+  // Live levels: 100 on [100,200), 200 on [200,300).
+  std::vector<uint64_t> Points = sampleLiveProfile(makeSmallTrace(), 3);
+  ASSERT_EQ(Points.size(), 3u);
+  EXPECT_EQ(Points[0], 100u); // At clock 100.
+  EXPECT_EQ(Points[1], 200u); // At clock 200.
+  EXPECT_EQ(Points[2], 200u); // At clock 300 (B died, C born).
+}
+
+TEST(SampleLiveProfileTest, EmptyAndZeroPoints) {
+  EXPECT_TRUE(sampleLiveProfile(Trace(), 0).empty());
+  std::vector<uint64_t> Points = sampleLiveProfile(Trace(), 4);
+  EXPECT_EQ(Points, std::vector<uint64_t>(4, 0));
+}
+
+TEST(SampleLiveProfileTest, MidIntervalPointUsesPreviousLevel) {
+  // With 6 points over total 300, point clocks are 50,100,150,...; the
+  // point at 50 must report the level before the first birth (0).
+  std::vector<uint64_t> Points = sampleLiveProfile(makeSmallTrace(), 6);
+  ASSERT_EQ(Points.size(), 6u);
+  EXPECT_EQ(Points[0], 0u);   // Clock 50.
+  EXPECT_EQ(Points[1], 100u); // Clock 100.
+  EXPECT_EQ(Points[2], 100u); // Clock 150.
+  EXPECT_EQ(Points[3], 200u); // Clock 200.
+}

@@ -1,0 +1,123 @@
+//===- tests/trace_test.cpp -----------------------------------------------==//
+//
+// Tests for the allocation-trace model: builder semantics, clock
+// conventions, and structural verification.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace dtb;
+using namespace dtb::trace;
+
+TEST(TraceBuilderTest, BirthClockIsRunningByteTotal) {
+  TraceBuilder B;
+  auto A = B.allocate(100);
+  auto C = B.allocate(50);
+  Trace T = B.finish();
+  ASSERT_EQ(T.numObjects(), 2u);
+  EXPECT_EQ(T.records()[A].Birth, 100u);
+  EXPECT_EQ(T.records()[C].Birth, 150u);
+  EXPECT_EQ(T.totalAllocated(), 150u);
+}
+
+TEST(TraceBuilderTest, FreeRecordsDeathAtCurrentClock) {
+  TraceBuilder B;
+  auto A = B.allocate(100);
+  B.allocate(50);
+  B.free(A);
+  B.allocate(25);
+  Trace T = B.finish();
+  EXPECT_EQ(T.records()[A].Death, 150u);
+}
+
+TEST(TraceBuilderTest, UnfreedObjectsNeverDie) {
+  TraceBuilder B;
+  auto A = B.allocate(10);
+  Trace T = B.finish();
+  EXPECT_EQ(T.records()[A].Death, NeverDies);
+}
+
+TEST(TraceBuilderTest, FinishResetsBuilder) {
+  TraceBuilder B;
+  B.allocate(10);
+  Trace First = B.finish();
+  EXPECT_EQ(B.now(), 0u);
+  EXPECT_EQ(B.numObjects(), 0u);
+  B.allocate(20);
+  Trace Second = B.finish();
+  EXPECT_EQ(Second.totalAllocated(), 20u);
+  EXPECT_EQ(First.totalAllocated(), 10u);
+}
+
+TEST(AllocationRecordTest, LivenessSemantics) {
+  AllocationRecord R{/*Birth=*/100, /*Size=*/10, /*Death=*/150};
+  EXPECT_TRUE(R.liveAt(100));
+  EXPECT_TRUE(R.liveAt(149));
+  EXPECT_FALSE(R.liveAt(150)); // Dead exactly at the death clock.
+  EXPECT_FALSE(R.liveAt(200));
+  EXPECT_EQ(R.lifetime(), 50u);
+
+  AllocationRecord Immortal{/*Birth=*/100, /*Size=*/10,
+                            /*Death=*/NeverDies};
+  EXPECT_TRUE(Immortal.liveAt(NeverDies - 1));
+  EXPECT_EQ(Immortal.lifetime(), NeverDies);
+}
+
+TEST(TraceVerifyTest, AcceptsWellFormed) {
+  TraceBuilder B;
+  auto A = B.allocate(8);
+  B.allocate(16);
+  B.free(A);
+  Trace T = B.finish();
+  std::string Error;
+  EXPECT_TRUE(T.verify(&Error)) << Error;
+}
+
+TEST(TraceVerifyTest, AcceptsEmpty) {
+  Trace T;
+  EXPECT_TRUE(T.verify());
+  EXPECT_EQ(T.totalAllocated(), 0u);
+  EXPECT_TRUE(T.empty());
+}
+
+TEST(TraceVerifyTest, RejectsZeroSize) {
+  std::vector<AllocationRecord> Records = {{/*Birth=*/0, /*Size=*/0,
+                                            /*Death=*/NeverDies}};
+  Trace T(std::move(Records));
+  std::string Error;
+  EXPECT_FALSE(T.verify(&Error));
+  EXPECT_NE(Error.find("zero size"), std::string::npos);
+}
+
+TEST(TraceVerifyTest, RejectsInconsistentBirthClock) {
+  std::vector<AllocationRecord> Records = {
+      {/*Birth=*/10, /*Size=*/10, /*Death=*/NeverDies},
+      {/*Birth=*/15, /*Size=*/10, /*Death=*/NeverDies}, // Should be 20.
+  };
+  Trace T(std::move(Records));
+  std::string Error;
+  EXPECT_FALSE(T.verify(&Error));
+  EXPECT_NE(Error.find("inconsistent"), std::string::npos);
+}
+
+TEST(TraceVerifyTest, RejectsDeathBeforeBirth) {
+  std::vector<AllocationRecord> Records = {
+      {/*Birth=*/10, /*Size=*/10, /*Death=*/5},
+  };
+  Trace T(std::move(Records));
+  std::string Error;
+  EXPECT_FALSE(T.verify(&Error));
+  EXPECT_NE(Error.find("dies before"), std::string::npos);
+}
+
+TEST(TraceVerifyTest, AllowsDeathEqualToBirth) {
+  TraceBuilder B;
+  auto A = B.allocate(10);
+  B.free(A); // Freed with no intervening allocation.
+  Trace T = B.finish();
+  EXPECT_TRUE(T.verify());
+  EXPECT_EQ(T.records()[A].Death, T.records()[A].Birth);
+}
