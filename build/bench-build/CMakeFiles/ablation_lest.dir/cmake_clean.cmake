@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lest"
+  "../bench/ablation_lest.pdb"
+  "CMakeFiles/ablation_lest.dir/ablation_lest.cpp.o"
+  "CMakeFiles/ablation_lest.dir/ablation_lest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_oracle"
+  "../bench/ablation_oracle.pdb"
+  "CMakeFiles/ablation_oracle.dir/ablation_oracle.cpp.o"
+  "CMakeFiles/ablation_oracle.dir/ablation_oracle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

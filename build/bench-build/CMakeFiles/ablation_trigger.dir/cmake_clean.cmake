@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_trigger"
+  "../bench/ablation_trigger.pdb"
+  "CMakeFiles/ablation_trigger.dir/ablation_trigger.cpp.o"
+  "CMakeFiles/ablation_trigger.dir/ablation_trigger.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

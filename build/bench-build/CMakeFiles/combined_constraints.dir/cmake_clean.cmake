@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/combined_constraints"
+  "../bench/combined_constraints.pdb"
+  "CMakeFiles/combined_constraints.dir/combined_constraints.cpp.o"
+  "CMakeFiles/combined_constraints.dir/combined_constraints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combined_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/constraint_sweep"
+  "../bench/constraint_sweep.pdb"
+  "CMakeFiles/constraint_sweep.dir/constraint_sweep.cpp.o"
+  "CMakeFiles/constraint_sweep.dir/constraint_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

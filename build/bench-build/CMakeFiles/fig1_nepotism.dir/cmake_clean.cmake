@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_nepotism"
+  "../bench/fig1_nepotism.pdb"
+  "CMakeFiles/fig1_nepotism.dir/fig1_nepotism.cpp.o"
+  "CMakeFiles/fig1_nepotism.dir/fig1_nepotism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_nepotism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_memory_curve"
+  "../bench/fig2_memory_curve.pdb"
+  "CMakeFiles/fig2_memory_curve.dir/fig2_memory_curve.cpp.o"
+  "CMakeFiles/fig2_memory_curve.dir/fig2_memory_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_memory_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/remset_overhead"
+  "../bench/remset_overhead.pdb"
+  "CMakeFiles/remset_overhead.dir/remset_overhead.cpp.o"
+  "CMakeFiles/remset_overhead.dir/remset_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remset_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/runtime_end_to_end"
+  "../bench/runtime_end_to_end.pdb"
+  "CMakeFiles/runtime_end_to_end.dir/runtime_end_to_end.cpp.o"
+  "CMakeFiles/runtime_end_to_end.dir/runtime_end_to_end.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

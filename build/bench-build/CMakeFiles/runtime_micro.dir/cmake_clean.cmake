@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/runtime_micro"
+  "../bench/runtime_micro.pdb"
+  "CMakeFiles/runtime_micro.dir/runtime_micro.cpp.o"
+  "CMakeFiles/runtime_micro.dir/runtime_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

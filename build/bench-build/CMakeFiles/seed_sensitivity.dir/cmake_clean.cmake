@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/seed_sensitivity"
+  "../bench/seed_sensitivity.pdb"
+  "CMakeFiles/seed_sensitivity.dir/seed_sensitivity.cpp.o"
+  "CMakeFiles/seed_sensitivity.dir/seed_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_pause_times"
+  "../bench/table3_pause_times.pdb"
+  "CMakeFiles/table3_pause_times.dir/table3_pause_times.cpp.o"
+  "CMakeFiles/table3_pause_times.dir/table3_pause_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pause_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_6_workloads"
+  "../bench/table5_6_workloads.pdb"
+  "CMakeFiles/table5_6_workloads.dir/table5_6_workloads.cpp.o"
+  "CMakeFiles/table5_6_workloads.dir/table5_6_workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_6_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_explorer.dir/constraint_explorer.cpp.o"
+  "CMakeFiles/constraint_explorer.dir/constraint_explorer.cpp.o.d"
+  "constraint_explorer"
+  "constraint_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisp.dir/lisp.cpp.o"
+  "CMakeFiles/lisp.dir/lisp.cpp.o.d"
+  "lisp"
+  "lisp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lisp.
+# This may be replaced when dependencies are built.

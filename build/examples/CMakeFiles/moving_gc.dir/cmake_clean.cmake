@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_gc.dir/moving_gc.cpp.o"
+  "CMakeFiles/moving_gc.dir/moving_gc.cpp.o.d"
+  "moving_gc"
+  "moving_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_cache.dir/object_cache.cpp.o"
+  "CMakeFiles/object_cache.dir/object_cache.cpp.o.d"
+  "object_cache"
+  "object_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracetool.dir/tracetool.cpp.o"
+  "CMakeFiles/tracetool.dir/tracetool.cpp.o.d"
+  "tracetool"
+  "tracetool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracetool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Combinators.cpp" "src/core/CMakeFiles/dtb_core.dir/Combinators.cpp.o" "gcc" "src/core/CMakeFiles/dtb_core.dir/Combinators.cpp.o.d"
+  "/root/repo/src/core/OptimalPolicies.cpp" "src/core/CMakeFiles/dtb_core.dir/OptimalPolicies.cpp.o" "gcc" "src/core/CMakeFiles/dtb_core.dir/OptimalPolicies.cpp.o.d"
+  "/root/repo/src/core/Policies.cpp" "src/core/CMakeFiles/dtb_core.dir/Policies.cpp.o" "gcc" "src/core/CMakeFiles/dtb_core.dir/Policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dtb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtb_core.dir/Combinators.cpp.o"
+  "CMakeFiles/dtb_core.dir/Combinators.cpp.o.d"
+  "CMakeFiles/dtb_core.dir/OptimalPolicies.cpp.o"
+  "CMakeFiles/dtb_core.dir/OptimalPolicies.cpp.o.d"
+  "CMakeFiles/dtb_core.dir/Policies.cpp.o"
+  "CMakeFiles/dtb_core.dir/Policies.cpp.o.d"
+  "libdtb_core.a"
+  "libdtb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

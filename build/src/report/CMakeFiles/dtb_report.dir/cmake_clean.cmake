@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtb_report.dir/Experiments.cpp.o"
+  "CMakeFiles/dtb_report.dir/Experiments.cpp.o.d"
+  "CMakeFiles/dtb_report.dir/PaperReference.cpp.o"
+  "CMakeFiles/dtb_report.dir/PaperReference.cpp.o.d"
+  "CMakeFiles/dtb_report.dir/SeedSweep.cpp.o"
+  "CMakeFiles/dtb_report.dir/SeedSweep.cpp.o.d"
+  "libdtb_report.a"
+  "libdtb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtb_report.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Collector.cpp" "src/runtime/CMakeFiles/dtb_runtime.dir/Collector.cpp.o" "gcc" "src/runtime/CMakeFiles/dtb_runtime.dir/Collector.cpp.o.d"
+  "/root/repo/src/runtime/CopyingCollector.cpp" "src/runtime/CMakeFiles/dtb_runtime.dir/CopyingCollector.cpp.o" "gcc" "src/runtime/CMakeFiles/dtb_runtime.dir/CopyingCollector.cpp.o.d"
+  "/root/repo/src/runtime/EpochDemographics.cpp" "src/runtime/CMakeFiles/dtb_runtime.dir/EpochDemographics.cpp.o" "gcc" "src/runtime/CMakeFiles/dtb_runtime.dir/EpochDemographics.cpp.o.d"
+  "/root/repo/src/runtime/Heap.cpp" "src/runtime/CMakeFiles/dtb_runtime.dir/Heap.cpp.o" "gcc" "src/runtime/CMakeFiles/dtb_runtime.dir/Heap.cpp.o.d"
+  "/root/repo/src/runtime/HeapDump.cpp" "src/runtime/CMakeFiles/dtb_runtime.dir/HeapDump.cpp.o" "gcc" "src/runtime/CMakeFiles/dtb_runtime.dir/HeapDump.cpp.o.d"
+  "/root/repo/src/runtime/HeapVerifier.cpp" "src/runtime/CMakeFiles/dtb_runtime.dir/HeapVerifier.cpp.o" "gcc" "src/runtime/CMakeFiles/dtb_runtime.dir/HeapVerifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dtb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dtb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtb_runtime.dir/Collector.cpp.o"
+  "CMakeFiles/dtb_runtime.dir/Collector.cpp.o.d"
+  "CMakeFiles/dtb_runtime.dir/CopyingCollector.cpp.o"
+  "CMakeFiles/dtb_runtime.dir/CopyingCollector.cpp.o.d"
+  "CMakeFiles/dtb_runtime.dir/EpochDemographics.cpp.o"
+  "CMakeFiles/dtb_runtime.dir/EpochDemographics.cpp.o.d"
+  "CMakeFiles/dtb_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/dtb_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/dtb_runtime.dir/HeapDump.cpp.o"
+  "CMakeFiles/dtb_runtime.dir/HeapDump.cpp.o.d"
+  "CMakeFiles/dtb_runtime.dir/HeapVerifier.cpp.o"
+  "CMakeFiles/dtb_runtime.dir/HeapVerifier.cpp.o.d"
+  "libdtb_runtime.a"
+  "libdtb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/HeapModel.cpp" "src/sim/CMakeFiles/dtb_sim.dir/HeapModel.cpp.o" "gcc" "src/sim/CMakeFiles/dtb_sim.dir/HeapModel.cpp.o.d"
+  "/root/repo/src/sim/PointerTraffic.cpp" "src/sim/CMakeFiles/dtb_sim.dir/PointerTraffic.cpp.o" "gcc" "src/sim/CMakeFiles/dtb_sim.dir/PointerTraffic.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/sim/CMakeFiles/dtb_sim.dir/Simulator.cpp.o" "gcc" "src/sim/CMakeFiles/dtb_sim.dir/Simulator.cpp.o.d"
+  "/root/repo/src/sim/Trigger.cpp" "src/sim/CMakeFiles/dtb_sim.dir/Trigger.cpp.o" "gcc" "src/sim/CMakeFiles/dtb_sim.dir/Trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dtb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dtb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

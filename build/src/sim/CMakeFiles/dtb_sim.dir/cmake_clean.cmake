@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtb_sim.dir/HeapModel.cpp.o"
+  "CMakeFiles/dtb_sim.dir/HeapModel.cpp.o.d"
+  "CMakeFiles/dtb_sim.dir/PointerTraffic.cpp.o"
+  "CMakeFiles/dtb_sim.dir/PointerTraffic.cpp.o.d"
+  "CMakeFiles/dtb_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/dtb_sim.dir/Simulator.cpp.o.d"
+  "CMakeFiles/dtb_sim.dir/Trigger.cpp.o"
+  "CMakeFiles/dtb_sim.dir/Trigger.cpp.o.d"
+  "libdtb_sim.a"
+  "libdtb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

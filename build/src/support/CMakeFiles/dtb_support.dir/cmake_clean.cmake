@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtb_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/dtb_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/dtb_support.dir/Error.cpp.o"
+  "CMakeFiles/dtb_support.dir/Error.cpp.o.d"
+  "CMakeFiles/dtb_support.dir/Statistics.cpp.o"
+  "CMakeFiles/dtb_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/dtb_support.dir/Table.cpp.o"
+  "CMakeFiles/dtb_support.dir/Table.cpp.o.d"
+  "CMakeFiles/dtb_support.dir/Units.cpp.o"
+  "CMakeFiles/dtb_support.dir/Units.cpp.o.d"
+  "libdtb_support.a"
+  "libdtb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

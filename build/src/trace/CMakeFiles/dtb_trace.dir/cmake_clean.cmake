@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtb_trace.dir/Trace.cpp.o"
+  "CMakeFiles/dtb_trace.dir/Trace.cpp.o.d"
+  "CMakeFiles/dtb_trace.dir/TraceIO.cpp.o"
+  "CMakeFiles/dtb_trace.dir/TraceIO.cpp.o.d"
+  "CMakeFiles/dtb_trace.dir/TraceStats.cpp.o"
+  "CMakeFiles/dtb_trace.dir/TraceStats.cpp.o.d"
+  "libdtb_trace.a"
+  "libdtb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

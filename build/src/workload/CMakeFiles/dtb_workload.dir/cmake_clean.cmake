@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtb_workload.dir/Workload.cpp.o"
+  "CMakeFiles/dtb_workload.dir/Workload.cpp.o.d"
+  "libdtb_workload.a"
+  "libdtb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_minormajor_test.dir/policy_minormajor_test.cpp.o"
+  "CMakeFiles/policy_minormajor_test.dir/policy_minormajor_test.cpp.o.d"
+  "policy_minormajor_test"
+  "policy_minormajor_test.pdb"
+  "policy_minormajor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_minormajor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

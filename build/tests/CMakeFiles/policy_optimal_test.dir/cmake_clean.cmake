@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_optimal_test.dir/policy_optimal_test.cpp.o"
+  "CMakeFiles/policy_optimal_test.dir/policy_optimal_test.cpp.o.d"
+  "policy_optimal_test"
+  "policy_optimal_test.pdb"
+  "policy_optimal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_optimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

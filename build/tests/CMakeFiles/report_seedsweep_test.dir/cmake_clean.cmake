@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_seedsweep_test.dir/report_seedsweep_test.cpp.o"
+  "CMakeFiles/report_seedsweep_test.dir/report_seedsweep_test.cpp.o.d"
+  "report_seedsweep_test"
+  "report_seedsweep_test.pdb"
+  "report_seedsweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_seedsweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

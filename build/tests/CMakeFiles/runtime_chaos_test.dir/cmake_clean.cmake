@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_chaos_test.dir/runtime_chaos_test.cpp.o"
+  "CMakeFiles/runtime_chaos_test.dir/runtime_chaos_test.cpp.o.d"
+  "runtime_chaos_test"
+  "runtime_chaos_test.pdb"
+  "runtime_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

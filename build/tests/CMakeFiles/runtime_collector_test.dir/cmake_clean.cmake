@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_collector_test.dir/runtime_collector_test.cpp.o"
+  "CMakeFiles/runtime_collector_test.dir/runtime_collector_test.cpp.o.d"
+  "runtime_collector_test"
+  "runtime_collector_test.pdb"
+  "runtime_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

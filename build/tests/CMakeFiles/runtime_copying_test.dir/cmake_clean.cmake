@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_copying_test.dir/runtime_copying_test.cpp.o"
+  "CMakeFiles/runtime_copying_test.dir/runtime_copying_test.cpp.o.d"
+  "runtime_copying_test"
+  "runtime_copying_test.pdb"
+  "runtime_copying_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_copying_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_demographics_test.dir/runtime_demographics_test.cpp.o"
+  "CMakeFiles/runtime_demographics_test.dir/runtime_demographics_test.cpp.o.d"
+  "runtime_demographics_test"
+  "runtime_demographics_test.pdb"
+  "runtime_demographics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_demographics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_gclog_test.dir/runtime_gclog_test.cpp.o"
+  "CMakeFiles/runtime_gclog_test.dir/runtime_gclog_test.cpp.o.d"
+  "runtime_gclog_test"
+  "runtime_gclog_test.pdb"
+  "runtime_gclog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_gclog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

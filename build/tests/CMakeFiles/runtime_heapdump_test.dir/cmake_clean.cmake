@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_heapdump_test.dir/runtime_heapdump_test.cpp.o"
+  "CMakeFiles/runtime_heapdump_test.dir/runtime_heapdump_test.cpp.o.d"
+  "runtime_heapdump_test"
+  "runtime_heapdump_test.pdb"
+  "runtime_heapdump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_heapdump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

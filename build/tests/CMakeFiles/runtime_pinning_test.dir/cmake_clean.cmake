@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_pinning_test.dir/runtime_pinning_test.cpp.o"
+  "CMakeFiles/runtime_pinning_test.dir/runtime_pinning_test.cpp.o.d"
+  "runtime_pinning_test"
+  "runtime_pinning_test.pdb"
+  "runtime_pinning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_pinning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime_property_test.cpp" "tests/CMakeFiles/runtime_property_test.dir/runtime_property_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_property_test.dir/runtime_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/dtb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dtb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dtb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dtb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dtb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_verifier_test.dir/runtime_verifier_test.cpp.o"
+  "CMakeFiles/runtime_verifier_test.dir/runtime_verifier_test.cpp.o.d"
+  "runtime_verifier_test"
+  "runtime_verifier_test.pdb"
+  "runtime_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

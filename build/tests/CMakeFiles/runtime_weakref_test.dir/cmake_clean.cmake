@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_weakref_test.dir/runtime_weakref_test.cpp.o"
+  "CMakeFiles/runtime_weakref_test.dir/runtime_weakref_test.cpp.o.d"
+  "runtime_weakref_test"
+  "runtime_weakref_test.pdb"
+  "runtime_weakref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_weakref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pointertraffic_test.dir/sim_pointertraffic_test.cpp.o"
+  "CMakeFiles/sim_pointertraffic_test.dir/sim_pointertraffic_test.cpp.o.d"
+  "sim_pointertraffic_test"
+  "sim_pointertraffic_test.pdb"
+  "sim_pointertraffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pointertraffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

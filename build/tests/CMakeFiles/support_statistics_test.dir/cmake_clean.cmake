@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_statistics_test.dir/support_statistics_test.cpp.o"
+  "CMakeFiles/support_statistics_test.dir/support_statistics_test.cpp.o.d"
+  "support_statistics_test"
+  "support_statistics_test.pdb"
+  "support_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
