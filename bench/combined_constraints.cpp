@@ -21,22 +21,27 @@
 #include "report/Experiments.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "support/Units.h"
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 using namespace dtb;
 
 int main(int Argc, char **Argv) {
   uint64_t TraceMax = 50'000;
   uint64_t MemMax = 3'000'000;
+  uint64_t Threads = 0;
   OptionParser Parser("Imposes the paper's memory and pause constraints "
                       "simultaneously via policy composition");
   Parser.addUInt("trace-max", "Pause budget in traced bytes", &TraceMax);
   Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
+  addThreadsOption(Parser, &Threads);
   if (!Parser.parse(Argc, Argv))
     return 1;
+  applyThreadsOption(Threads);
 
   core::MachineModel Machine;
   std::printf("Dual constraints: %.0f ms pauses AND %.0f KB memory\n\n",
@@ -59,26 +64,40 @@ int main(int Argc, char **Argv) {
     return core::createPolicy(Kind, Config);
   };
 
-  for (const workload::WorkloadSpec &Spec : workload::paperWorkloads()) {
-    trace::Trace T = workload::generateTrace(Spec);
-    sim::SimulatorConfig SimConfig;
-    SimConfig.ProgramSeconds = Spec.ProgramSeconds;
+  // Trace generation fans out per workload, then the policy runs fan out
+  // per (workload, kind) cell; rendering stays serial so output is
+  // identical for any --threads value.
+  const std::vector<workload::WorkloadSpec> &Specs =
+      workload::paperWorkloads();
+  const std::vector<const char *> Kinds = {"dtbmem", "dtbfm", "mem-first",
+                                           "pause-first"};
+  std::vector<trace::Trace> Traces(Specs.size());
+  parallelFor(Specs.size(),
+              [&](size_t W) { Traces[W] = workload::generateTrace(Specs[W]); });
 
+  std::vector<sim::SimulationResult> Results(Specs.size() * Kinds.size());
+  parallelFor(Results.size(), [&](size_t Cell) {
+    size_t W = Cell / Kinds.size();
+    sim::SimulatorConfig SimConfig;
+    SimConfig.ProgramSeconds = Specs[W].ProgramSeconds;
+    auto Policy = MakePolicy(Kinds[Cell % Kinds.size()]);
+    Results[Cell] = sim::simulate(Traces[W], *Policy, SimConfig);
+  });
+
+  for (size_t W = 0; W != Specs.size(); ++W) {
     Table Tbl({"Policy", "Mem max (KB)", "mem ok", "Median (ms)",
                "pause ok", "Traced (KB)"});
-    for (const char *Kind :
-         {"dtbmem", "dtbfm", "mem-first", "pause-first"}) {
-      auto Policy = MakePolicy(Kind);
-      sim::SimulationResult R = sim::simulate(T, *Policy, SimConfig);
+    for (size_t K = 0; K != Kinds.size(); ++K) {
+      const sim::SimulationResult &R = Results[W * Kinds.size() + K];
       double MedianMs = R.PauseMillis.median();
       double BudgetMs = Machine.pauseMillisForTracedBytes(TraceMax);
-      Tbl.addRow({Kind, Table::cell(bytesToKB(R.MemMaxBytes)),
+      Tbl.addRow({Kinds[K], Table::cell(bytesToKB(R.MemMaxBytes)),
                   R.MemMaxBytes <= MemMax ? "yes" : "NO",
                   Table::cell(MedianMs, 0),
                   MedianMs <= BudgetMs * 1.3 ? "yes" : "NO",
                   Table::cell(bytesToKB(R.TotalTracedBytes))});
     }
-    std::printf("%s:\n", Spec.DisplayName.c_str());
+    std::printf("%s:\n", Specs[W].DisplayName.c_str());
     Tbl.print(stdout);
     std::printf("\n");
   }

@@ -17,19 +17,24 @@
 #include "report/Experiments.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "support/Units.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace dtb;
 
 int main(int Argc, char **Argv) {
   std::string WorkloadName = "ghost1";
+  uint64_t Threads = 0;
   OptionParser Parser("Sweeps the pause and memory constraints to show "
                       "how closely the DTB policies track them");
   Parser.addString("workload", "Workload name", &WorkloadName);
+  addThreadsOption(Parser, &Threads);
   if (!Parser.parse(Argc, Argv))
     return 1;
+  applyThreadsOption(Threads);
 
   const workload::WorkloadSpec *Spec = workload::findWorkload(WorkloadName);
   if (!Spec) {
@@ -44,19 +49,30 @@ int main(int Argc, char **Argv) {
   core::MachineModel Machine;
 
   // --- Pause-constraint sweep -------------------------------------------
+  // Every simulation below is independent, so both sweeps fan out over
+  // the worker pool; results land in per-budget slots and the tables are
+  // rendered serially afterwards, identical for any --threads value.
   std::printf("Pause-constraint sweep on %s (median should track the "
               "budget):\n\n",
               Spec->DisplayName.c_str());
   Table PauseTable({"Budget (ms)", "DTBFM median", "DTBFM 90th",
                     "DTBFM mem mean (KB)", "FEEDMED median",
                     "FEEDMED mem mean (KB)"});
-  for (double BudgetMs : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
-    uint64_t TraceMax = Machine.tracedBytesForPauseMillis(BudgetMs);
+  const std::vector<double> PauseBudgetsMs = {25.0,  50.0,  100.0,
+                                              200.0, 400.0, 800.0};
+  std::vector<sim::SimulationResult> FmResults(PauseBudgetsMs.size());
+  std::vector<sim::SimulationResult> MedResults(PauseBudgetsMs.size());
+  parallelFor(PauseBudgetsMs.size(), [&](size_t I) {
+    uint64_t TraceMax = Machine.tracedBytesForPauseMillis(PauseBudgetsMs[I]);
     core::DtbPausePolicy DtbFm(TraceMax);
     core::FeedbackMediationPolicy FeedMed(TraceMax);
-    sim::SimulationResult RFm = sim::simulate(T, DtbFm, SimConfig);
-    sim::SimulationResult RMed = sim::simulate(T, FeedMed, SimConfig);
-    PauseTable.addRow({Table::cell(BudgetMs, 0),
+    FmResults[I] = sim::simulate(T, DtbFm, SimConfig);
+    MedResults[I] = sim::simulate(T, FeedMed, SimConfig);
+  });
+  for (size_t I = 0; I != PauseBudgetsMs.size(); ++I) {
+    const sim::SimulationResult &RFm = FmResults[I];
+    const sim::SimulationResult &RMed = MedResults[I];
+    PauseTable.addRow({Table::cell(PauseBudgetsMs[I], 0),
                        Table::cell(RFm.PauseMillis.median(), 0),
                        Table::cell(RFm.PauseMillis.percentile90(), 0),
                        Table::cell(bytesToKB(RFm.MemMeanBytes)),
@@ -66,26 +82,36 @@ int main(int Argc, char **Argv) {
   PauseTable.print(stdout);
 
   // --- Memory-constraint sweep ------------------------------------------
-  core::FullPolicy Full;
-  sim::SimulationResult FullResult = sim::simulate(T, Full, SimConfig);
+  const std::vector<uint64_t> MemBudgetsKB = {1000, 1500, 2000, 2500,
+                                              3000, 4000, 6000, 8000};
+  sim::SimulationResult FullResult, Fixed1Result;
+  std::vector<sim::SimulationResult> MemResults(MemBudgetsKB.size());
+  parallelFor(MemBudgetsKB.size() + 2, [&](size_t I) {
+    if (I == 0) {
+      core::FullPolicy Full;
+      FullResult = sim::simulate(T, Full, SimConfig);
+    } else if (I == 1) {
+      core::FixedAgePolicy Fixed1(1);
+      Fixed1Result = sim::simulate(T, Fixed1, SimConfig);
+    } else {
+      core::DtbMemoryPolicy DtbMem(MemBudgetsKB[I - 2] * 1000);
+      MemResults[I - 2] = sim::simulate(T, DtbMem, SimConfig);
+    }
+  });
   std::printf("\nMemory-constraint sweep on %s (max should hug the budget; "
               "FULL needs %.0f KB):\n\n",
               Spec->DisplayName.c_str(),
               bytesToKB(FullResult.MemMaxBytes));
   Table MemTable({"Budget (KB)", "DTBMEM max (KB)", "DTBMEM mean (KB)",
                   "Traced (KB)", "vs FIXED1 traced"});
-  core::FixedAgePolicy Fixed1(1);
-  sim::SimulationResult Fixed1Result = sim::simulate(T, Fixed1, SimConfig);
-  for (uint64_t BudgetKB : {1000ull, 1500ull, 2000ull, 2500ull, 3000ull,
-                            4000ull, 6000ull, 8000ull}) {
-    core::DtbMemoryPolicy DtbMem(BudgetKB * 1000);
-    sim::SimulationResult R = sim::simulate(T, DtbMem, SimConfig);
+  for (size_t I = 0; I != MemBudgetsKB.size(); ++I) {
+    const sim::SimulationResult &R = MemResults[I];
     double Ratio = Fixed1Result.TotalTracedBytes == 0
                        ? 0.0
                        : static_cast<double>(R.TotalTracedBytes) /
                              static_cast<double>(
                                  Fixed1Result.TotalTracedBytes);
-    MemTable.addRow({Table::cell(BudgetKB),
+    MemTable.addRow({Table::cell(MemBudgetsKB[I]),
                      Table::cell(bytesToKB(R.MemMaxBytes)),
                      Table::cell(bytesToKB(R.MemMeanBytes)),
                      Table::cell(bytesToKB(R.TotalTracedBytes)),

@@ -14,15 +14,20 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/OptimalPolicies.h"
 #include "core/Policies.h"
+#include "report/Experiments.h"
 #include "runtime/Heap.h"
 #include "runtime/HeapVerifier.h"
 #include "support/CommandLine.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "support/Units.h"
+#include "trace/TraceStats.h"
 
+#include <chrono>
 #include <cstdio>
 #include <queue>
 #include <vector>
@@ -106,6 +111,95 @@ private:
   std::priority_queue<Pending> Deaths;
 };
 
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// --timing: wall-clock the two perf-critical paths and emit JSON so the
+/// numbers are comparable across PRs:
+///
+///  * report::ExperimentGrid::paperGrid with the requested --threads
+///    versus a forced serial run (the parallel-engine speedup);
+///  * a simulation of the largest paper workload under the oracle
+///    memory-first boundary search with the indexed HeapModel versus the
+///    retained naive scans (the indexed-query speedup).
+int runTimingMode(uint64_t Threads) {
+  using Clock = std::chrono::steady_clock;
+  unsigned Lanes =
+      Threads == 0 ? defaultThreadCount() : static_cast<unsigned>(Threads);
+
+  report::ExperimentConfig GridConfig;
+  GridConfig.Threads = Lanes;
+  auto Start = Clock::now();
+  report::ExperimentGrid::paperGrid(GridConfig);
+  double ParallelSec = secondsSince(Start);
+
+  GridConfig.Threads = 1;
+  Start = Clock::now();
+  report::ExperimentGrid::paperGrid(GridConfig);
+  double SerialSec = secondsSince(Start);
+
+  const workload::WorkloadSpec *Largest = nullptr;
+  for (const workload::WorkloadSpec &Spec : workload::paperWorkloads())
+    if (!Largest || Spec.TotalAllocationBytes > Largest->TotalAllocationBytes)
+      Largest = &Spec;
+  trace::Trace T = workload::generateTrace(*Largest);
+
+  sim::SimulatorConfig SimConfig;
+  SimConfig.ProgramSeconds = Largest->ProgramSeconds;
+  // The query-heaviest policy: the oracle boundary search for the memory
+  // constraint binary-searches the boundary with a pair of demographics
+  // queries per probe. A budget just above the mean live size binds at
+  // every scavenge, so the search actually runs — with a loose budget the
+  // policy takes the newest-boundary early exit and the queries being
+  // measured never execute.
+  trace::TraceStats Stats = trace::computeTraceStats(T);
+  auto MemBudget = static_cast<uint64_t>(Stats.LiveMeanBytes * 1.2);
+  core::OptimalMemoryPolicy MemFirst(MemBudget);
+
+  Start = Clock::now();
+  sim::SimulationResult Indexed = sim::simulate(T, MemFirst, SimConfig);
+  double IndexedSec = secondsSince(Start);
+
+  SimConfig.UseNaiveHeapQueries = true;
+  Start = Clock::now();
+  sim::SimulationResult Scanned = sim::simulate(T, MemFirst, SimConfig);
+  double ScanSec = secondsSince(Start);
+
+  if (Indexed.TotalTracedBytes != Scanned.TotalTracedBytes ||
+      Indexed.NumScavenges != Scanned.NumScavenges) {
+    std::fprintf(stderr, "error: indexed and scan runs disagree\n");
+    return 1;
+  }
+
+  std::printf("{\n"
+              "  \"threads\": %u,\n"
+              "  \"grid\": {\n"
+              "    \"serial_seconds\": %.3f,\n"
+              "    \"parallel_seconds\": %.3f,\n"
+              "    \"speedup\": %.2f\n"
+              "  },\n"
+              "  \"dtbmem_heap_queries\": {\n"
+              "    \"workload\": \"%s\",\n"
+              "    \"policy\": \"mem-first (oracle boundary search)\",\n"
+              "    \"mem_budget_bytes\": %llu,\n"
+              "    \"scan_seconds\": %.3f,\n"
+              "    \"indexed_seconds\": %.3f,\n"
+              "    \"speedup\": %.2f,\n"
+              "    \"num_scavenges\": %llu\n"
+              "  }\n"
+              "}\n",
+              Lanes, SerialSec, ParallelSec,
+              ParallelSec > 0.0 ? SerialSec / ParallelSec : 0.0,
+              Largest->Name.c_str(),
+              static_cast<unsigned long long>(MemBudget), ScanSec, IndexedSec,
+              IndexedSec > 0.0 ? ScanSec / IndexedSec : 0.0,
+              static_cast<unsigned long long>(Indexed.NumScavenges));
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -113,14 +207,25 @@ int main(int Argc, char **Argv) {
   uint64_t TriggerBytes = 100'000;
   uint64_t TraceMax = 12'000;  // Scaled pause budget with feedback headroom.
   uint64_t MemMax = 300'000;   // Paper's 3000 KB at 1/10.
+  uint64_t Threads = 0;
+  bool Timing = false;
   OptionParser Parser("Runs the six collectors on the real managed "
                       "runtime (no oracle) under a GHOST-like mutator");
   Parser.addUInt("bytes", "Total allocation", &TotalBytes);
   Parser.addUInt("trigger", "Bytes between collections", &TriggerBytes);
   Parser.addUInt("trace-max", "Pause budget in traced bytes", &TraceMax);
   Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
+  Parser.addFlag("timing",
+                 "Emit wall-clock + speedup JSON for the parallel "
+                 "experiment engine and the indexed heap-model queries",
+                 &Timing);
+  addThreadsOption(Parser, &Threads);
   if (!Parser.parse(Argc, Argv))
     return 1;
+  applyThreadsOption(Threads);
+
+  if (Timing)
+    return runTimingMode(Threads);
 
   std::printf("End-to-end on the real runtime: %s allocation, %s trigger, "
               "budgets %s / %s\n\n",

@@ -13,6 +13,7 @@
 #include "report/SeedSweep.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 
@@ -30,11 +31,14 @@ std::string meanPlusMinus(const RunningStats &S, int Decimals = 0) {
 
 int main(int Argc, char **Argv) {
   uint64_t NumSeeds = 5;
+  uint64_t Threads = 0;
   OptionParser Parser("Re-runs the paper grid across multiple workload "
                       "seeds and reports metric distributions");
   Parser.addUInt("seeds", "Number of seeds per workload", &NumSeeds);
+  addThreadsOption(Parser, &Threads);
   if (!Parser.parse(Argc, Argv))
     return 1;
+  applyThreadsOption(Threads);
 
   ExperimentConfig Config;
   SeedSweepResult Sweep =

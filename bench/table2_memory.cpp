@@ -12,6 +12,7 @@
 #include "report/Experiments.h"
 #include "report/PaperReference.h"
 #include "support/CommandLine.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 
@@ -20,6 +21,7 @@ using namespace dtb;
 int main(int Argc, char **Argv) {
   bool Csv = false;
   report::ExperimentConfig Config;
+  uint64_t Threads = 0;
   OptionParser Parser("Reproduces Table 2: mean and maximum memory "
                       "allocated (KB) per collector and workload");
   Parser.addFlag("csv", "Emit CSV instead of aligned text", &Csv);
@@ -29,8 +31,10 @@ int main(int Argc, char **Argv) {
                  &Config.TraceMaxBytes);
   Parser.addUInt("mem-max", "DTBMEM memory budget in bytes",
                  &Config.MemMaxBytes);
+  addThreadsOption(Parser, &Threads);
   if (!Parser.parse(Argc, Argv))
     return 1;
+  applyThreadsOption(Threads);
 
   report::ExperimentGrid Grid = report::ExperimentGrid::paperGrid(Config);
   Table Measured = report::buildTable2(Grid);

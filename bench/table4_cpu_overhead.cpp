@@ -11,6 +11,7 @@
 #include "report/Experiments.h"
 #include "report/PaperReference.h"
 #include "support/CommandLine.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 
@@ -19,6 +20,7 @@ using namespace dtb;
 int main(int Argc, char **Argv) {
   bool Csv = false;
   report::ExperimentConfig Config;
+  uint64_t Threads = 0;
   OptionParser Parser("Reproduces Table 4: total bytes traced (KB) and "
                       "estimated CPU overhead (%)");
   Parser.addFlag("csv", "Emit CSV instead of aligned text", &Csv);
@@ -28,8 +30,10 @@ int main(int Argc, char **Argv) {
                  &Config.TraceMaxBytes);
   Parser.addUInt("mem-max", "DTBMEM memory budget in bytes",
                  &Config.MemMaxBytes);
+  addThreadsOption(Parser, &Threads);
   if (!Parser.parse(Argc, Argv))
     return 1;
+  applyThreadsOption(Threads);
 
   report::ExperimentGrid Grid = report::ExperimentGrid::paperGrid(Config);
   Table Measured = report::buildTable4(Grid);

@@ -13,6 +13,7 @@
 #include "report/Experiments.h"
 #include "report/PaperReference.h"
 #include "support/CommandLine.h"
+#include "support/ThreadPool.h"
 #include "support/Units.h"
 
 #include <cstdio>
@@ -22,11 +23,14 @@ using namespace dtb;
 int main(int Argc, char **Argv) {
   bool Csv = false;
   report::ExperimentConfig Config;
+  uint64_t Threads = 0;
   OptionParser Parser("Reproduces Tables 5/6: workload allocation "
                       "behaviour and baselines");
   Parser.addFlag("csv", "Emit CSV instead of aligned text", &Csv);
+  addThreadsOption(Parser, &Threads);
   if (!Parser.parse(Argc, Argv))
     return 1;
+  applyThreadsOption(Threads);
 
   report::ExperimentGrid Grid = report::ExperimentGrid::paperGrid(Config);
 

@@ -3,6 +3,7 @@
 #include "report/Experiments.h"
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 #include "support/Units.h"
 
 #include <utility>
@@ -19,22 +20,52 @@ ExperimentGrid::ExperimentGrid(std::vector<workload::WorkloadSpec> InWorkloads,
   PolicyConfig.TraceMaxBytes = Config.TraceMaxBytes;
   PolicyConfig.MemMaxBytes = Config.MemMaxBytes;
 
-  for (const workload::WorkloadSpec &Spec : Workloads) {
-    trace::Trace T = workload::generateTrace(Spec);
-    Baselines[Spec.Name] = trace::computeTraceStats(T);
+  // Every policy name is validated up front so an unknown name fails fast
+  // instead of from a worker thread.
+  for (const std::string &PolicyName : PolicyNames)
+    if (!core::createPolicy(PolicyName, PolicyConfig))
+      fatalError("unknown policy name: " + PolicyName);
 
-    sim::SimulatorConfig SimConfig;
-    SimConfig.TriggerBytes = Config.TriggerBytes;
-    SimConfig.Machine = Config.Machine;
-    SimConfig.ProgramSeconds = Spec.ProgramSeconds;
+  PoolSelection Pool(Config.Threads);
 
-    for (const std::string &PolicyName : PolicyNames) {
-      std::unique_ptr<core::BoundaryPolicy> Policy =
-          core::createPolicy(PolicyName, PolicyConfig);
-      if (!Policy)
-        fatalError("unknown policy name: " + PolicyName);
-      Results[{PolicyName, Spec.Name}] = sim::simulate(T, *Policy, SimConfig);
-    }
+  // Phase 1: one trace generation per workload (each deterministic in the
+  // spec's own seed), plus its baseline statistics.
+  std::vector<trace::Trace> Traces(Workloads.size());
+  std::vector<trace::TraceStats> Stats(Workloads.size());
+  parallelFor(
+      Workloads.size(),
+      [&](size_t W) {
+        Traces[W] = workload::generateTrace(Workloads[W]);
+        Stats[W] = trace::computeTraceStats(Traces[W]);
+      },
+      Pool.pool());
+
+  // Phase 2: the policy runs fan out, one task per (workload, policy)
+  // cell, each depositing into its preassigned slot.
+  std::vector<sim::SimulationResult> CellResults(Workloads.size() *
+                                                 PolicyNames.size());
+  parallelFor(
+      CellResults.size(),
+      [&](size_t Cell) {
+        size_t W = Cell / PolicyNames.size();
+        size_t P = Cell % PolicyNames.size();
+        sim::SimulatorConfig SimConfig;
+        SimConfig.TriggerBytes = Config.TriggerBytes;
+        SimConfig.Machine = Config.Machine;
+        SimConfig.ProgramSeconds = Workloads[W].ProgramSeconds;
+        std::unique_ptr<core::BoundaryPolicy> Policy =
+            core::createPolicy(PolicyNames[P], PolicyConfig);
+        CellResults[Cell] = sim::simulate(Traces[W], *Policy, SimConfig);
+      },
+      Pool.pool());
+
+  // Serial collection in a fixed order: identical maps for every thread
+  // count.
+  for (size_t W = 0; W != Workloads.size(); ++W) {
+    Baselines[Workloads[W].Name] = std::move(Stats[W]);
+    for (size_t P = 0; P != PolicyNames.size(); ++P)
+      Results[{PolicyNames[P], Workloads[W].Name}] =
+          std::move(CellResults[W * PolicyNames.size() + P]);
   }
 }
 

@@ -39,13 +39,19 @@ struct ExperimentConfig {
   /// DTBMEM memory budget.
   uint64_t MemMaxBytes = 3'000'000;
   core::MachineModel Machine;
+  /// Worker threads for the simulation fan-out: 0 uses the process-wide
+  /// default (see support/ThreadPool.h), 1 forces a serial run. Results
+  /// are bit-identical for every thread count — tasks are independent and
+  /// deposit into preassigned slots.
+  unsigned Threads = 0;
 };
 
 /// Results of running every policy over every workload.
 class ExperimentGrid {
 public:
   /// Runs \p PolicyNames x \p Workloads under \p Config. Traces are
-  /// generated once per workload and discarded after its simulations.
+  /// generated once per workload (fanned out over the worker pool) and
+  /// discarded after the policy simulations, which fan out per cell.
   ExperimentGrid(std::vector<workload::WorkloadSpec> Workloads,
                  std::vector<std::string> PolicyNames,
                  const ExperimentConfig &Config);

@@ -3,8 +3,11 @@
 #include "report/SeedSweep.h"
 
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 #include "support/Units.h"
 #include "trace/TraceStats.h"
+
+#include <array>
 
 using namespace dtb;
 using namespace dtb::report;
@@ -35,33 +38,64 @@ SeedSweepResult dtb::report::runSeedSweep(
   core::PolicyConfig PolicyConfig;
   PolicyConfig.TraceMaxBytes = Config.TraceMaxBytes;
   PolicyConfig.MemMaxBytes = Config.MemMaxBytes;
+  for (const std::string &PolicyName : PolicyNames)
+    if (!core::createPolicy(PolicyName, PolicyConfig))
+      fatalError("unknown policy: " + PolicyName);
+
+  // One task per (workload, seed): each generates its own trace (the seed
+  // derivation below is the per-task RNG stream) and runs every policy
+  // over it, depositing raw metrics into a preassigned slot. The Welford
+  // accumulators are then fed serially in the original (workload, seed,
+  // policy) order, so the sweep is bit-identical for any thread count.
+  struct TaskMetrics {
+    double LiveMeanKB = 0.0;
+    std::vector<std::array<double, 5>> PerPolicy;
+  };
+  std::vector<TaskMetrics> Tasks(Workloads.size() * NumSeeds);
+
+  PoolSelection Pool(Config.Threads);
+  parallelFor(
+      Tasks.size(),
+      [&](size_t Task) {
+        size_t W = Task / NumSeeds;
+        auto SeedIndex = static_cast<unsigned>(Task % NumSeeds);
+        workload::WorkloadSpec Spec = Workloads[W];
+        // Seed 0 is the spec's own; later ones are derived
+        // deterministically.
+        Spec.Seed = Spec.Seed + 0x9e3779b9ull * SeedIndex;
+        trace::Trace T = workload::generateTrace(Spec);
+
+        TaskMetrics &M = Tasks[Task];
+        M.LiveMeanKB = bytesToKB(trace::computeTraceStats(T).LiveMeanBytes);
+
+        sim::SimulatorConfig SimConfig;
+        SimConfig.TriggerBytes = Config.TriggerBytes;
+        SimConfig.Machine = Config.Machine;
+        SimConfig.ProgramSeconds = Spec.ProgramSeconds;
+
+        M.PerPolicy.resize(PolicyNames.size());
+        for (size_t P = 0; P != PolicyNames.size(); ++P) {
+          auto Policy = core::createPolicy(PolicyNames[P], PolicyConfig);
+          sim::SimulationResult R = sim::simulate(T, *Policy, SimConfig);
+          M.PerPolicy[P] = {bytesToKB(R.MemMeanBytes),
+                            bytesToKB(R.MemMaxBytes), R.PauseMillis.median(),
+                            R.PauseMillis.percentile90(),
+                            bytesToKB(R.TotalTracedBytes)};
+        }
+      },
+      Pool.pool());
 
   for (size_t W = 0; W != Workloads.size(); ++W) {
     for (unsigned SeedIndex = 0; SeedIndex != NumSeeds; ++SeedIndex) {
-      workload::WorkloadSpec Spec = Workloads[W];
-      // Seed 0 is the spec's own; later ones are derived deterministically.
-      Spec.Seed = Spec.Seed + 0x9e3779b9ull * SeedIndex;
-      trace::Trace T = workload::generateTrace(Spec);
-
-      Result.LiveMeanKB[W].second.add(
-          bytesToKB(trace::computeTraceStats(T).LiveMeanBytes));
-
-      sim::SimulatorConfig SimConfig;
-      SimConfig.TriggerBytes = Config.TriggerBytes;
-      SimConfig.Machine = Config.Machine;
-      SimConfig.ProgramSeconds = Spec.ProgramSeconds;
-
+      const TaskMetrics &M = Tasks[W * NumSeeds + SeedIndex];
+      Result.LiveMeanKB[W].second.add(M.LiveMeanKB);
       for (size_t P = 0; P != PolicyNames.size(); ++P) {
-        auto Policy = core::createPolicy(PolicyNames[P], PolicyConfig);
-        if (!Policy)
-          fatalError("unknown policy: " + PolicyNames[P]);
-        sim::SimulationResult R = sim::simulate(T, *Policy, SimConfig);
         SeedCell &Cell = Result.Cells[W * PolicyNames.size() + P];
-        Cell.MemMeanKB.add(bytesToKB(R.MemMeanBytes));
-        Cell.MemMaxKB.add(bytesToKB(R.MemMaxBytes));
-        Cell.MedianPauseMs.add(R.PauseMillis.median());
-        Cell.Pause90Ms.add(R.PauseMillis.percentile90());
-        Cell.TracedKB.add(bytesToKB(R.TotalTracedBytes));
+        Cell.MemMeanKB.add(M.PerPolicy[P][0]);
+        Cell.MemMaxKB.add(M.PerPolicy[P][1]);
+        Cell.MedianPauseMs.add(M.PerPolicy[P][2]);
+        Cell.Pause90Ms.add(M.PerPolicy[P][3]);
+        Cell.TracedKB.add(M.PerPolicy[P][4]);
       }
     }
   }

@@ -49,7 +49,9 @@ struct SeedSweepResult {
 };
 
 /// Runs \p PolicyNames x \p Workloads under \p Config for \p NumSeeds
-/// seeds (the spec's own seed, then derived ones).
+/// seeds (the spec's own seed, then derived ones). The (workload, seed)
+/// tasks fan out over Config.Threads workers; results are bit-identical
+/// to a serial run for any thread count.
 SeedSweepResult runSeedSweep(
     const std::vector<workload::WorkloadSpec> &Workloads,
     const std::vector<std::string> &PolicyNames,

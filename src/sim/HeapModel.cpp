@@ -2,11 +2,57 @@
 
 #include "sim/HeapModel.h"
 
+#include "support/Error.h"
+#include "trace/Trace.h"
+
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 using namespace dtb;
 using namespace dtb::sim;
+
+//===----------------------------------------------------------------------===//
+// SizeFenwick
+//===----------------------------------------------------------------------===//
+
+void HeapModel::SizeFenwick::append(uint64_t Value) {
+  // New node I (1-based) covers the block of lowbit(I) leaves ending at I;
+  // its sum is the new leaf plus the already-built sub-blocks.
+  size_t I = Tree.size() + 1;
+  uint64_t Sum = Value;
+  size_t Low = I & (~I + 1);
+  for (size_t K = 1; K < Low; K <<= 1)
+    Sum += Tree[I - K - 1];
+  Tree.push_back(Sum);
+  Total += Value;
+}
+
+void HeapModel::SizeFenwick::add(size_t Index, uint64_t Delta) {
+  Total += Delta;
+  for (size_t I = Index + 1; I <= Tree.size(); I += I & (~I + 1))
+    Tree[I - 1] += Delta;
+}
+
+uint64_t HeapModel::SizeFenwick::prefix(size_t Count) const {
+  uint64_t Sum = 0;
+  for (size_t I = Count; I > 0; I -= I & (~I + 1))
+    Sum += Tree[I - 1];
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// HeapModel
+//===----------------------------------------------------------------------===//
+
+void HeapModel::reserve(size_t NumObjects) {
+  Residents.reserve(NumObjects);
+  if (Mode != QueryMode::Indexed)
+    return;
+  ResidentSizes.reserve(NumObjects);
+  DeadSizes.reserve(NumObjects);
+  PendingDeaths.reserve(NumObjects);
+}
 
 void HeapModel::addObject(AllocClock Birth, uint32_t Size, AllocClock Death) {
   assert(Size > 0 && "zero-size object");
@@ -15,6 +61,20 @@ void HeapModel::addObject(AllocClock Birth, uint32_t Size, AllocClock Death) {
   assert(Death >= Birth && "object dies before it is born");
   Residents.push_back({Birth, Size, Death});
   ResidentBytes += Size;
+  if (Mode != QueryMode::Indexed)
+    return;
+
+  ResidentSizes.append(Size);
+  if (Death <= DeathClock) {
+    // A query clock has already passed this object's death; the queue
+    // would never revisit it, so account for it immediately.
+    DeadSizes.append(Size);
+  } else {
+    DeadSizes.append(0);
+    if (Death != trace::NeverDies)
+      PendingDeaths.push_back(
+          {Death, static_cast<uint32_t>(Residents.size() - 1)});
+  }
 }
 
 size_t HeapModel::firstBornAfter(AllocClock Boundary) const {
@@ -24,25 +84,131 @@ size_t HeapModel::firstBornAfter(AllocClock Boundary) const {
   return static_cast<size_t>(It - Residents.begin());
 }
 
+size_t HeapModel::positionOfBirth(AllocClock Birth) const {
+  auto It = std::lower_bound(
+      Residents.begin(), Residents.end(), Birth,
+      [](const ResidentObject &R, AllocClock B) { return R.Birth < B; });
+  assert(It != Residents.end() && It->Birth == Birth &&
+         "queued death for an object that is no longer resident");
+  return static_cast<size_t>(It - Residents.begin());
+}
+
+void HeapModel::advanceDeathClock(AllocClock Now) const {
+  if (Now <= DeathClock)
+    return;
+  // Entries staged since the last advance: the already-dead ones go
+  // straight into the dead index, bypassing the heap entirely (the common
+  // case — most objects die within one trigger window); only long-livers
+  // are heap-pushed. Every queued entry still references a resident
+  // object: an object cannot be reclaimed before the clock passes its
+  // death, and passing its death drains its entry first.
+  for (const auto &[Death, Pos] : PendingDeaths) {
+    if (Death <= Now)
+      DeadSizes.add(Pos, Residents[Pos].Size);
+    else
+      DeathQueue.push({Death, Residents[Pos].Birth});
+  }
+  PendingDeaths.clear();
+  while (!DeathQueue.empty() && DeathQueue.top().first <= Now) {
+    size_t P = positionOfBirth(DeathQueue.top().second);
+    DeadSizes.add(P, Residents[P].Size);
+    DeathQueue.pop();
+  }
+  DeathClock = Now;
+}
+
+void HeapModel::rebuildIndexes(size_t Begin) {
+  ResidentSizes.truncate(Begin);
+  DeadSizes.truncate(Begin);
+  for (size_t I = Begin; I != Residents.size(); ++I) {
+    const ResidentObject &R = Residents[I];
+    ResidentSizes.append(R.Size);
+    // Deaths the clock has passed are garbage (tenured or threatened);
+    // queued deaths beyond the clock are all still pending, so residency
+    // status is fully determined by the Death/DeathClock comparison.
+    DeadSizes.append(R.Death <= DeathClock ? R.Size : 0);
+  }
+}
+
+void HeapModel::checkQuery(uint64_t Indexed, uint64_t Scan,
+                           const char *What) const {
+  if (Indexed != Scan)
+    fatalError(std::string("HeapModel cross-check failed in ") + What +
+               ": indexed=" + std::to_string(Indexed) +
+               " scan=" + std::to_string(Scan));
+}
+
 ScavengeOutcome HeapModel::scavenge(AllocClock Now, AllocClock Boundary) {
   assert(Boundary <= Now && "boundary in the future");
   ScavengeOutcome Outcome;
   Outcome.MemBeforeBytes = ResidentBytes;
 
   size_t Begin = firstBornAfter(Boundary);
-  size_t Out = Begin;
-  for (size_t I = Begin; I != Residents.size(); ++I) {
-    const ResidentObject &R = Residents[I];
-    if (R.Death > Now) {
-      // Live and threatened: traced, survives in place.
-      Outcome.TracedBytes += R.Size;
-      Residents[Out++] = R;
-    } else {
-      // Dead and threatened: reclaimed.
-      Outcome.ReclaimedBytes += R.Size;
+  if (Mode == QueryMode::Indexed) {
+    advanceDeathClock(Now);
+    // When earlier queries pushed the death clock past Now the advance
+    // above was a no-op and the staged entries survive it — but the
+    // compaction below shifts positions, so convert them to stable
+    // Birth-keyed heap entries while their positions are still valid.
+    // (Every staged death is > DeathClock >= Now here, so none is
+    // reclaimable by this scavenge.)
+    for (const auto &[Death, Pos] : PendingDeaths)
+      DeathQueue.push({Death, Residents[Pos].Birth});
+    PendingDeaths.clear();
+
+    // The dead index reflects deaths up to DeathClock; when queries have
+    // pushed the clock past this scavenge's Now it includes objects that
+    // are still live at Now, so the expectation below is only derivable
+    // when the clocks agree.
+    uint64_t ExpectReclaimed = 0, ExpectTraced = 0;
+    bool CheckOutcome = CrossCheck && DeathClock == Now;
+    if (CheckOutcome) {
+      ExpectReclaimed = DeadSizes.suffix(Begin);
+      ExpectTraced = ResidentSizes.suffix(Begin) - ExpectReclaimed;
     }
+
+    // Single stable-partition pass over the threatened suffix: survivors
+    // slide down in birth order, dead objects drop out.
+    auto NewEnd = std::remove_if(
+        Residents.begin() + static_cast<ptrdiff_t>(Begin), Residents.end(),
+        [&](const ResidentObject &R) {
+          if (R.Death > Now) {
+            Outcome.TracedBytes += R.Size;
+            return false;
+          }
+          Outcome.ReclaimedBytes += R.Size;
+          return true;
+        });
+    Residents.erase(NewEnd, Residents.end());
+
+    if (CheckOutcome) {
+      checkQuery(ExpectReclaimed, Outcome.ReclaimedBytes,
+                 "scavenge/reclaimed");
+      checkQuery(ExpectTraced, Outcome.TracedBytes, "scavenge/traced");
+    }
+
+    // Compaction shifted every threatened survivor's position; immune
+    // positions below Begin are untouched, so only the threatened suffix
+    // of the trees is rebuilt — O(threatened), the same order as the
+    // partition pass above. Nothing reclaimed means nothing moved.
+    if (Outcome.ReclaimedBytes != 0)
+      rebuildIndexes(Begin);
+  } else {
+    size_t Out = Begin;
+    for (size_t I = Begin; I != Residents.size(); ++I) {
+      const ResidentObject &R = Residents[I];
+      if (R.Death > Now) {
+        // Live and threatened: traced, survives in place.
+        Outcome.TracedBytes += R.Size;
+        Residents[Out++] = R;
+      } else {
+        // Dead and threatened: reclaimed.
+        Outcome.ReclaimedBytes += R.Size;
+      }
+    }
+    Residents.resize(Out);
   }
-  Residents.resize(Out);
+
   ResidentBytes -= Outcome.ReclaimedBytes;
   Outcome.SurvivedBytes = ResidentBytes;
   return Outcome;
@@ -50,6 +216,46 @@ ScavengeOutcome HeapModel::scavenge(AllocClock Now, AllocClock Boundary) {
 
 uint64_t HeapModel::liveBytesBornAfter(AllocClock Boundary,
                                        AllocClock Now) const {
+  // A query behind the advanced death clock cannot be answered from the
+  // monotone dead index; fall back to the scan (tests only — simulation
+  // clocks never run backwards).
+  if (Mode != QueryMode::Indexed || Now < DeathClock)
+    return liveBytesBornAfterScan(Boundary, Now);
+  advanceDeathClock(Now);
+  size_t P = firstBornAfter(Boundary);
+  uint64_t Bytes = ResidentSizes.suffix(P) - DeadSizes.suffix(P);
+  if (CrossCheck)
+    checkQuery(Bytes, liveBytesBornAfterScan(Boundary, Now),
+               "liveBytesBornAfter");
+  return Bytes;
+}
+
+uint64_t HeapModel::residentBytesBornAfter(AllocClock Boundary) const {
+  if (Mode != QueryMode::Indexed)
+    return residentBytesBornAfterScan(Boundary);
+  uint64_t Bytes = ResidentSizes.suffix(firstBornAfter(Boundary));
+  if (CrossCheck)
+    checkQuery(Bytes, residentBytesBornAfterScan(Boundary),
+               "residentBytesBornAfter");
+  return Bytes;
+}
+
+uint64_t HeapModel::garbageBytes(AllocClock Now) const {
+  if (Mode != QueryMode::Indexed || Now < DeathClock)
+    return garbageBytesScan(Now);
+  advanceDeathClock(Now);
+  uint64_t Bytes = DeadSizes.total();
+  if (CrossCheck)
+    checkQuery(Bytes, garbageBytesScan(Now), "garbageBytes");
+  return Bytes;
+}
+
+//===----------------------------------------------------------------------===//
+// Naive-scan reference implementations
+//===----------------------------------------------------------------------===//
+
+uint64_t HeapModel::liveBytesBornAfterScan(AllocClock Boundary,
+                                           AllocClock Now) const {
   uint64_t Bytes = 0;
   for (size_t I = firstBornAfter(Boundary); I != Residents.size(); ++I)
     if (Residents[I].Death > Now)
@@ -57,14 +263,14 @@ uint64_t HeapModel::liveBytesBornAfter(AllocClock Boundary,
   return Bytes;
 }
 
-uint64_t HeapModel::residentBytesBornAfter(AllocClock Boundary) const {
+uint64_t HeapModel::residentBytesBornAfterScan(AllocClock Boundary) const {
   uint64_t Bytes = 0;
   for (size_t I = firstBornAfter(Boundary); I != Residents.size(); ++I)
     Bytes += Residents[I].Size;
   return Bytes;
 }
 
-uint64_t HeapModel::garbageBytes(AllocClock Now) const {
+uint64_t HeapModel::garbageBytesScan(AllocClock Now) const {
   uint64_t Bytes = 0;
   for (const ResidentObject &R : Residents)
     if (R.Death <= Now)

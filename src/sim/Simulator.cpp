@@ -5,6 +5,7 @@
 #include "sim/Trigger.h"
 #include "support/Error.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dtb;
@@ -46,7 +47,14 @@ SimulationResult dtb::sim::simulate(const trace::Trace &T,
     Config.Trigger->reset();
 
   SimulationResult Result;
-  HeapModel Heap;
+  HeapModel Heap(Config.UseNaiveHeapQueries ? HeapModel::QueryMode::Scan
+                                            : HeapModel::QueryMode::Indexed);
+  Heap.setCrossCheck(Config.CrossCheckHeapQueries);
+  // Pre-size the resident vector and the position-keyed indexes for a
+  // typical between-scavenge resident set; they only ever need to hold
+  // concurrent residents, not the whole trace, so cap well below the
+  // record count to avoid over-committing on huge traces.
+  Heap.reserve(std::min<size_t>(T.records().size(), size_t(1) << 16));
   AllocClock Now = 0;
   OracleDemographics Demo(Heap, Now);
 

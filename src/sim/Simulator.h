@@ -50,6 +50,14 @@ struct SimulatorConfig {
   bool RecordMemoryCurve = false;
   /// Curve sampling granularity between scavenges.
   uint64_t CurveSampleBytes = 100'000;
+  /// When true, the heap model answers oracle queries with the original
+  /// O(residents) scans instead of the incremental indexes — the timing
+  /// baseline for bench/runtime_end_to_end --timing. Results are
+  /// identical either way.
+  bool UseNaiveHeapQueries = false;
+  /// When true, every indexed heap-model query is cross-checked against
+  /// the naive scan (fatal on divergence). For tests; very slow.
+  bool CrossCheckHeapQueries = false;
 };
 
 /// One point of the Figure-2-style memory curve.

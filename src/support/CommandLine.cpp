@@ -67,6 +67,11 @@ void OptionParser::addFlag(std::string Name, std::string Help, bool *Target) {
       {std::move(Name), std::move(Help), OptionKind::Flag, Target});
 }
 
+void OptionParser::addShortAlias(std::string ShortName,
+                                 std::string OptionName) {
+  ShortAliases.emplace_back(std::move(ShortName), std::move(OptionName));
+}
+
 const OptionParser::Option *
 OptionParser::findOption(const std::string &Name) const {
   for (const Option &Opt : Options)
@@ -112,6 +117,41 @@ bool OptionParser::parse(int Argc, const char *const *Argv) {
       return false;
     }
     if (std::strncmp(Arg, "--", 2) != 0) {
+      // Single-dash short aliases: `-j 4` or `-j4`. Anything else without
+      // a leading `--` stays a positional.
+      if (Arg[0] == '-' && Arg[1] != '\0') {
+        const Option *Aliased = nullptr;
+        std::string Attached;
+        for (const auto &[Short, Full] : ShortAliases) {
+          if (std::strncmp(Arg + 1, Short.c_str(), Short.size()) != 0)
+            continue;
+          Aliased = findOption(Full);
+          Attached = Arg + 1 + Short.size();
+          break;
+        }
+        if (Aliased) {
+          std::string Value = Attached;
+          if (Value.empty()) {
+            if (Aliased->Kind == OptionKind::Flag) {
+              *static_cast<bool *>(Aliased->Target) = true;
+              continue;
+            }
+            if (I + 1 >= Argc) {
+              std::fprintf(stderr, "error: option '%s' requires a value\n",
+                           Arg);
+              return false;
+            }
+            Value = Argv[++I];
+          }
+          if (!applyValue(*Aliased, Value)) {
+            std::fprintf(stderr,
+                         "error: invalid value '%s' for option '%s'\n",
+                         Value.c_str(), Arg);
+            return false;
+          }
+          continue;
+        }
+      }
       Positionals.push_back(Arg);
       continue;
     }

@@ -34,6 +34,11 @@ public:
   /// Registers a boolean flag (`--flag` sets true, `--flag=false` clears).
   void addFlag(std::string Name, std::string Help, bool *Target);
 
+  /// Registers a single-dash alias for an already-registered option, so
+  /// `-j 4` and `-j4` behave like `--threads 4`. Single-dash arguments
+  /// that match no alias remain positionals.
+  void addShortAlias(std::string ShortName, std::string OptionName);
+
   /// Parses \p Argv. Returns false (after printing a diagnostic or help
   /// text) if the program should exit; positional arguments are collected
   /// into positionals().
@@ -58,6 +63,7 @@ private:
 
   std::string Description;
   std::vector<Option> Options;
+  std::vector<std::pair<std::string, std::string>> ShortAliases;
   std::vector<std::string> Positionals;
 };
 

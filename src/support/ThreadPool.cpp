@@ -1,0 +1,191 @@
+//===- support/ThreadPool.cpp ---------------------------------------------==//
+
+#include "support/ThreadPool.h"
+
+#include "support/CommandLine.h"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+using namespace dtb;
+
+namespace {
+thread_local bool IsPoolWorker = false;
+} // namespace
+
+bool ThreadPool::onWorkerThread() { return IsPoolWorker; }
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = hardwareThreads();
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Ready.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Job));
+  }
+  Ready.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  IsPoolWorker = true;
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Ready.wait(Lock, [this] { return Stopping || Head != Queue.size(); });
+      if (Head == Queue.size())
+        return; // Stopping with an empty queue.
+      Job = std::move(Queue[Head++]);
+      if (Head == Queue.size()) {
+        Queue.clear();
+        Head = 0;
+      }
+    }
+    Job(); // packaged_task captures any exception into its future.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Default pool
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::mutex DefaultPoolMutex;
+unsigned DefaultCount = 0; // 0 = hardware.
+std::unique_ptr<ThreadPool> DefaultPool;
+bool DefaultPoolCreated = false;
+
+} // namespace
+
+void dtb::setDefaultThreadCount(unsigned NumThreads) {
+  std::lock_guard<std::mutex> Lock(DefaultPoolMutex);
+  DefaultCount = NumThreads;
+  DefaultPool.reset();
+  DefaultPoolCreated = false;
+}
+
+unsigned dtb::defaultThreadCount() {
+  std::lock_guard<std::mutex> Lock(DefaultPoolMutex);
+  return DefaultCount == 0 ? ThreadPool::hardwareThreads() : DefaultCount;
+}
+
+ThreadPool *dtb::defaultThreadPool() {
+  std::lock_guard<std::mutex> Lock(DefaultPoolMutex);
+  if (!DefaultPoolCreated) {
+    unsigned Count =
+        DefaultCount == 0 ? ThreadPool::hardwareThreads() : DefaultCount;
+    // One pool worker fewer than the lane count: the caller participates
+    // in parallelFor, so `--threads N` uses N lanes in total.
+    if (Count > 1)
+      DefaultPool = std::make_unique<ThreadPool>(Count - 1);
+    DefaultPoolCreated = true;
+  }
+  return DefaultPool.get();
+}
+
+//===----------------------------------------------------------------------===//
+// parallelFor
+//===----------------------------------------------------------------------===//
+
+void dtb::parallelFor(size_t N, const std::function<void(size_t)> &Body) {
+  parallelFor(N, Body, defaultThreadPool());
+}
+
+void dtb::parallelFor(size_t N, const std::function<void(size_t)> &Body,
+                      ThreadPool *Pool) {
+  // A nested fan-out from a pool worker runs inline: blocking a worker on
+  // helper tasks could deadlock when every worker does the same.
+  if (!Pool || N < 2 || ThreadPool::onWorkerThread()) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+
+  auto Next = std::make_shared<std::atomic<size_t>>(0);
+  auto FirstError = std::make_shared<std::atomic<bool>>(false);
+  auto ErrorMutex = std::make_shared<std::mutex>();
+  auto Error = std::make_shared<std::exception_ptr>();
+
+  auto Lane = [N, &Body, Next, FirstError, ErrorMutex, Error] {
+    for (;;) {
+      size_t I = Next->fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      try {
+        Body(I);
+      } catch (...) {
+        if (!FirstError->exchange(true)) {
+          std::lock_guard<std::mutex> Lock(*ErrorMutex);
+          *Error = std::current_exception();
+        }
+        // Other iterations still run: slots stay independent and the
+        // futures below always complete.
+      }
+    }
+  };
+
+  size_t NumHelpers = Pool->numThreads();
+  if (NumHelpers > N - 1)
+    NumHelpers = N - 1; // The caller is one lane already.
+  std::vector<std::future<void>> Helpers;
+  Helpers.reserve(NumHelpers);
+  for (size_t I = 0; I != NumHelpers; ++I)
+    Helpers.push_back(Pool->submit(Lane));
+  Lane();
+  for (std::future<void> &H : Helpers)
+    H.get();
+
+  if (FirstError->load())
+    std::rethrow_exception(*Error);
+}
+
+PoolSelection::PoolSelection(unsigned Lanes) {
+  if (Lanes == 0) {
+    Selected = defaultThreadPool();
+  } else if (Lanes > 1) {
+    Owned = std::make_unique<ThreadPool>(Lanes - 1);
+    Selected = Owned.get();
+  }
+}
+
+PoolSelection::~PoolSelection() = default;
+
+//===----------------------------------------------------------------------===//
+// --threads / -j plumbing
+//===----------------------------------------------------------------------===//
+
+void dtb::addThreadsOption(OptionParser &Parser, uint64_t *Threads) {
+  Parser.addUInt("threads",
+                 "Worker threads for experiment fan-out (0 = one per "
+                 "hardware thread, 1 = serial)",
+                 Threads);
+  Parser.addShortAlias("j", "threads");
+}
+
+void dtb::applyThreadsOption(uint64_t Threads) {
+  if (Threads > 4096)
+    Threads = 4096;
+  setDefaultThreadCount(static_cast<unsigned>(Threads));
+}

@@ -1,0 +1,146 @@
+//===- support/ThreadPool.h - Fixed worker pool + parallelFor --*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool for fanning out independent simulations. The
+/// experiment harnesses (report::ExperimentGrid, report::runSeedSweep, the
+/// sweep benches) submit one task per (policy, workload, seed) cell and
+/// deposit results into preallocated slots, so parallel output is
+/// bit-identical to a serial run regardless of scheduling.
+///
+/// Three layers:
+///
+///  * ThreadPool      — submit() returns a std::future; exceptions thrown
+///                      by a task are captured and rethrown at get().
+///  * parallelFor     — index-space helper; the calling thread works too,
+///                      so a pool of N threads yields N+1 lanes and a
+///                      nested parallelFor on the same pool cannot
+///                      deadlock.
+///  * default pool    — process-wide pool sized by --threads/-j (see
+///                      addThreadsOption); size 1 means "run inline".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_SUPPORT_THREADPOOL_H
+#define DTB_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dtb {
+
+class OptionParser;
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains the queue and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Fn and returns a future for its result. An exception
+  /// escaping the task is stored in the future and rethrown by get().
+  /// Tasks may themselves submit further tasks (the queue is unbounded and
+  /// workers never wait on other tasks' futures internally).
+  template <typename Fn>
+  auto submit(Fn &&F) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    auto Task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(F));
+    std::future<Result> Future = Task->get_future();
+    enqueue([Task] { (*Task)(); });
+    return Future;
+  }
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// True when called from any ThreadPool worker thread. parallelFor uses
+  /// this to run nested fan-outs inline: a worker blocking on helper tasks
+  /// that no free worker can pick up would deadlock the pool.
+  static bool onWorkerThread();
+
+  /// The host's hardware thread count (at least 1).
+  static unsigned hardwareThreads();
+
+private:
+  void enqueue(std::function<void()> Job);
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::vector<std::function<void()>> Queue; // FIFO via Head index.
+  size_t Head = 0;
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  bool Stopping = false;
+};
+
+/// Sets the process-wide default worker count used by defaultThreadPool():
+/// 0 picks hardwareThreads(). Replaces any existing default pool, so call
+/// it right after option parsing, before parallel work starts.
+void setDefaultThreadCount(unsigned NumThreads);
+
+/// The worker count the default pool has (or would be created with).
+unsigned defaultThreadCount();
+
+/// The lazily created process-wide pool, or nullptr when the configured
+/// count is 1 — callers then run inline, which keeps `--threads 1` truly
+/// serial (no pool threads at all).
+ThreadPool *defaultThreadPool();
+
+/// Runs Body(0) ... Body(N-1), fanning out over \p Pool (nullptr: run
+/// inline on the calling thread). The calling thread participates;
+/// iterations are claimed from a shared atomic counter, so ordering is
+/// unspecified — bodies must be independent and deposit into per-index
+/// slots. The first exception thrown by any body is rethrown on the
+/// calling thread after all iterations finish.
+void parallelFor(size_t N, const std::function<void(size_t)> &Body,
+                 ThreadPool *Pool);
+
+/// parallelFor over the process-wide default pool.
+void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+/// Resolves a requested lane count to a pool for one scope: 0 borrows the
+/// process-wide default, 1 selects no pool (serial), N > 1 owns a private
+/// pool of N - 1 workers (the caller is the N-th lane in parallelFor).
+class PoolSelection {
+public:
+  explicit PoolSelection(unsigned Lanes);
+  ~PoolSelection();
+  PoolSelection(const PoolSelection &) = delete;
+  PoolSelection &operator=(const PoolSelection &) = delete;
+
+  /// The selected pool; nullptr means run serially.
+  ThreadPool *pool() const { return Selected; }
+
+private:
+  std::unique_ptr<ThreadPool> Owned;
+  ThreadPool *Selected = nullptr;
+};
+
+/// Registers the standard `--threads` option (with `-j` short alias) on
+/// \p Parser, storing into *\p Threads: 0 = one worker per hardware
+/// thread, 1 = serial. Call applyThreadsOption after parse() succeeds.
+void addThreadsOption(OptionParser &Parser, uint64_t *Threads);
+
+/// Installs *\p Threads as the default pool size (clamped to [1, 4096]).
+void applyThreadsOption(uint64_t Threads);
+
+} // namespace dtb
+
+#endif // DTB_SUPPORT_THREADPOOL_H

@@ -7,9 +7,13 @@
 
 #include "sim/HeapModel.h"
 
+#include "support/Random.h"
 #include "trace/Trace.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
 
 using namespace dtb;
 using namespace dtb::sim;
@@ -117,4 +121,134 @@ TEST(HeapModelTest, EmptyScavenge) {
   EXPECT_EQ(Outcome.MemBeforeBytes, 0u);
   EXPECT_EQ(Outcome.TracedBytes, 0u);
   EXPECT_EQ(Outcome.ReclaimedBytes, 0u);
+}
+
+TEST(HeapModelTest, ScanModeMatchesIndexedMode) {
+  // The same operation sequence through both query modes produces the
+  // same observable state.
+  HeapModel Indexed(HeapModel::QueryMode::Indexed);
+  HeapModel Scan(HeapModel::QueryMode::Scan);
+  for (int I = 1; I <= 20; ++I) {
+    auto Birth = static_cast<AllocClock>(I) * 10;
+    AllocClock Death = I % 3 == 0 ? Never : Birth + 25;
+    Indexed.addObject(Birth, 10, Death);
+    Scan.addObject(Birth, 10, Death);
+  }
+  EXPECT_EQ(Indexed.garbageBytes(120), Scan.garbageBytes(120));
+  EXPECT_EQ(Indexed.liveBytesBornAfter(50, 150),
+            Scan.liveBytesBornAfter(50, 150));
+
+  ScavengeOutcome A = Indexed.scavenge(200, 90);
+  ScavengeOutcome B = Scan.scavenge(200, 90);
+  EXPECT_EQ(A.TracedBytes, B.TracedBytes);
+  EXPECT_EQ(A.ReclaimedBytes, B.ReclaimedBytes);
+  EXPECT_EQ(A.SurvivedBytes, B.SurvivedBytes);
+  EXPECT_EQ(Indexed.residentObjects(), Scan.residentObjects());
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized cross-check of the indexed queries against the naive scans
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drives a HeapModel through a random alloc/death/scavenge/query sequence.
+/// With CrossCheck enabled, every indexed query self-verifies against the
+/// retained scan implementation (fatal on divergence); the test also
+/// compares against an independent Scan-mode model run in lockstep.
+void runRandomSequence(uint64_t Seed, int NumOps) {
+  Rng R(Seed);
+  HeapModel Indexed(HeapModel::QueryMode::Indexed);
+  Indexed.setCrossCheck(true);
+  HeapModel Reference(HeapModel::QueryMode::Scan);
+
+  AllocClock Clock = 0;
+  std::vector<AllocClock> PastClocks = {0};
+
+  auto randomBoundary = [&] {
+    // Mix boundaries at, between, before, and after actual births.
+    uint64_t Pick = R.nextBelow(4);
+    if (Pick == 0)
+      return PastClocks[R.nextBelow(PastClocks.size())];
+    if (Pick == 1)
+      return Clock + R.nextBelow(50);
+    return R.nextBelow(Clock + 1);
+  };
+
+  for (int Op = 0; Op != NumOps; ++Op) {
+    switch (R.nextBelow(10)) {
+    default: { // Allocate (weighted heaviest).
+      auto Size = static_cast<uint32_t>(R.nextInRange(1, 500));
+      Clock += R.nextInRange(1, 200);
+      AllocClock Death;
+      switch (R.nextBelow(4)) {
+      case 0:
+        Death = Never; // Immortal.
+        break;
+      case 1:
+        Death = Clock + R.nextBelow(100); // Dies soon (maybe instantly).
+        break;
+      default:
+        Death = Clock + 100 + R.nextBelow(5'000); // Dies later.
+        break;
+      }
+      Indexed.addObject(Clock, Size, Death);
+      Reference.addObject(Clock, Size, Death);
+      PastClocks.push_back(Clock);
+      break;
+    }
+    case 6: { // Scavenge at a random boundary.
+      AllocClock Now = Clock + R.nextBelow(300);
+      AllocClock Boundary = std::min(randomBoundary(), Now);
+      ScavengeOutcome A = Indexed.scavenge(Now, Boundary);
+      ScavengeOutcome B = Reference.scavenge(Now, Boundary);
+      ASSERT_EQ(A.TracedBytes, B.TracedBytes) << "op " << Op;
+      ASSERT_EQ(A.ReclaimedBytes, B.ReclaimedBytes) << "op " << Op;
+      ASSERT_EQ(A.MemBeforeBytes, B.MemBeforeBytes) << "op " << Op;
+      ASSERT_EQ(A.SurvivedBytes, B.SurvivedBytes) << "op " << Op;
+      Clock = std::max(Clock, Now);
+      break;
+    }
+    case 7: { // liveBytesBornAfter, sometimes at a past clock.
+      AllocClock Now = R.nextBool(0.25)
+                           ? PastClocks[R.nextBelow(PastClocks.size())]
+                           : Clock + R.nextBelow(200);
+      AllocClock Boundary = std::min(randomBoundary(), Now);
+      ASSERT_EQ(Indexed.liveBytesBornAfter(Boundary, Now),
+                Reference.liveBytesBornAfter(Boundary, Now))
+          << "op " << Op;
+      break;
+    }
+    case 8: { // garbageBytes, sometimes at a past clock.
+      AllocClock Now = R.nextBool(0.25)
+                           ? PastClocks[R.nextBelow(PastClocks.size())]
+                           : Clock + R.nextBelow(200);
+      ASSERT_EQ(Indexed.garbageBytes(Now), Reference.garbageBytes(Now))
+          << "op " << Op;
+      break;
+    }
+    case 9: { // residentBytesBornAfter.
+      AllocClock Boundary = randomBoundary();
+      ASSERT_EQ(Indexed.residentBytesBornAfter(Boundary),
+                Reference.residentBytesBornAfter(Boundary))
+          << "op " << Op;
+      break;
+    }
+    }
+    ASSERT_EQ(Indexed.residentBytes(), Reference.residentBytes())
+        << "op " << Op;
+    ASSERT_EQ(Indexed.residentObjects(), Reference.residentObjects())
+        << "op " << Op;
+  }
+}
+
+} // namespace
+
+TEST(HeapModelPropertyTest, RandomizedCrossCheck10kOps) {
+  runRandomSequence(/*Seed=*/0xd7b05eed, /*NumOps=*/10'000);
+}
+
+TEST(HeapModelPropertyTest, RandomizedCrossCheckManySeeds) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed)
+    runRandomSequence(Seed * 0x9e3779b9ull, /*NumOps=*/1'500);
 }
