@@ -70,6 +70,11 @@ struct BoundaryRequest {
   /// Live-byte demographics provider (never null when a collector drives
   /// the policy; may be an estimating implementation).
   const Demographics *Demo = nullptr;
+  /// When non-null, a policy that cannot honor its contract (missing
+  /// history, inconsistent demographics) describes the fallback it took
+  /// here instead of aborting; the caller logs it as a degradation event.
+  /// Policies must still return an admissible boundary in [0, Now].
+  std::string *DegradationNote = nullptr;
 };
 
 /// A threatening-boundary policy. Implementations must be deterministic

@@ -2,10 +2,25 @@
 
 #include "core/OptimalPolicies.h"
 
-#include <cassert>
-
 using namespace dtb;
 using namespace dtb::core;
+
+namespace {
+
+/// The oracle policies need both demographics and history; without them
+/// the only admissible answer is a full collection. Notes the fallback
+/// for the caller's degradation log instead of aborting.
+bool oracleInputsMissing(const BoundaryRequest &Request) {
+  if (Request.Demo && Request.History && Request.History->size() != 0)
+    return false;
+  if (Request.DegradationNote)
+    *Request.DegradationNote =
+        "oracle policy missing demographics or history; full-collection "
+        "fallback";
+  return true;
+}
+
+} // namespace
 
 OptimalPausePolicy::OptimalPausePolicy(uint64_t TraceMaxBytes)
     : TraceMaxBytes(TraceMaxBytes) {}
@@ -14,7 +29,8 @@ AllocClock
 OptimalPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
   if (Request.Index == 1)
     return 0;
-  assert(Request.Demo && Request.History);
+  if (oracleInputsMissing(Request))
+    return 0;
   const Demographics &Demo = *Request.Demo;
 
   // A full collection within budget is the best possible outcome.
@@ -45,7 +61,8 @@ AllocClock
 OptimalMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
   if (Request.Index == 1)
     return 0;
-  assert(Request.Demo && Request.History);
+  if (oracleInputsMissing(Request))
+    return 0;
   const Demographics &Demo = *Request.Demo;
 
   // Post-scavenge residency with boundary B: Mem_n minus the garbage born

@@ -15,6 +15,29 @@ using namespace dtb::core;
 
 BoundaryPolicy::~BoundaryPolicy() = default;
 
+namespace {
+
+/// Degraded-mode boundary: the FIXED1 choice t_{n-1} when the history is
+/// usable, else 0 (a full collection — the always-admissible fallback).
+/// Notes the reason through the request's degradation sink instead of
+/// aborting; a collector must keep collecting even when its inputs are
+/// broken.
+AllocClock degradeToFixed1(const BoundaryRequest &Request, const char *Why) {
+  if (Request.DegradationNote)
+    *Request.DegradationNote = Why;
+  if (Request.History) {
+    // Clamp to the newest recorded scavenge: a request whose Index is
+    // inconsistent with the history is one of the broken inputs this
+    // helper exists to absorb.
+    int64_t K = static_cast<int64_t>(Request.Index) - 1;
+    int64_t Newest = static_cast<int64_t>(Request.History->size());
+    return Request.History->timeOf(std::min(K, Newest));
+  }
+  return 0;
+}
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Shared FEEDMED boundary search
 //===----------------------------------------------------------------------===//
@@ -22,8 +45,14 @@ BoundaryPolicy::~BoundaryPolicy() = default;
 AllocClock dtb::core::feedbackMediationSearch(const BoundaryRequest &Request,
                                               AllocClock PrevBoundary,
                                               uint64_t TraceMax) {
-  assert(Request.History && "feedback mediation requires history");
-  assert(Request.Demo && "feedback mediation requires demographics");
+  if (!Request.History)
+    return degradeToFixed1(Request,
+                           "feedback mediation without history; full "
+                           "collection fallback");
+  if (!Request.Demo)
+    return degradeToFixed1(Request,
+                           "feedback mediation without demographics; FIXED1 "
+                           "fallback");
   const ScavengeHistory &History = *Request.History;
 
   // Candidate boundaries are the previous scavenge times t_k (with t_0 = 0)
@@ -66,7 +95,10 @@ std::string FixedAgePolicy::name() const {
 }
 
 AllocClock FixedAgePolicy::chooseBoundary(const BoundaryRequest &Request) {
-  assert(Request.History && "FIXEDk requires history");
+  if (!Request.History)
+    return degradeToFixed1(Request,
+                           "FIXEDk without history; full collection "
+                           "fallback");
   // TB_n = t_{n-k}; before k scavenges have completed this is time 0, i.e.
   // a full collection.
   int64_t K = static_cast<int64_t>(Request.Index) -
@@ -86,7 +118,10 @@ FeedbackMediationPolicy::chooseBoundary(const BoundaryRequest &Request) {
   // First scavenge: full collection (TB_0 conceptually starts at 0).
   if (Request.Index == 1)
     return 0;
-  assert(Request.History && !Request.History->empty());
+  if (!Request.History || Request.History->empty())
+    return degradeToFixed1(Request,
+                           "FEEDMED without history; full collection "
+                           "fallback");
   const ScavengeRecord &Prev = Request.History->last();
   if (Prev.TracedBytes > TraceMaxBytes)
     return feedbackMediationSearch(Request, Prev.Boundary, TraceMaxBytes);
@@ -105,7 +140,10 @@ DtbPausePolicy::DtbPausePolicy(uint64_t TraceMaxBytes)
 AllocClock DtbPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
   if (Request.Index == 1)
     return 0;
-  assert(Request.History && !Request.History->empty());
+  if (!Request.History || Request.History->empty())
+    return degradeToFixed1(Request,
+                           "DTBFM without history; full collection "
+                           "fallback");
   const ScavengeRecord &Prev = Request.History->last();
 
   if (Prev.TracedBytes > TraceMaxBytes)
@@ -160,7 +198,10 @@ std::string DtbMemoryPolicy::name() const {
 AllocClock DtbMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
   if (Request.Index == 1)
     return 0;
-  assert(Request.History && !Request.History->empty());
+  if (!Request.History || Request.History->empty())
+    return degradeToFixed1(Request,
+                           "DTBMEM without history; full collection "
+                           "fallback");
   const ScavengeRecord &Prev = Request.History->last();
 
   // Estimate the live bytes L_{n-1}. The true value lies between
@@ -180,11 +221,30 @@ AllocClock DtbMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
     LiveEstimate = static_cast<double>(Prev.TracedBytes);
     break;
   case LiveEstimateKind::Oracle:
-    assert(Request.Demo && "oracle estimator requires demographics");
-    LiveEstimate =
-        static_cast<double>(Request.Demo->liveBytesBornAfter(0));
+    if (!Request.Demo) {
+      // The oracle is gone; degrade to the paper's estimator rather than
+      // abort (it only needs the history we already have).
+      if (Request.DegradationNote)
+        *Request.DegradationNote =
+            "DTBMEM oracle estimator without demographics; paper "
+            "estimator fallback";
+      LiveEstimate = 0.5 * (static_cast<double>(Prev.SurvivedBytes) +
+                            static_cast<double>(Prev.TracedBytes));
+    } else {
+      LiveEstimate =
+          static_cast<double>(Request.Demo->liveBytesBornAfter(0));
+    }
     break;
   }
+
+  // Demographic sanity: more live bytes than resident bytes is impossible
+  // (live ⊆ resident). Inconsistent inputs would corrupt the headroom
+  // arithmetic below, so degrade to FIXED1 instead.
+  if (LiveEstimate > static_cast<double>(Request.MemBytes) &&
+      Request.MemBytes != 0)
+    return degradeToFixed1(Request,
+                           "DTBMEM live estimate exceeds resident bytes; "
+                           "FIXED1 fallback");
 
   // Allow tenured garbage worth Mem_max - L_est. Assume garbage retention
   // grows linearly with the boundary position over [0, t_n] with slope
@@ -219,7 +279,10 @@ std::string MinorMajorPolicy::name() const {
 }
 
 AllocClock MinorMajorPolicy::chooseBoundary(const BoundaryRequest &Request) {
-  assert(Request.History && "minor/major requires history");
+  if (!Request.History)
+    return degradeToFixed1(Request,
+                           "minor/major without history; full collection "
+                           "fallback");
   // Majors at scavenges 1, 1+Period, 1+2*Period, ... so the first
   // collection is full (every paper policy starts that way).
   if ((Request.Index - 1) % Period == 0)

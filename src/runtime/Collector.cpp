@@ -34,6 +34,16 @@ core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
     fatalError("threatening boundary lies in the future");
   if (InCollection)
     fatalError("re-entrant collection");
+  // A lost remembered set means crossing pointers may be unrecorded; the
+  // only sound boundary until the set is rebuilt is 0 (trace everything).
+  bool RebuildRemSet = RemSetPessimized;
+  if (RebuildRemSet && Boundary != 0) {
+    recordDegradation({DegradationKind::BoundaryPessimized, Clock, 0, 0,
+                       ResidentBytes,
+                       "remembered set lost; boundary " +
+                           std::to_string(Boundary) + " forced to 0"});
+    Boundary = 0;
+  }
   InCollection = true;
 
   LastStats = CollectionStats();
@@ -57,6 +67,11 @@ core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
 
   Demographics.endScavenge(Clock);
   BytesSinceCollect = 0;
+
+  // The full trace just visited every survivor; restore write-barrier
+  // completeness by re-deriving the set from the live heap.
+  if (RebuildRemSet)
+    rebuildRememberedSet();
   InCollection = false;
 
   if (Config.LogStream) {

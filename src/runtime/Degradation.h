@@ -1,0 +1,117 @@
+//===- runtime/Degradation.h - Graceful-degradation events -----*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured records of the runtime's graceful-degradation ladder. The
+/// paper's collectors honor user constraints (Trace_max, Mem_max); when a
+/// constraint *cannot* be met the heap does not abort — it climbs a ladder
+/// of progressively more drastic recoveries and records every rung here:
+///
+///   allocation over HeapLimitBytes
+///     1. normal scavenge at the policy's boundary   (EmergencyScavenge)
+///     2. emergency FULL collection, TB = 0 — the paper's always-
+///        admissible fallback                        (EmergencyFullCollection)
+///     3. report OOM to the caller                   (AllocationFailure)
+///
+///   remembered-set overflow → drop the set, pessimize the next boundary
+///   to 0 and rebuild during that full trace         (RemSetOverflow,
+///                                                    BoundaryPessimized)
+///
+///   unusable/inconsistent policy → FIXED1 fallback  (PolicyFallback)
+///
+/// Events are queryable via Heap::degradationLog() (a bounded ring — see
+/// HeapConfig::DegradationLogLimit) and summarized by HeapDump.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_RUNTIME_DEGRADATION_H
+#define DTB_RUNTIME_DEGRADATION_H
+
+#include "core/AllocClock.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dtb {
+namespace runtime {
+
+/// What kind of degradation rung was taken.
+enum class DegradationKind : uint8_t {
+  /// Allocation pressure triggered an out-of-schedule scavenge at the
+  /// policy's boundary (ladder rung 1).
+  EmergencyScavenge,
+  /// Allocation pressure escalated to a full collection at TB = 0
+  /// (ladder rung 2).
+  EmergencyFullCollection,
+  /// The ladder was exhausted: the allocation was refused and the caller
+  /// saw nullptr (ladder rung 3).
+  AllocationFailure,
+  /// The remembered set overflowed its bound (or its insert faulted) and
+  /// was dropped; barrier completeness is suspended until rebuilt.
+  RemSetOverflow,
+  /// A collection's boundary was forced to 0 (full) to restore soundness
+  /// after a remembered-set loss or an injected barrier fault.
+  BoundaryPessimized,
+  /// A boundary policy could not run (missing/inconsistent demographics,
+  /// injected fault, out-of-range answer); a FIXED1/FULL fallback boundary
+  /// was used instead.
+  PolicyFallback,
+};
+
+inline constexpr unsigned NumDegradationKinds = 6;
+
+/// Stable lowercase identifier for a kind.
+inline const char *degradationKindName(DegradationKind Kind) {
+  switch (Kind) {
+  case DegradationKind::EmergencyScavenge:
+    return "emergency-scavenge";
+  case DegradationKind::EmergencyFullCollection:
+    return "emergency-full-collection";
+  case DegradationKind::AllocationFailure:
+    return "allocation-failure";
+  case DegradationKind::RemSetOverflow:
+    return "remset-overflow";
+  case DegradationKind::BoundaryPessimized:
+    return "boundary-pessimized";
+  case DegradationKind::PolicyFallback:
+    return "policy-fallback";
+  }
+  return "unknown";
+}
+
+/// One rung taken on the degradation ladder.
+struct DegradationEvent {
+  DegradationKind Kind;
+  /// Allocation clock when the rung was taken.
+  core::AllocClock Time = 0;
+  /// Bytes the triggering allocation asked for (allocation rungs only).
+  uint64_t RequestedBytes = 0;
+  /// The configured budget in force (HeapLimitBytes or RemSetMaxEntries).
+  uint64_t LimitValue = 0;
+  /// Resident bytes at the moment of the event.
+  uint64_t ResidentBytes = 0;
+  /// Human-readable specifics ("injected policy-evaluation fault", ...).
+  std::string Detail;
+};
+
+/// One human-readable line for an event (used by HeapDump).
+inline std::string describeDegradation(const DegradationEvent &Event) {
+  std::string Line = degradationKindName(Event.Kind);
+  Line += " @t=" + std::to_string(Event.Time);
+  if (Event.RequestedBytes != 0)
+    Line += " requested=" + std::to_string(Event.RequestedBytes);
+  if (Event.LimitValue != 0)
+    Line += " limit=" + std::to_string(Event.LimitValue);
+  Line += " resident=" + std::to_string(Event.ResidentBytes);
+  if (!Event.Detail.empty())
+    Line += " (" + Event.Detail + ")";
+  return Line;
+}
+
+} // namespace runtime
+} // namespace dtb
+
+#endif // DTB_RUNTIME_DEGRADATION_H

@@ -3,6 +3,7 @@
 #include "runtime/Heap.h"
 
 #include "support/Error.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <cassert>
@@ -31,7 +32,58 @@ void Heap::setPolicy(std::unique_ptr<core::BoundaryPolicy> NewPolicy) {
 }
 
 Object *Heap::allocate(uint32_t NumSlots, uint32_t RawBytes) {
-  // Bound payloads so gross size arithmetic stays within uint32_t.
+  Object *O = tryAllocate(NumSlots, RawBytes);
+  if (!O)
+    fatalError("heap limit cannot be satisfied even after an emergency "
+               "full collection; use tryAllocate for a recoverable OOM");
+  return O;
+}
+
+void Heap::recordDegradation(DegradationEvent Event) {
+  DegradationTotal += 1;
+  DegradationLog.push_back(std::move(Event));
+  while (Config.DegradationLogLimit != 0 &&
+         DegradationLog.size() > Config.DegradationLogLimit)
+    DegradationLog.pop_front();
+}
+
+bool Heap::ensureHeadroom(uint64_t Gross) {
+  bool Injected = faultRequestedAt(FaultSite::Allocation);
+  auto overLimit = [&] {
+    return Config.HeapLimitBytes != 0 &&
+           ResidentBytes + Gross > Config.HeapLimitBytes;
+  };
+  if (!Injected && !overLimit())
+    return true;
+  const char *Why = overLimit() ? "heap limit reached"
+                                : "injected allocation fault";
+
+  // Rung 1: an out-of-schedule scavenge at the policy's boundary — the
+  // cheap recovery, reclaiming whatever the policy already threatens.
+  if (!InCollection && Policy) {
+    collect();
+    recordDegradation({DegradationKind::EmergencyScavenge, Clock, Gross,
+                       Config.HeapLimitBytes, ResidentBytes, Why});
+    if (!overLimit())
+      return true;
+  }
+
+  // Rung 2: an emergency FULL collection at TB = 0, the paper's always-
+  // admissible boundary — reclaims every dead byte, tenured garbage
+  // included.
+  if (!InCollection) {
+    collectAtBoundary(0);
+    recordDegradation({DegradationKind::EmergencyFullCollection, Clock,
+                       Gross, Config.HeapLimitBytes, ResidentBytes, Why});
+  }
+
+  // Rung 3 (the AllocationFailure event) is recorded by the caller.
+  return !overLimit();
+}
+
+Object *Heap::tryAllocate(uint32_t NumSlots, uint32_t RawBytes) {
+  // Bound payloads so gross size arithmetic stays within uint32_t. This is
+  // a usage error, not memory pressure, so it stays fatal even here.
   constexpr uint32_t MaxSlots = 1u << 24;
   constexpr uint32_t MaxRaw = 1u << 28;
   if (NumSlots > MaxSlots || RawBytes > MaxRaw)
@@ -44,6 +96,12 @@ Object *Heap::allocate(uint32_t NumSlots, uint32_t RawBytes) {
   uint64_t Gross = sizeof(Object) +
                    static_cast<uint64_t>(NumSlots) * sizeof(Object *) +
                    RawBytes;
+  if (!ensureHeadroom(Gross)) {
+    recordDegradation({DegradationKind::AllocationFailure, Clock, Gross,
+                       Config.HeapLimitBytes, ResidentBytes,
+                       "degradation ladder exhausted"});
+    return nullptr;
+  }
   void *Memory = ::operator new(Gross);
   std::memset(Memory, 0, Gross);
 
@@ -64,15 +122,63 @@ Object *Heap::allocate(uint32_t NumSlots, uint32_t RawBytes) {
 }
 
 void Heap::writeSlot(Object *Source, uint32_t SlotIndex, Object *Value) {
-  assert(Source && Source->isAlive() && "store into a dead object");
-  assert((!Value || Value->isAlive()) && "storing a dead object reference");
+  DTB_CHECK(Source && Source->isAlive(), "store into a dead object");
+  DTB_CHECK(!Value || Value->isAlive(), "storing a dead object reference");
+  DTB_CHECK(SlotIndex < Source->numSlots(), "slot index out of range");
   Source->setSlotRaw(SlotIndex, Value);
   // Write barrier: record forward-in-time pointers (older -> younger).
   // Backward-in-time pointers never need recording: if the source is
   // threatened it is traced anyway, and an immune source pointing at an
   // even older target cannot cross any boundary.
-  if (Value && Value->birth() > Source->birth())
+  if (Value && Value->birth() > Source->birth()) {
+    if (faultRequestedAt(FaultSite::RemSetInsert)) {
+      // The set's internal storage "failed": this entry cannot be
+      // recorded, so precision is lost wholesale — same response as a
+      // genuine overflow.
+      handleRemSetOverflow("injected remembered-set insert fault");
+      return;
+    }
     RemSet.insert(Source, SlotIndex);
+    if (Config.RemSetMaxEntries != 0 &&
+        RemSet.size() > Config.RemSetMaxEntries) {
+      handleRemSetOverflow("remembered-set entry bound exceeded");
+    } else if (faultRequestedAt(FaultSite::WriteBarrier) &&
+               !RemSetPessimized) {
+      // The barrier's buffering "failed" after the entry was stored:
+      // degrade conservatively by pessimizing the next boundary so
+      // nothing can be missed.
+      RemSetPessimized = true;
+      recordDegradation({DegradationKind::BoundaryPessimized, Clock, 0, 0,
+                         ResidentBytes, "injected write-barrier fault"});
+    }
+  }
+}
+
+void Heap::handleRemSetOverflow(const char *Why) {
+  // Record only the transition into the pessimized state; repeated
+  // overflows before the rebuilding collection add no information.
+  if (!RemSetPessimized) {
+    RemSetPessimized = true;
+    recordDegradation({DegradationKind::RemSetOverflow, Clock, 0,
+                       Config.RemSetMaxEntries, ResidentBytes, Why});
+  }
+  RemSet.clear();
+}
+
+void Heap::rebuildRememberedSet() {
+  // After a full trace every resident object is known; re-derive the set
+  // exactly. Runs inside the collection pause — O(live pointers), which a
+  // full trace already paid.
+  RemSet.clear();
+  for (Object *O : Objects)
+    for (uint32_t I = 0, E = O->numSlots(); I != E; ++I) {
+      Object *Target = O->slot(I);
+      if (Target && Target->birth() > O->birth())
+        RemSet.insert(O, I);
+    }
+  RemSetPessimized = false;
+  if (Config.RemSetMaxEntries != 0 && RemSet.size() > Config.RemSetMaxEntries)
+    handleRemSetOverflow("rebuilt remembered set still exceeds its bound");
 }
 
 void Heap::dangerouslyWriteSlotWithoutBarrier(Object *Source,
@@ -82,7 +188,7 @@ void Heap::dangerouslyWriteSlotWithoutBarrier(Object *Source,
 }
 
 void Heap::pinObject(Object *O) {
-  assert(O && O->isAlive() && "pinning a dead object");
+  DTB_CHECK(O && O->isAlive(), "pinning a dead object");
   if (!isPinned(O))
     Pinned.push_back(O);
 }
@@ -134,10 +240,36 @@ core::ScavengeRecord Heap::collect() {
   Request.MemBytes = ResidentBytes;
   Request.History = &History;
   Request.Demo = &Demographics;
+  std::string Note;
+  Request.DegradationNote = &Note;
 
-  AllocClock Boundary = Policy->chooseBoundary(Request);
-  if (Boundary > Clock)
-    fatalError("policy chose a boundary in the future");
+  // The FIXED1 boundary t_{n-1}: threatens only the newest interval, needs
+  // no demographics, and is always admissible — the standing fallback when
+  // the policy cannot be trusted.
+  AllocClock Fallback =
+      History.timeOf(static_cast<int64_t>(Request.Index) - 1);
+
+  AllocClock Boundary;
+  if (faultRequestedAt(FaultSite::PolicyEvaluation)) {
+    Boundary = Fallback;
+    recordDegradation({DegradationKind::PolicyFallback, Clock, 0, 0,
+                       ResidentBytes,
+                       "injected policy-evaluation fault; FIXED1 fallback"});
+  } else {
+    Boundary = Policy->chooseBoundary(Request);
+    if (!Note.empty())
+      recordDegradation({DegradationKind::PolicyFallback, Clock, 0, 0,
+                         ResidentBytes, Note});
+    if (Boundary > Clock) {
+      // A buggy policy answered in the future. Every boundary in
+      // [0, now] is admissible, so degrade to FIXED1 instead of aborting.
+      Boundary = Fallback;
+      recordDegradation({DegradationKind::PolicyFallback, Clock, 0, 0,
+                         ResidentBytes,
+                         "policy chose a boundary in the future; FIXED1 "
+                         "fallback"});
+    }
+  }
   return collectAtBoundary(Boundary);
 }
 
@@ -153,7 +285,8 @@ void Heap::registerWeakRef(WeakRef *Ref) { WeakRefs.push_back(Ref); }
 
 void Heap::unregisterWeakRef(WeakRef *Ref) {
   auto It = std::find(WeakRefs.begin(), WeakRefs.end(), Ref);
-  assert(It != WeakRefs.end() && "weak reference not registered");
+  DTB_CHECK(It != WeakRefs.end(),
+            "unregistering a weak reference that was never registered");
   *It = WeakRefs.back();
   WeakRefs.pop_back();
 }
@@ -165,7 +298,8 @@ WeakRef::WeakRef(Heap &H, Object *Target) : H(H), Target(Target) {
 WeakRef::~WeakRef() { H.unregisterWeakRef(this); }
 
 HandleScope::~HandleScope() {
-  assert(H.HandleSlots.size() >= Base && "handle scopes popped out of order");
+  DTB_CHECK(H.HandleSlots.size() >= Base,
+            "handle scopes popped out of order");
   H.HandleSlots.resize(Base);
 }
 

@@ -41,6 +41,7 @@
 
 #include "core/BoundaryPolicy.h"
 #include "core/ScavengeHistory.h"
+#include "runtime/Degradation.h"
 #include "runtime/EpochDemographics.h"
 #include "runtime/Object.h"
 #include "runtime/RememberedSet.h"
@@ -84,6 +85,19 @@ struct HeapConfig {
   bool QuarantineFreedObjects = false;
   /// Scavenging strategy.
   CollectorKind Collector = CollectorKind::MarkSweep;
+  /// Hard memory limit in resident bytes (0 = unlimited). When an
+  /// allocation would exceed it, tryAllocate walks the degradation ladder
+  /// (scavenge, emergency full collection, OOM) instead of growing past
+  /// the limit; allocate() aborts only after the whole ladder failed.
+  uint64_t HeapLimitBytes = 0;
+  /// Bound on remembered-set entries (0 = unbounded). On overflow the set
+  /// is dropped, the next collection is pessimized to a full one, and the
+  /// set is rebuilt exactly during that full trace — the classic
+  /// generational response to card-table/buffer exhaustion.
+  size_t RemSetMaxEntries = 0;
+  /// Bound on retained DegradationEvent records (oldest are dropped
+  /// first; totalDegradationEvents() keeps the true count).
+  size_t DegradationLogLimit = 1024;
   /// When non-null, one human-readable line is written here per
   /// collection (a classic GC log). Not owned.
   std::FILE *LogStream = nullptr;
@@ -119,7 +133,16 @@ public:
   /// \p RawBytes of raw data (zeroed). May trigger a collection *before*
   /// the allocation when the trigger threshold is reached, so the caller
   /// does not need a handle on the result until the next allocation.
+  /// Aborts when HeapLimitBytes is set and the degradation ladder cannot
+  /// make room; use tryAllocate for a recoverable failure.
   Object *allocate(uint32_t NumSlots, uint32_t RawBytes = 0);
+
+  /// Like allocate, but recoverable: when the heap limit (or an injected
+  /// allocation fault) denies the request, walks the degradation ladder —
+  /// (1) normal scavenge at the policy's boundary, (2) emergency FULL
+  /// collection at TB = 0, (3) give up — and returns nullptr only after
+  /// every rung failed. Each rung taken is recorded in degradationLog().
+  Object *tryAllocate(uint32_t NumSlots, uint32_t RawBytes = 0);
 
   /// Stores \p Value into \p Source's slot \p SlotIndex, applying the
   /// write barrier: a forward-in-time store (Value born after Source) is
@@ -171,6 +194,26 @@ public:
   const EpochDemographics &demographics() const { return Demographics; }
   const HeapConfig &config() const { return Config; }
 
+  /// The retained tail of the degradation ladder's event log (bounded by
+  /// HeapConfig::DegradationLogLimit; oldest events are dropped first).
+  const std::deque<DegradationEvent> &degradationLog() const {
+    return DegradationLog;
+  }
+  /// Count of all degradation events ever recorded, including any dropped
+  /// from the bounded log.
+  uint64_t totalDegradationEvents() const { return DegradationTotal; }
+  void clearDegradationLog() {
+    DegradationLog.clear();
+    DegradationTotal = 0;
+  }
+
+  /// True between a remembered-set overflow and the pessimized (full)
+  /// collection that rebuilds the set. While set, write-barrier
+  /// completeness is knowingly suspended: the next collection traces
+  /// everything, so no crossing pointer can be missed, and the verifier
+  /// skips the completeness check.
+  bool remSetPessimized() const { return RemSetPessimized; }
+
   /// Read-only view of the birth-ordered allocation list (verification and
   /// introspection).
   const std::vector<Object *> &objects() const { return Objects; }
@@ -203,6 +246,18 @@ private:
   /// Frees (or quarantines+poisons) an object's storage.
   void releaseStorage(Object *O);
 
+  /// Appends to the bounded degradation log.
+  void recordDegradation(DegradationEvent Event);
+  /// Walks the degradation ladder until \p Gross bytes fit under the heap
+  /// limit (or no limit/pressure applies). Returns false when the ladder
+  /// is exhausted.
+  bool ensureHeadroom(uint64_t Gross);
+  /// Drops the remembered set and schedules a pessimized rebuild.
+  void handleRemSetOverflow(const char *Why);
+  /// Re-derives the remembered set from the live heap (after a full
+  /// trace); restores barrier completeness.
+  void rebuildRememberedSet();
+
   HeapConfig Config;
   std::unique_ptr<core::BoundaryPolicy> Policy;
 
@@ -219,9 +274,12 @@ private:
   std::deque<Object *> HandleSlots; // Stable addresses; scopes pop suffixes.
 
   RememberedSet RemSet;
+  bool RemSetPessimized = false;
   EpochDemographics Demographics;
   core::ScavengeHistory History;
   CollectionStats LastStats;
+  std::deque<DegradationEvent> DegradationLog;
+  uint64_t DegradationTotal = 0;
 };
 
 /// RAII scope providing GC-visible local roots. Scopes must nest like a

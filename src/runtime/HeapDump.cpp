@@ -85,6 +85,15 @@ dtb::runtime::collectDemographics(const Heap &H, AllocClock BaseAgeBytes) {
       Demo.ReachableBytes += O->grossBytes();
     }
   }
+
+  Demo.DegradationEventsTotal = H.totalDegradationEvents();
+  constexpr size_t MaxRecent = 8;
+  const std::deque<DegradationEvent> &Log = H.degradationLog();
+  for (const DegradationEvent &Event : Log)
+    Demo.DegradationCounts[static_cast<unsigned>(Event.Kind)] += 1;
+  size_t First = Log.size() > MaxRecent ? Log.size() - MaxRecent : 0;
+  for (size_t I = First; I != Log.size(); ++I)
+    Demo.RecentDegradations.push_back(describeDegradation(Log[I]));
   return Demo;
 }
 
@@ -126,5 +135,20 @@ void dtb::runtime::printDemographics(const HeapDemographics &Demo,
                  static_cast<unsigned long long>(Band.ReachableBytes),
                  BarLength,
                  "########################################");
+  }
+
+  if (Demo.DegradationEventsTotal != 0) {
+    std::fprintf(Out, "degradation: %llu event%s",
+                 static_cast<unsigned long long>(Demo.DegradationEventsTotal),
+                 Demo.DegradationEventsTotal == 1 ? "" : "s");
+    for (unsigned Kind = 0; Kind != NumDegradationKinds; ++Kind)
+      if (Demo.DegradationCounts[Kind] != 0)
+        std::fprintf(Out, " %s=%llu",
+                     degradationKindName(static_cast<DegradationKind>(Kind)),
+                     static_cast<unsigned long long>(
+                         Demo.DegradationCounts[Kind]));
+    std::fprintf(Out, "\n");
+    for (const std::string &Line : Demo.RecentDegradations)
+      std::fprintf(Out, "  %s\n", Line.c_str());
   }
 }

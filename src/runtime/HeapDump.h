@@ -17,9 +17,12 @@
 #define DTB_RUNTIME_HEAPDUMP_H
 
 #include "core/AllocClock.h"
+#include "runtime/Degradation.h"
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 namespace dtb {
@@ -46,6 +49,12 @@ struct HeapDemographics {
   size_t RememberedSetEntries = 0;
   /// Oldest-first age bands, log2-scaled starting at \c BaseAgeBytes.
   std::vector<AgeBand> Bands;
+  /// Degradation-ladder summary: total events ever recorded (including
+  /// ones dropped from the heap's bounded log), per-kind counts over the
+  /// retained log, and pre-rendered lines for the most recent events.
+  uint64_t DegradationEventsTotal = 0;
+  std::array<uint64_t, NumDegradationKinds> DegradationCounts{};
+  std::vector<std::string> RecentDegradations;
 };
 
 /// Collects a demographics snapshot of \p H. \p BaseAgeBytes is the width

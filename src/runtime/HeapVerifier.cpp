@@ -105,19 +105,25 @@ VerifyResult dtb::runtime::verifyHeap(const Heap &H) {
 
   // Write-barrier completeness: every forward-in-time pointer between
   // resident objects must be remembered, or a future boundary between the
-  // two birth times would let the collector miss it.
+  // two birth times would let the collector miss it. Suspended while the
+  // heap is in the remembered-set-pessimized state: the set was knowingly
+  // dropped (overflow or injected fault), the next collection is forced to
+  // a full trace, and the set is rebuilt there — so incompleteness is safe
+  // by construction until then.
   const RememberedSet &RemSet = H.rememberedSet();
-  for (const Object *O : H.objects()) {
-    if (!O->isAlive())
-      continue;
-    for (uint32_t I = 0, E = O->numSlots(); I != E; ++I) {
-      const Object *Target = O->slot(I);
-      if (!Target || !Target->isAlive())
+  if (!H.remSetPessimized()) {
+    for (const Object *O : H.objects()) {
+      if (!O->isAlive())
         continue;
-      if (Target->birth() > O->birth() && !RemSet.contains(O, I))
-        Result.fail("missing remembered-set entry for forward-in-time "
-                    "pointer from " +
-                    describeObject(O) + " slot " + std::to_string(I));
+      for (uint32_t I = 0, E = O->numSlots(); I != E; ++I) {
+        const Object *Target = O->slot(I);
+        if (!Target || !Target->isAlive())
+          continue;
+        if (Target->birth() > O->birth() && !RemSet.contains(O, I))
+          Result.fail("missing remembered-set entry for forward-in-time "
+                      "pointer from " +
+                      describeObject(O) + " slot " + std::to_string(I));
+      }
     }
   }
 

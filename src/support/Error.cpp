@@ -18,3 +18,10 @@ void dtb::unreachable(std::string_view Message) {
                static_cast<int>(Message.size()), Message.data());
   std::abort();
 }
+
+void dtb::checkFailed(const char *Condition, const char *Message,
+                      const char *File, int Line) {
+  std::fprintf(stderr, "dtbgc check failed at %s:%d: %s (%s)\n", File, Line,
+               Message, Condition);
+  std::abort();
+}

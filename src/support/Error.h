@@ -28,6 +28,21 @@ namespace dtb {
 /// invariants hold. Aborts with \p Message.
 [[noreturn]] void unreachable(std::string_view Message);
 
+/// Backs DTB_CHECK: reports a failed check with its location and aborts.
+[[noreturn]] void checkFailed(const char *Condition, const char *Message,
+                              const char *File, int Line);
+
 } // namespace dtb
+
+/// Always-on invariant check for memory-safety-critical conditions (a
+/// dead-object store, a dangling weak reference, handle scopes popped out
+/// of order). Unlike assert(), DTB_CHECK survives NDEBUG builds: these
+/// checks are the last line of defense between a runtime bug and silent
+/// heap corruption, so they stay compiled in at every optimization level.
+#define DTB_CHECK(Condition, Message)                                          \
+  do {                                                                         \
+    if (!(Condition))                                                          \
+      ::dtb::checkFailed(#Condition, Message, __FILE__, __LINE__);             \
+  } while (false)
 
 #endif // DTB_SUPPORT_ERROR_H

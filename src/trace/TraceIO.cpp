@@ -2,6 +2,8 @@
 
 #include "trace/TraceIO.h"
 
+#include "support/FaultInjector.h"
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -83,11 +85,18 @@ dtb::trace::deserializeBinary(std::string_view Data,
     return std::nullopt;
   }
 
+  // Each record needs at least two bytes of input (two one-byte varints),
+  // so a declared count the remaining data cannot possibly hold is a
+  // truncated or corrupt trace; reject it before the loop so a hostile
+  // header can neither demand an exabyte reservation nor spin through
+  // billions of guaranteed-failing iterations.
+  if (Count > (Data.size() - Cursor) / 2) {
+    fail(ErrorMessage, "declared record count exceeds input (truncated)");
+    return std::nullopt;
+  }
+
   std::vector<AllocationRecord> Records;
-  // Never trust the declared count for the reservation: each record needs
-  // at least two bytes of input, so cap by what the data could hold (a
-  // hostile header must not be able to demand an exabyte up front).
-  Records.reserve(std::min<uint64_t>(Count, (Data.size() - Cursor) / 2 + 1));
+  Records.reserve(Count);
   AllocClock Clock = 0;
   for (uint64_t I = 0; I != Count; ++I) {
     uint64_t Size = 0, DeathCode = 0;
@@ -112,6 +121,72 @@ dtb::trace::deserializeBinary(std::string_view Data,
     return std::nullopt;
   }
   return Trace(std::move(Records));
+}
+
+RecoveredTrace dtb::trace::recoverBinary(std::string_view Data) {
+  RecoveredTrace Result;
+
+  // Locate the header. A damaged prefix is skipped up to the first magic
+  // occurrence; with no magic anywhere nothing can be salvaged, because
+  // the record stream cannot be told apart from noise.
+  size_t MagicAt =
+      Data.find(std::string_view(BinaryMagic, sizeof(BinaryMagic)));
+  if (MagicAt == std::string_view::npos) {
+    Result.BytesSkipped = Data.size();
+    return Result;
+  }
+  Result.BytesSkipped += MagicAt;
+  size_t Cursor = MagicAt + sizeof(BinaryMagic);
+  bool VersionOk = Cursor < Data.size() &&
+                   static_cast<uint8_t>(Data[Cursor]) == BinaryVersion;
+  if (Cursor < Data.size()) {
+    ++Cursor;
+    if (!VersionOk)
+      ++Result.BytesSkipped;
+  }
+
+  // The declared count is advisory during recovery: parse it so a clean
+  // trace round-trips with zero skips, but salvage to the end of the
+  // input regardless of what it claims. An implausible count (more
+  // records than the remaining bytes could encode — the truncation
+  // signature) still consumes its bytes as header, keeping the record
+  // stream aligned; only an undecodable count is fed back into record
+  // resynchronization below.
+  uint64_t DeclaredCount = 0;
+  size_t CountStart = Cursor;
+  bool CountParsed = readVarint(Data, Cursor, &DeclaredCount);
+  bool CountOk =
+      CountParsed && DeclaredCount <= (Data.size() - Cursor) / 2;
+  if (!CountParsed)
+    Cursor = CountStart;
+  Result.HeaderIntact = MagicAt == 0 && VersionOk && CountOk;
+
+  std::vector<AllocationRecord> Records;
+  AllocClock Clock = 0;
+  while (Cursor < Data.size()) {
+    size_t Save = Cursor;
+    uint64_t Size = 0, DeathCode = 0;
+    // A record is accepted only if both varints decode, the size is legal,
+    // and the death clock cannot overflow past the NeverDies sentinel —
+    // the recovered trace must pass Trace::verify unconditionally.
+    bool Ok = readVarint(Data, Cursor, &Size) && Size != 0 &&
+              Size <= UINT32_MAX && readVarint(Data, Cursor, &DeathCode) &&
+              (DeathCode == 0 || DeathCode - 1 <= NeverDies - 1 - Clock - Size);
+    if (!Ok) {
+      Cursor = Save + 1;
+      ++Result.BytesSkipped;
+      continue;
+    }
+    Clock += Size;
+    AllocationRecord R;
+    R.Birth = Clock;
+    R.Size = static_cast<uint32_t>(Size);
+    R.Death = DeathCode == 0 ? NeverDies : Clock + (DeathCode - 1);
+    Records.push_back(R);
+  }
+  Result.RecordsRecovered = Records.size();
+  Result.T = Trace(std::move(Records));
+  return Result;
 }
 
 std::string dtb::trace::serializeText(const Trace &T) {
@@ -183,6 +258,8 @@ std::optional<Trace> dtb::trace::deserializeText(std::string_view Data,
 }
 
 bool dtb::trace::writeTraceFile(const Trace &T, const std::string &Path) {
+  if (faultRequestedAt(FaultSite::TraceIO))
+    return false;
   std::FILE *File = std::fopen(Path.c_str(), "wb");
   if (!File)
     return false;
@@ -196,6 +273,10 @@ bool dtb::trace::writeTraceFile(const Trace &T, const std::string &Path) {
 
 std::optional<Trace> dtb::trace::readTraceFile(const std::string &Path,
                                                std::string *ErrorMessage) {
+  if (faultRequestedAt(FaultSite::TraceIO)) {
+    fail(ErrorMessage, "injected trace I/O fault");
+    return std::nullopt;
+  }
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File) {
     fail(ErrorMessage, "cannot open trace file");

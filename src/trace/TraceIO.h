@@ -36,6 +36,27 @@ std::string serializeBinary(const Trace &T);
 std::optional<Trace> deserializeBinary(std::string_view Data,
                                        std::string *ErrorMessage = nullptr);
 
+/// Result of a best-effort salvage of a damaged binary trace.
+struct RecoveredTrace {
+  /// The records that survived recovery, in input order. Always satisfies
+  /// Trace::verify() — recovery never fabricates an ill-formed trace.
+  Trace T;
+  /// Number of records salvaged (== T.numObjects(), kept for symmetry
+  /// with BytesSkipped in reports).
+  uint64_t RecordsRecovered = 0;
+  /// Bytes discarded while resynchronizing past corruption.
+  uint64_t BytesSkipped = 0;
+  /// True when the magic, version, and record count parsed cleanly.
+  bool HeaderIntact = false;
+};
+
+/// Salvages whatever records it can from a truncated or corrupted binary
+/// trace. Unlike deserializeBinary this never fails: unparseable bytes
+/// are skipped one at a time until the record stream resynchronizes, and
+/// the damage is reported through RecoveredTrace's counters. A clean
+/// input recovers losslessly (BytesSkipped == 0, HeaderIntact == true).
+RecoveredTrace recoverBinary(std::string_view Data);
+
 /// Serializes \p T in the text format.
 std::string serializeText(const Trace &T);
 

@@ -9,6 +9,8 @@
 
 #include "core/Policies.h"
 
+#include "core/OptimalPolicies.h"
+
 #include <gtest/gtest.h>
 
 #include <map>
@@ -331,6 +333,138 @@ TEST(DtbMemoryTest, EstimatorVariants) {
   DtbMemoryPolicy WithOracle(3'000'000, LiveEstimateKind::Oracle);
   EXPECT_EQ(WithOracle.chooseBoundary(OracleRequest), 3'000'000u);
   EXPECT_EQ(WithOracle.name(), "dtbmem-oracle");
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful degradation on broken inputs
+//===----------------------------------------------------------------------===//
+//
+// A collector must keep collecting even when a policy's inputs are
+// missing or inconsistent: the policy returns an admissible boundary
+// (FIXED1's t_{n-1}, or 0 with no usable history) and describes the
+// fallback through BoundaryRequest::DegradationNote instead of aborting.
+
+namespace {
+
+/// A request with deliberately missing inputs; \p Note receives the
+/// policy's degradation description.
+BoundaryRequest brokenRequest(uint64_t Index, AllocClock Now,
+                              std::string *Note) {
+  BoundaryRequest Request;
+  Request.Index = Index;
+  Request.Now = Now;
+  Request.MemBytes = 1'000'000;
+  Request.DegradationNote = Note;
+  return Request;
+}
+
+} // namespace
+
+TEST(PolicyDegradationTest, FixedAgeWithoutHistoryFallsBackToFull) {
+  FixedAgePolicy P(4);
+  std::string Note;
+  EXPECT_EQ(P.chooseBoundary(brokenRequest(5, 9'000'000, &Note)), 0u);
+  EXPECT_FALSE(Note.empty());
+}
+
+TEST(PolicyDegradationTest, FeedmedWithoutHistoryFallsBackToFull) {
+  FeedbackMediationPolicy P(50'000);
+  std::string Note;
+  EXPECT_EQ(P.chooseBoundary(brokenRequest(3, 9'000'000, &Note)), 0u);
+  EXPECT_FALSE(Note.empty());
+}
+
+TEST(PolicyDegradationTest, FeedmedWithoutDemographicsFallsBackToFixed1) {
+  FeedbackMediationPolicy P(50'000);
+  ScavengeHistory History;
+  addScavenge(History, 1'000'000, 0, /*Traced=*/80'000, 100, 200);
+  // Over budget, so the FEEDMED search runs — but there are no
+  // demographics to predict with: FIXED1's t_{n-1} is the fallback.
+  std::string Note;
+  BoundaryRequest Request = brokenRequest(2, 2'000'000, &Note);
+  Request.History = &History;
+  EXPECT_EQ(P.chooseBoundary(Request), 1'000'000u);
+  EXPECT_FALSE(Note.empty());
+}
+
+TEST(PolicyDegradationTest, DtbfmWithoutHistoryFallsBackToFull) {
+  DtbPausePolicy P(50'000);
+  std::string Note;
+  EXPECT_EQ(P.chooseBoundary(brokenRequest(3, 9'000'000, &Note)), 0u);
+  EXPECT_FALSE(Note.empty());
+}
+
+TEST(PolicyDegradationTest, DtbmemWithoutHistoryFallsBackToFull) {
+  DtbMemoryPolicy P(3'000'000);
+  std::string Note;
+  EXPECT_EQ(P.chooseBoundary(brokenRequest(3, 9'000'000, &Note)), 0u);
+  EXPECT_FALSE(Note.empty());
+}
+
+TEST(PolicyDegradationTest, DtbmemInconsistentDemographicsFallsBackToFixed1) {
+  DtbMemoryPolicy P(10'000'000, LiveEstimateKind::Survived);
+  ScavengeHistory History;
+  // "Survived" 5M bytes out of a heap that is only 3M resident: live
+  // cannot exceed resident, so the demographics are corrupt and the
+  // headroom arithmetic cannot be trusted.
+  addScavenge(History, 5'000'000, 0, /*Traced=*/4'000'000,
+              /*Survived=*/5'000'000, /*MemBefore=*/5'500'000);
+  std::string Note;
+  BoundaryRequest Request = brokenRequest(2, 8'000'000, &Note);
+  Request.History = &History;
+  Request.MemBytes = 3'000'000;
+  EXPECT_EQ(P.chooseBoundary(Request), 5'000'000u); // t_1 (FIXED1).
+  EXPECT_FALSE(Note.empty());
+}
+
+TEST(PolicyDegradationTest, DtbmemOracleWithoutDemoUsesPaperEstimator) {
+  DtbMemoryPolicy Oracle(3'000'000, LiveEstimateKind::Oracle);
+  DtbMemoryPolicy Paper(3'000'000);
+  ScavengeHistory History;
+  addScavenge(History, 5'000'000, 0, /*Traced=*/800'000,
+              /*Survived=*/1'200'000, /*MemBefore=*/2'000'000);
+  std::string Note;
+  BoundaryRequest Request = brokenRequest(2, 8'000'000, &Note);
+  Request.History = &History;
+  Request.MemBytes = 4'000'000;
+  AllocClock Chosen = Oracle.chooseBoundary(Request);
+  EXPECT_FALSE(Note.empty());
+  // Same answer the paper's estimator gives on the same request.
+  BoundaryRequest Clean = Request;
+  Clean.DegradationNote = nullptr;
+  EXPECT_EQ(Chosen, Paper.chooseBoundary(Clean));
+}
+
+TEST(PolicyDegradationTest, MinorMajorWithoutHistoryFallsBackToFull) {
+  MinorMajorPolicy P(4);
+  std::string Note;
+  // Index 2 would be a minor collection, but with no history the only
+  // admissible answer is 0.
+  EXPECT_EQ(P.chooseBoundary(brokenRequest(2, 9'000'000, &Note)), 0u);
+  EXPECT_FALSE(Note.empty());
+}
+
+TEST(PolicyDegradationTest, OraclePoliciesWithoutInputsFallBackToFull) {
+  OptimalPausePolicy Pause(50'000);
+  OptimalMemoryPolicy Memory(3'000'000);
+  std::string Note;
+  EXPECT_EQ(Pause.chooseBoundary(brokenRequest(3, 9'000'000, &Note)), 0u);
+  EXPECT_FALSE(Note.empty());
+  Note.clear();
+  EXPECT_EQ(Memory.chooseBoundary(brokenRequest(3, 9'000'000, &Note)), 0u);
+  EXPECT_FALSE(Note.empty());
+}
+
+TEST(PolicyDegradationTest, InconsistentIndexIsClampedNotAsserted) {
+  // An Index far beyond the recorded history must not walk off the end:
+  // the fallback clamps to the newest recorded scavenge time.
+  DtbMemoryPolicy P(3'000'000);
+  ScavengeHistory History;
+  std::string Note;
+  BoundaryRequest Request = brokenRequest(7, 9'000'000, &Note);
+  Request.History = &History; // Non-null but empty.
+  EXPECT_EQ(P.chooseBoundary(Request), 0u);
+  EXPECT_FALSE(Note.empty());
 }
 
 //===----------------------------------------------------------------------===//

@@ -14,6 +14,7 @@
 #include "runtime/WeakRef.h"
 
 #include "core/Policies.h"
+#include "support/FaultInjector.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -129,6 +130,126 @@ INSTANTIATE_TEST_SUITE_P(
                     ChaosParam{201, CollectorKind::Copying},
                     ChaosParam{202, CollectorKind::Copying},
                     ChaosParam{203, CollectorKind::Copying}),
+    [](const testing::TestParamInfo<ChaosParam> &Info) {
+      return (Info.param.Kind == CollectorKind::MarkSweep ? "MarkSweep"
+                                                          : "Copying") +
+             std::to_string(Info.param.Seed);
+    });
+
+namespace {
+
+class FaultChaosTest : public testing::TestWithParam<ChaosParam> {};
+
+} // namespace
+
+// The same random mutator under memory pressure AND fault injection: a
+// hard heap limit, a tiny remembered-set bound, automatic triggering,
+// and probabilistic faults at every site. Nothing may abort: allocation
+// either succeeds or returns null through the degradation ladder, and
+// the full verifier battery passes after every explicit collection.
+TEST_P(FaultChaosTest, DegradesGracefullyNeverAborts) {
+  HeapConfig Config;
+  Config.TriggerBytes = 16 * 1024;
+  Config.QuarantineFreedObjects = true;
+  Config.Collector = GetParam().Kind;
+  Config.HeapLimitBytes = 256 * 1024;
+  Config.RemSetMaxEntries = 64;
+  Heap H(Config);
+  core::PolicyConfig PolicyConfig;
+  PolicyConfig.MemMaxBytes = 192 * 1024;
+  H.setPolicy(core::createPolicy("dtbmem", PolicyConfig));
+
+  FaultInjector Injector(GetParam().Seed * 977 + 1);
+  Injector.setProbability(FaultSite::Allocation, 0.01);
+  Injector.setProbability(FaultSite::WriteBarrier, 0.02);
+  Injector.setProbability(FaultSite::RemSetInsert, 0.02);
+  Injector.setProbability(FaultSite::PolicyEvaluation, 0.05);
+  FaultInjectionScope FaultScope(Injector);
+
+  HandleScope Scope(H);
+  std::vector<Object **> Roots;
+  std::vector<Object *> PinnedObjects;
+  std::vector<std::unique_ptr<WeakRef>> Weaks;
+  Rng R(GetParam().Seed);
+
+  for (int Step = 0; Step != 1'200; ++Step) {
+    double Action = R.nextDouble();
+    if (Action < 0.45 || Roots.empty()) {
+      // Allocation may be denied (injected fault or real pressure once
+      // the rooted set approaches the limit); both are fine.
+      Object *O = H.tryAllocate(static_cast<uint32_t>(R.nextBelow(4)),
+                                static_cast<uint32_t>(R.nextBelow(512)));
+      if (!O)
+        continue;
+      if (R.nextBool(0.4))
+        Roots.push_back(&Scope.slot(O));
+      if (R.nextBool(0.1))
+        Weaks.push_back(std::make_unique<WeakRef>(H, O));
+    } else if (Action < 0.60) {
+      Object *A = *Roots[R.nextBelow(Roots.size())];
+      Object *B = *Roots[R.nextBelow(Roots.size())];
+      if (A && B && A->numSlots() > 0)
+        H.writeSlot(A, static_cast<uint32_t>(R.nextBelow(A->numSlots())),
+                    B);
+    } else if (Action < 0.72) {
+      size_t Index = R.nextBelow(Roots.size());
+      *Roots[Index] = nullptr;
+      Roots[Index] = Roots.back();
+      Roots.pop_back();
+    } else if (Action < 0.78) {
+      Object *O = *Roots[R.nextBelow(Roots.size())];
+      if (O && !H.isPinned(O)) {
+        H.pinObject(O);
+        PinnedObjects.push_back(O);
+      }
+    } else if (Action < 0.84 && !PinnedObjects.empty()) {
+      size_t Index = R.nextBelow(PinnedObjects.size());
+      H.unpinObject(PinnedObjects[Index]);
+      PinnedObjects[Index] = PinnedObjects.back();
+      PinnedObjects.pop_back();
+    } else if (Action < 0.9 && !Weaks.empty()) {
+      size_t Index = R.nextBelow(Weaks.size());
+      Weaks[Index] = std::move(Weaks.back());
+      Weaks.pop_back();
+    } else {
+      // A policy-driven collection (the PolicyEvaluation site may force
+      // the FIXED1 fallback; a pessimized remembered set forces a full
+      // trace) followed by the verifier battery.
+      H.collect();
+      for (Object *Pinned : PinnedObjects)
+        ASSERT_TRUE(Pinned->isAlive());
+      for (const auto &Weak : Weaks)
+        if (Weak->get())
+          ASSERT_TRUE(Weak->get()->isAlive());
+      VerifyResult Result = verifyHeap(H);
+      ASSERT_TRUE(Result.Ok) << Result.Problems.front();
+    }
+  }
+
+  // The run must actually have exercised the machinery it claims to.
+  EXPECT_GT(Injector.totalInjections(), 0u);
+  EXPECT_GT(H.totalDegradationEvents(), 0u);
+  EXPECT_LE(H.residentBytes(), Config.HeapLimitBytes);
+
+  // Final full collection restores exact accounting and, if the set was
+  // pessimized at the time, rebuilds it — completeness holds again.
+  H.collectAtBoundary(0);
+  EXPECT_EQ(H.residentBytes(), reachableBytes(H));
+  VerifyResult Result = verifyHeap(H);
+  EXPECT_TRUE(Result.Ok) << (Result.Problems.empty()
+                                 ? ""
+                                 : Result.Problems.front());
+  HeapDemographics Demo = collectDemographics(H);
+  EXPECT_EQ(Demo.ResidentBytes, H.residentBytes());
+  EXPECT_EQ(Demo.DegradationEventsTotal, H.totalDegradationEvents());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, FaultChaosTest,
+    testing::Values(ChaosParam{301, CollectorKind::MarkSweep},
+                    ChaosParam{302, CollectorKind::MarkSweep},
+                    ChaosParam{401, CollectorKind::Copying},
+                    ChaosParam{402, CollectorKind::Copying}),
     [](const testing::TestParamInfo<ChaosParam> &Info) {
       return (Info.param.Kind == CollectorKind::MarkSweep ? "MarkSweep"
                                                           : "Copying") +

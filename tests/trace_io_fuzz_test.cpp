@@ -9,10 +9,13 @@
 
 #include "trace/TraceIO.h"
 
+#include "support/FaultInjector.h"
 #include "support/Random.h"
 #include "workload/Workload.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
 
 using namespace dtb;
 using namespace dtb::trace;
@@ -24,16 +27,31 @@ std::string validBinary() {
   return serializeBinary(workload::generateTrace(Spec));
 }
 
-/// Every successful parse must satisfy the structural verifier.
+/// Every successful parse must satisfy the structural verifier, and the
+/// parser must never retain more records than the input could encode
+/// (each record costs at least two bytes) — the bounded-memory contract.
 void expectParseIsSafe(std::string_view Data) {
   std::string Error;
   std::optional<Trace> Parsed = deserializeBinary(Data, &Error);
   if (Parsed.has_value()) {
     std::string VerifyError;
     EXPECT_TRUE(Parsed->verify(&VerifyError)) << VerifyError;
+    EXPECT_LE(Parsed->numObjects(), Data.size() / 2);
   } else {
     EXPECT_FALSE(Error.empty());
   }
+}
+
+/// Recovery must never fail, never fabricate an ill-formed trace, never
+/// salvage more records than the input could encode, and must account
+/// for every skipped byte it reports.
+void expectRecoveryIsSafe(std::string_view Data) {
+  RecoveredTrace Recovered = recoverBinary(Data);
+  std::string VerifyError;
+  EXPECT_TRUE(Recovered.T.verify(&VerifyError)) << VerifyError;
+  EXPECT_EQ(Recovered.RecordsRecovered, Recovered.T.numObjects());
+  EXPECT_LE(Recovered.RecordsRecovered, Data.size() / 2);
+  EXPECT_LE(Recovered.BytesSkipped, Data.size());
 }
 
 class TraceIOFuzzTest : public testing::TestWithParam<uint64_t> {};
@@ -86,6 +104,110 @@ TEST_P(TraceIOFuzzTest, RandomTextIsHandled) {
       EXPECT_TRUE(Parsed->verify(&VerifyError)) << VerifyError;
     }
   }
+}
+
+TEST_P(TraceIOFuzzTest, MultiByteCorruptionIsHandled) {
+  std::string Valid = validBinary();
+  Rng R(GetParam() * 13 + 7);
+  for (int Round = 0; Round != 200; ++Round) {
+    std::string Mutated = Valid;
+    size_t Flips = 1 + R.nextBelow(16);
+    for (size_t I = 0; I != Flips; ++I)
+      Mutated[R.nextBelow(Mutated.size())] =
+          static_cast<char>(R.nextBelow(256));
+    expectParseIsSafe(Mutated);
+    expectRecoveryIsSafe(Mutated);
+  }
+}
+
+TEST(TraceIORecoveryTest, CleanInputRecoversLosslessly) {
+  workload::WorkloadSpec Spec = workload::makeSteadyStateSpec(50'000, 3);
+  Trace Original = workload::generateTrace(Spec);
+  RecoveredTrace Recovered = recoverBinary(serializeBinary(Original));
+  EXPECT_TRUE(Recovered.HeaderIntact);
+  EXPECT_EQ(Recovered.BytesSkipped, 0u);
+  EXPECT_EQ(Recovered.RecordsRecovered, Original.numObjects());
+  EXPECT_EQ(Recovered.T.records(), Original.records());
+}
+
+TEST(TraceIORecoveryTest, TruncatedInputSalvagesThePrefix) {
+  std::string Valid = validBinary();
+  std::optional<Trace> Full = deserializeBinary(Valid);
+  ASSERT_TRUE(Full.has_value());
+  // Drop the last quarter of the bytes: strict parsing rejects the whole
+  // file, recovery keeps the records that survived intact.
+  std::string_view Truncated =
+      std::string_view(Valid).substr(0, Valid.size() * 3 / 4);
+  EXPECT_FALSE(deserializeBinary(Truncated).has_value());
+  RecoveredTrace Recovered = recoverBinary(Truncated);
+  EXPECT_GT(Recovered.RecordsRecovered, Full->numObjects() / 2);
+  EXPECT_LE(Recovered.RecordsRecovered, Full->numObjects());
+  // The salvaged prefix matches the original record-for-record.
+  for (size_t I = 0; I != Recovered.T.numObjects(); ++I)
+    EXPECT_EQ(Recovered.T.records()[I], Full->records()[I]) << I;
+}
+
+TEST(TraceIORecoveryTest, CorruptMiddleResynchronizes) {
+  std::string Valid = validBinary();
+  std::optional<Trace> Full = deserializeBinary(Valid);
+  ASSERT_TRUE(Full.has_value());
+  // Stomp a 16-byte window in the middle with continuation bytes (0xff is
+  // maximally hostile to varint decoding).
+  std::string Mutated = Valid;
+  for (size_t I = Mutated.size() / 2; I != Mutated.size() / 2 + 16; ++I)
+    Mutated[I] = static_cast<char>(0xff);
+  RecoveredTrace Recovered = recoverBinary(Mutated);
+  std::string VerifyError;
+  EXPECT_TRUE(Recovered.T.verify(&VerifyError)) << VerifyError;
+  // Most records survive: only those overlapping the stomped window (and
+  // any misparsed during resynchronization) are lost.
+  EXPECT_GT(Recovered.RecordsRecovered, Full->numObjects() / 2);
+  EXPECT_GT(Recovered.BytesSkipped, 0u);
+}
+
+TEST(TraceIORecoveryTest, NoMagicMeansNothingSalvaged) {
+  RecoveredTrace Recovered = recoverBinary("just some bytes, no header");
+  EXPECT_FALSE(Recovered.HeaderIntact);
+  EXPECT_EQ(Recovered.RecordsRecovered, 0u);
+  EXPECT_EQ(Recovered.BytesSkipped,
+            std::string("just some bytes, no header").size());
+}
+
+TEST(TraceIOFaultTest, InjectedReadFaultFailsCleanly) {
+  workload::WorkloadSpec Spec = workload::makeSteadyStateSpec(10'000, 3);
+  Trace T = workload::generateTrace(Spec);
+  std::string Path = testing::TempDir() + "/dtb_traceio_fault.dtbt";
+  ASSERT_TRUE(writeTraceFile(T, Path));
+
+  FaultInjector Injector(/*Seed=*/42);
+  Injector.armOneShot(FaultSite::TraceIO, /*NthHit=*/1);
+  FaultInjectionScope Scope(Injector);
+
+  std::string Error;
+  EXPECT_FALSE(readTraceFile(Path, &Error).has_value());
+  EXPECT_EQ(Error, "injected trace I/O fault");
+  // The one-shot is consumed: the next read succeeds.
+  std::optional<Trace> Reread = readTraceFile(Path, &Error);
+  ASSERT_TRUE(Reread.has_value()) << Error;
+  EXPECT_EQ(Reread->records(), T.records());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOFaultTest, InjectedWriteFaultReportsFailure) {
+  workload::WorkloadSpec Spec = workload::makeSteadyStateSpec(10'000, 3);
+  Trace T = workload::generateTrace(Spec);
+  std::string Path = testing::TempDir() + "/dtb_traceio_wfault.dtbt";
+
+  FaultInjector Injector(/*Seed=*/42);
+  Injector.setProbability(FaultSite::TraceIO, 1.0);
+  {
+    FaultInjectionScope Scope(Injector);
+    EXPECT_FALSE(writeTraceFile(T, Path));
+  }
+  // Outside the scope writes work again.
+  EXPECT_TRUE(writeTraceFile(T, Path));
+  EXPECT_EQ(Injector.injections(FaultSite::TraceIO), 1u);
+  std::remove(Path.c_str());
 }
 
 TEST(TraceIOFuzzTest, OversizedVarintRejected) {
