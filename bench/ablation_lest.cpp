@@ -15,8 +15,10 @@
 #include "support/CommandLine.h"
 #include "support/Table.h"
 #include "support/Units.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
+#include <tuple>
 
 using namespace dtb;
 
@@ -25,16 +27,22 @@ int main(int Argc, char **Argv) {
   OptionParser Parser("DTBMEM L_est ablation: paper's midpoint vs the "
                       "S/Trace extremes and the oracle");
   Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
     return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
+    return 1;
 
-  const std::pair<core::LiveEstimateKind, const char *> Estimators[] = {
-      {core::LiveEstimateKind::AverageOfSurvivedAndTraced,
-       "midpoint (paper)"},
-      {core::LiveEstimateKind::Survived, "S_{n-1} (over)"},
-      {core::LiveEstimateKind::Traced, "Trace_{n-1} (under)"},
-      {core::LiveEstimateKind::Oracle, "oracle live"},
-  };
+  const std::tuple<core::LiveEstimateKind, const char *, const char *>
+      Estimators[] = {
+          {core::LiveEstimateKind::AverageOfSurvivedAndTraced,
+           "midpoint (paper)", "midpoint"},
+          {core::LiveEstimateKind::Survived, "S_{n-1} (over)", "survived"},
+          {core::LiveEstimateKind::Traced, "Trace_{n-1} (under)", "traced"},
+          {core::LiveEstimateKind::Oracle, "oracle live", "oracle"},
+      };
 
   std::printf("DTBMEM live-estimator ablation (budget %.0f KB)\n\n",
               bytesToKB(MemMax));
@@ -45,8 +53,9 @@ int main(int Argc, char **Argv) {
 
     Table Tbl({"Estimator", "Mem mean (KB)", "Mem max (KB)",
                "Over budget?", "Traced (KB)", "Median pause (ms)"});
-    for (const auto &[Kind, Label] : Estimators) {
+    for (const auto &[Kind, Label, Slug] : Estimators) {
       core::DtbMemoryPolicy Policy(MemMax, Kind);
+      SimConfig.TelemetryTrack = "sim/" + Spec.Name + "/dtbmem-" + Slug;
       sim::SimulationResult R = sim::simulate(T, Policy, SimConfig);
       Tbl.addRow({Label, Table::cell(bytesToKB(R.MemMeanBytes)),
                   Table::cell(bytesToKB(R.MemMaxBytes)),

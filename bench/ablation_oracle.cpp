@@ -18,6 +18,7 @@
 #include "support/CommandLine.h"
 #include "support/Table.h"
 #include "support/Units.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 
@@ -30,7 +31,12 @@ int main(int Argc, char **Argv) {
                       "per-scavenge-optimal baselines");
   Parser.addUInt("trace-max", "Pause budget in traced bytes", &TraceMax);
   Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
 
   std::printf("Regret vs clairvoyant baselines (pause budget %.0f ms, "
@@ -49,7 +55,9 @@ int main(int Argc, char **Argv) {
 
     core::DtbPausePolicy DtbFm(TraceMax);
     core::OptimalPausePolicy OptPause(TraceMax);
+    SimConfig.TelemetryTrack = "sim/" + Spec.Name + "/dtbfm";
     sim::SimulationResult RFm = sim::simulate(T, DtbFm, SimConfig);
+    SimConfig.TelemetryTrack = "sim/" + Spec.Name + "/opt-pause";
     sim::SimulationResult ROptP = sim::simulate(T, OptPause, SimConfig);
     double MemRegret =
         ROptP.MemMeanBytes > 0
@@ -70,7 +78,9 @@ int main(int Argc, char **Argv) {
                               ? MemMax - SimConfig.TriggerBytes
                               : MemMax;
     core::OptimalMemoryPolicy OptMem(PostBudget);
+    SimConfig.TelemetryTrack = "sim/" + Spec.Name + "/dtbmem";
     sim::SimulationResult RMem = sim::simulate(T, DtbMem, SimConfig);
+    SimConfig.TelemetryTrack = "sim/" + Spec.Name + "/opt-mem";
     sim::SimulationResult ROptM = sim::simulate(T, OptMem, SimConfig);
     double TraceRegret =
         ROptM.TotalTracedBytes > 0

@@ -18,6 +18,7 @@
 #include "support/CommandLine.h"
 #include "support/Table.h"
 #include "support/Units.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 
@@ -29,7 +30,12 @@ int main(int Argc, char **Argv) {
                       "granularities and measures the cost of imprecise "
                       "object ages");
   Parser.addString("workload", "Workload name", &WorkloadName);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
 
   const workload::WorkloadSpec *Spec = workload::findWorkload(WorkloadName);
@@ -55,6 +61,8 @@ int main(int Argc, char **Argv) {
       core::PolicyConfig PolicyConfig;
       core::QuantizedBoundaryPolicy Policy(
           core::createPolicy(Inner, PolicyConfig), Quantum);
+      SimConfig.TelemetryTrack = "sim/" + Spec->Name + "/" + Inner + "-q" +
+                                 std::to_string(Quantum);
       sim::SimulationResult R = sim::simulate(T, Policy, SimConfig);
       Tbl.addRow({Quantum == 1 ? "exact" : formatBytes(Quantum),
                   Table::cell(bytesToKB(R.MemMeanBytes)),

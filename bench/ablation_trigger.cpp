@@ -16,6 +16,7 @@
 #include "support/CommandLine.h"
 #include "support/Table.h"
 #include "support/Units.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 
@@ -27,7 +28,12 @@ int main(int Argc, char **Argv) {
                       "boundary policy (what-to-collect vs when-to-collect "
                       "orthogonality)");
   Parser.addString("workload", "Workload name", &WorkloadName);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
 
   const workload::WorkloadSpec *Spec = workload::findWorkload(WorkloadName);
@@ -51,6 +57,8 @@ int main(int Argc, char **Argv) {
       sim::SimulatorConfig SimConfig;
       SimConfig.TriggerBytes = TriggerKB * 1000;
       SimConfig.ProgramSeconds = Spec->ProgramSeconds;
+      SimConfig.TelemetryTrack = "sim/" + Spec->Name + "/" + PolicyName +
+                                 "@" + std::to_string(TriggerKB) + "kb";
       sim::SimulationResult R = sim::simulate(T, *Policy, SimConfig);
       Tbl.addRow({Table::cell(TriggerKB), Table::cell(R.NumScavenges),
                   Table::cell(bytesToKB(R.MemMeanBytes)),

@@ -15,6 +15,7 @@
 #include "support/CommandLine.h"
 #include "support/Table.h"
 #include "support/Units.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 #include <memory>
@@ -26,7 +27,12 @@ int main(int Argc, char **Argv) {
   OptionParser Parser("Fixed-interval vs heap-growth scavenge triggers "
                       "under each boundary policy");
   Parser.addString("workload", "Workload name", &WorkloadName);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
 
   const workload::WorkloadSpec *Spec = workload::findWorkload(WorkloadName);
@@ -60,6 +66,8 @@ int main(int Argc, char **Argv) {
       sim::SimulatorConfig SimConfig;
       SimConfig.Trigger = Case.Trigger.get();
       SimConfig.ProgramSeconds = Spec->ProgramSeconds;
+      SimConfig.TelemetryTrack =
+          "sim/" + Spec->Name + "/" + PolicyName + "@" + Case.Label;
       sim::SimulationResult R = sim::simulate(T, *Policy, SimConfig);
       Tbl.addRow({Case.Label, Table::cell(R.NumScavenges),
                   Table::cell(bytesToKB(R.MemMeanBytes)),

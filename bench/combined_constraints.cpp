@@ -23,6 +23,7 @@
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/Units.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 #include <memory>
@@ -39,7 +40,12 @@ int main(int Argc, char **Argv) {
   Parser.addUInt("trace-max", "Pause budget in traced bytes", &TraceMax);
   Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
   addThreadsOption(Parser, &Threads);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
   applyThreadsOption(Threads);
 
@@ -80,7 +86,9 @@ int main(int Argc, char **Argv) {
     size_t W = Cell / Kinds.size();
     sim::SimulatorConfig SimConfig;
     SimConfig.ProgramSeconds = Specs[W].ProgramSeconds;
-    auto Policy = MakePolicy(Kinds[Cell % Kinds.size()]);
+    const char *Kind = Kinds[Cell % Kinds.size()];
+    SimConfig.TelemetryTrack = "sim/" + Specs[W].Name + "/" + Kind;
+    auto Policy = MakePolicy(Kind);
     Results[Cell] = sim::simulate(Traces[W], *Policy, SimConfig);
   });
 

@@ -19,6 +19,7 @@
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/Units.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 #include <vector>
@@ -32,7 +33,12 @@ int main(int Argc, char **Argv) {
                       "how closely the DTB policies track them");
   Parser.addString("workload", "Workload name", &WorkloadName);
   addThreadsOption(Parser, &Threads);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
   applyThreadsOption(Threads);
 
@@ -66,8 +72,14 @@ int main(int Argc, char **Argv) {
     uint64_t TraceMax = Machine.tracedBytesForPauseMillis(PauseBudgetsMs[I]);
     core::DtbPausePolicy DtbFm(TraceMax);
     core::FeedbackMediationPolicy FeedMed(TraceMax);
-    FmResults[I] = sim::simulate(T, DtbFm, SimConfig);
-    MedResults[I] = sim::simulate(T, FeedMed, SimConfig);
+    // Copy before setting the track: SimConfig is shared across workers.
+    sim::SimulatorConfig CellConfig = SimConfig;
+    std::string Budget =
+        std::to_string(static_cast<uint64_t>(PauseBudgetsMs[I])) + "ms";
+    CellConfig.TelemetryTrack = "sim/" + Spec->Name + "/dtbfm@" + Budget;
+    FmResults[I] = sim::simulate(T, DtbFm, CellConfig);
+    CellConfig.TelemetryTrack = "sim/" + Spec->Name + "/feedmed@" + Budget;
+    MedResults[I] = sim::simulate(T, FeedMed, CellConfig);
   });
   for (size_t I = 0; I != PauseBudgetsMs.size(); ++I) {
     const sim::SimulationResult &RFm = FmResults[I];
@@ -87,15 +99,20 @@ int main(int Argc, char **Argv) {
   sim::SimulationResult FullResult, Fixed1Result;
   std::vector<sim::SimulationResult> MemResults(MemBudgetsKB.size());
   parallelFor(MemBudgetsKB.size() + 2, [&](size_t I) {
+    sim::SimulatorConfig CellConfig = SimConfig;
     if (I == 0) {
       core::FullPolicy Full;
-      FullResult = sim::simulate(T, Full, SimConfig);
+      CellConfig.TelemetryTrack = "sim/" + Spec->Name + "/full";
+      FullResult = sim::simulate(T, Full, CellConfig);
     } else if (I == 1) {
       core::FixedAgePolicy Fixed1(1);
-      Fixed1Result = sim::simulate(T, Fixed1, SimConfig);
+      CellConfig.TelemetryTrack = "sim/" + Spec->Name + "/fixed1";
+      Fixed1Result = sim::simulate(T, Fixed1, CellConfig);
     } else {
       core::DtbMemoryPolicy DtbMem(MemBudgetsKB[I - 2] * 1000);
-      MemResults[I - 2] = sim::simulate(T, DtbMem, SimConfig);
+      CellConfig.TelemetryTrack = "sim/" + Spec->Name + "/dtbmem@" +
+                                  std::to_string(MemBudgetsKB[I - 2]) + "kb";
+      MemResults[I - 2] = sim::simulate(T, DtbMem, CellConfig);
     }
   });
   std::printf("\nMemory-constraint sweep on %s (max should hug the budget; "

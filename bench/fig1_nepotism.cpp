@@ -16,7 +16,9 @@
 #include "runtime/Heap.h"
 #include "runtime/HeapVerifier.h"
 
+#include "support/CommandLine.h"
 #include "support/Table.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 #include <map>
@@ -55,7 +57,17 @@ struct Fig1Heap {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  OptionParser Parser("Walks the paper's Figure 1 object graph on the "
+                      "managed runtime");
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
+    return 1;
+
   std::printf("Figure 1: Dynamic Threatening Boundary vs Generations\n");
   std::printf("======================================================\n\n");
 

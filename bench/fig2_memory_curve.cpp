@@ -15,6 +15,7 @@
 #include "support/CommandLine.h"
 #include "support/Units.h"
 #include "trace/TraceStats.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 #include <map>
@@ -52,7 +53,12 @@ int main(int Argc, char **Argv) {
   Parser.addUInt("points", "Number of sample points", &Points);
   Parser.addUInt("trigger", "Bytes allocated between scavenges",
                  &Config.TriggerBytes);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
 
   const workload::WorkloadSpec *Spec = workload::findWorkload(WorkloadName);
@@ -81,6 +87,7 @@ int main(int Argc, char **Argv) {
   std::map<std::string, sim::SimulationResult> Results;
   for (const char *Name : {"full", "dtbfm", "dtbmem"}) {
     auto Policy = core::createPolicy(Name, PolicyConfig);
+    SimConfig.TelemetryTrack = "sim/" + Spec->Name + "/" + Name;
     Results[Name] = sim::simulate(T, *Policy, SimConfig);
   }
 

@@ -18,6 +18,7 @@
 #include "support/Table.h"
 #include "support/Units.h"
 #include "workload/Workload.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 
@@ -36,7 +37,12 @@ int main(int Argc, char **Argv) {
                    "the younger half of live objects", &YoungBias);
   Parser.addUInt("generation-kb", "Classic generation boundary age (KB)",
                  &GenerationKB);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
 
   std::printf("Remembered-set demand: unified (DTB) vs two-generation "

@@ -25,6 +25,8 @@
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/Units.h"
+#include "telemetry/Export.h"
+#include "telemetry/TelemetryCli.h"
 #include "trace/TraceStats.h"
 
 #include <chrono>
@@ -125,6 +127,10 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
 ///  * a simulation of the largest paper workload under the oracle
 ///    memory-first boundary search with the indexed HeapModel versus the
 ///    retained naive scans (the indexed-query speedup).
+///
+/// The figures are published as "timing." gauges in the telemetry metrics
+/// registry and printed through telemetry::writeMetricsJson — the same
+/// code path --telemetry-out uses — instead of a hand-rolled emitter.
 int runTimingMode(uint64_t Threads) {
   using Clock = std::chrono::steady_clock;
   unsigned Lanes =
@@ -174,29 +180,32 @@ int runTimingMode(uint64_t Threads) {
     return 1;
   }
 
-  std::printf("{\n"
-              "  \"threads\": %u,\n"
-              "  \"grid\": {\n"
-              "    \"serial_seconds\": %.3f,\n"
-              "    \"parallel_seconds\": %.3f,\n"
-              "    \"speedup\": %.2f\n"
-              "  },\n"
-              "  \"dtbmem_heap_queries\": {\n"
-              "    \"workload\": \"%s\",\n"
-              "    \"policy\": \"mem-first (oracle boundary search)\",\n"
-              "    \"mem_budget_bytes\": %llu,\n"
-              "    \"scan_seconds\": %.3f,\n"
-              "    \"indexed_seconds\": %.3f,\n"
-              "    \"speedup\": %.2f,\n"
-              "    \"num_scavenges\": %llu\n"
-              "  }\n"
-              "}\n",
-              Lanes, SerialSec, ParallelSec,
-              ParallelSec > 0.0 ? SerialSec / ParallelSec : 0.0,
-              Largest->Name.c_str(),
-              static_cast<unsigned long long>(MemBudget), ScanSec, IndexedSec,
-              IndexedSec > 0.0 ? ScanSec / IndexedSec : 0.0,
-              static_cast<unsigned long long>(Indexed.NumScavenges));
+  // The workload/policy identity travels on stderr (JSON stays numeric);
+  // it is fixed anyway: the largest paper workload under mem-first.
+  std::fprintf(stderr, "timing workload: %s, policy: mem-first (oracle "
+                       "boundary search)\n",
+               Largest->Name.c_str());
+
+  telemetry::MetricsRegistry &Reg = telemetry::MetricsRegistry::global();
+  Reg.gauge("timing.threads").set(Lanes);
+  Reg.gauge("timing.grid.serial_seconds").set(SerialSec);
+  Reg.gauge("timing.grid.parallel_seconds").set(ParallelSec);
+  Reg.gauge("timing.grid.speedup")
+      .set(ParallelSec > 0.0 ? SerialSec / ParallelSec : 0.0);
+  Reg.gauge("timing.heap_queries.mem_budget_bytes")
+      .set(static_cast<double>(MemBudget));
+  Reg.gauge("timing.heap_queries.scan_seconds").set(ScanSec);
+  Reg.gauge("timing.heap_queries.indexed_seconds").set(IndexedSec);
+  Reg.gauge("timing.heap_queries.speedup")
+      .set(IndexedSec > 0.0 ? ScanSec / IndexedSec : 0.0);
+  Reg.gauge("timing.heap_queries.num_scavenges")
+      .set(static_cast<double>(Indexed.NumScavenges));
+
+  std::vector<telemetry::MetricSample> Timing;
+  for (telemetry::MetricSample &M : Reg.snapshot())
+    if (M.Name.rfind("timing.", 0) == 0)
+      Timing.push_back(std::move(M));
+  telemetry::writeMetricsJson(Timing, telemetry::ExportOptions(), stdout);
   return 0;
 }
 
@@ -220,7 +229,12 @@ int main(int Argc, char **Argv) {
                  "experiment engine and the indexed heap-model queries",
                  &Timing);
   addThreadsOption(Parser, &Threads);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
   applyThreadsOption(Threads);
 

@@ -14,6 +14,7 @@
 #include "support/CommandLine.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 
@@ -36,7 +37,12 @@ int main(int Argc, char **Argv) {
                       "seeds and reports metric distributions");
   Parser.addUInt("seeds", "Number of seeds per workload", &NumSeeds);
   addThreadsOption(Parser, &Threads);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
   applyThreadsOption(Threads);
 

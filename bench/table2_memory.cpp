@@ -13,6 +13,7 @@
 #include "report/PaperReference.h"
 #include "support/CommandLine.h"
 #include "support/ThreadPool.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 
@@ -32,7 +33,12 @@ int main(int Argc, char **Argv) {
   Parser.addUInt("mem-max", "DTBMEM memory budget in bytes",
                  &Config.MemMaxBytes);
   addThreadsOption(Parser, &Threads);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
   applyThreadsOption(Threads);
 

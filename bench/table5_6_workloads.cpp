@@ -15,6 +15,7 @@
 #include "support/CommandLine.h"
 #include "support/ThreadPool.h"
 #include "support/Units.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 
@@ -28,7 +29,12 @@ int main(int Argc, char **Argv) {
                       "behaviour and baselines");
   Parser.addFlag("csv", "Emit CSV instead of aligned text", &Csv);
   addThreadsOption(Parser, &Threads);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
   applyThreadsOption(Threads);
 

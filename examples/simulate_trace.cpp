@@ -24,6 +24,7 @@
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
 #include "workload/Workload.h"
+#include "telemetry/TelemetryCli.h"
 
 #include <cstdio>
 
@@ -53,7 +54,12 @@ int main(int Argc, char **Argv) {
                  &TriggerBytes);
   Parser.addUInt("trace-max", "Pause budget in traced bytes", &TraceMax);
   Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
+  telemetry::TelemetryOptions TelemetryOpts;
+  telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
+    return 1;
+  telemetry::TelemetrySession Telemetry(TelemetryOpts);
+  if (!Telemetry.valid())
     return 1;
 
   // --- Obtain the trace ---------------------------------------------------
@@ -113,6 +119,7 @@ int main(int Argc, char **Argv) {
              "90th (ms)", "Traced (KB)", "Overhead (%)", "Scavenges"});
   for (const std::string &Name : core::paperPolicyNames()) {
     auto Policy = core::createPolicy(Name, PolicyConfig);
+    SimConfig.TelemetryTrack = "sim/" + WorkloadName + "/" + Name;
     sim::SimulationResult R = sim::simulate(T, *Policy, SimConfig);
     Tbl.addRow({Name, Table::cell(bytesToKB(R.MemMeanBytes)),
                 Table::cell(bytesToKB(R.MemMaxBytes)),

@@ -75,6 +75,12 @@ struct BoundaryRequest {
   /// here instead of aborting; the caller logs it as a degradation event.
   /// Policies must still return an admissible boundary in [0, Now].
   std::string *DegradationNote = nullptr;
+  /// When non-null, the policy writes a short stable identifier for the
+  /// decision rule that produced the returned boundary ("full",
+  /// "fit-search", "widen", "hold", "degraded", ...). Telemetry-driven
+  /// callers count these per policy; leaving the sink untouched is legal
+  /// for user-defined policies (callers default it to "unspecified").
+  std::string *RuleFired = nullptr;
 };
 
 /// A threatening-boundary policy. Implementations must be deterministic

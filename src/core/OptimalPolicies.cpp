@@ -10,9 +10,15 @@ namespace {
 /// The oracle policies need both demographics and history; without them
 /// the only admissible answer is a full collection. Notes the fallback
 /// for the caller's degradation log instead of aborting.
+void fired(const BoundaryRequest &Request, const char *Rule) {
+  if (Request.RuleFired)
+    *Request.RuleFired = Rule;
+}
+
 bool oracleInputsMissing(const BoundaryRequest &Request) {
   if (Request.Demo && Request.History && Request.History->size() != 0)
     return false;
+  fired(Request, "degraded");
   if (Request.DegradationNote)
     *Request.DegradationNote =
         "oracle policy missing demographics or history; full-collection "
@@ -27,23 +33,29 @@ OptimalPausePolicy::OptimalPausePolicy(uint64_t TraceMaxBytes)
 
 AllocClock
 OptimalPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
-  if (Request.Index == 1)
+  if (Request.Index == 1) {
+    fired(Request, "first-full");
     return 0;
+  }
   if (oracleInputsMissing(Request))
     return 0;
   const Demographics &Demo = *Request.Demo;
 
   // A full collection within budget is the best possible outcome.
-  if (Demo.liveBytesBornAfter(0) <= TraceMaxBytes)
+  if (Demo.liveBytesBornAfter(0) <= TraceMaxBytes) {
+    fired(Request, "full-fits");
     return 0;
+  }
 
   // Binary search the least boundary whose trace fits; clamp the search
   // to t_{n-1} so every object is traced at least once. Invariant: the
   // predicate (trace <= budget) holds at Hi, fails at Lo.
   AllocClock Lo = 0;
   AllocClock Hi = Request.History->last().Time;
-  if (Demo.liveBytesBornAfter(Hi) > TraceMaxBytes)
+  if (Demo.liveBytesBornAfter(Hi) > TraceMaxBytes) {
+    fired(Request, "over-budget-min-window");
     return Hi; // Even the newest interval busts the budget: best effort.
+  }
   while (Lo + 1 < Hi) {
     AllocClock Mid = Lo + (Hi - Lo) / 2;
     if (Demo.liveBytesBornAfter(Mid) <= TraceMaxBytes)
@@ -51,6 +63,7 @@ OptimalPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
     else
       Lo = Mid;
   }
+  fired(Request, "oracle-search");
   return Hi;
 }
 
@@ -59,8 +72,10 @@ OptimalMemoryPolicy::OptimalMemoryPolicy(uint64_t MemMaxBytes)
 
 AllocClock
 OptimalMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
-  if (Request.Index == 1)
+  if (Request.Index == 1) {
+    fired(Request, "first-full");
     return 0;
+  }
   if (oracleInputsMissing(Request))
     return 0;
   const Demographics &Demo = *Request.Demo;
@@ -77,11 +92,15 @@ OptimalMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
   AllocClock Newest = Request.History->last().Time;
   // If even the laziest admissible boundary fits, take it: no tracing
   // beyond the newest interval is needed.
-  if (residencyAfter(Newest) <= MemMaxBytes)
+  if (residencyAfter(Newest) <= MemMaxBytes) {
+    fired(Request, "laziest-fits");
     return Newest;
+  }
   // If a full collection cannot fit, it is still the best effort.
-  if (residencyAfter(0) > MemMaxBytes)
+  if (residencyAfter(0) > MemMaxBytes) {
+    fired(Request, "over-constrained-full");
     return 0;
+  }
 
   // Binary search the greatest boundary whose residency fits. Invariant:
   // the predicate (residency <= budget) holds at Lo, fails at Hi.
@@ -94,5 +113,6 @@ OptimalMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
     else
       Hi = Mid;
   }
+  fired(Request, "oracle-search");
   return Lo;
 }

@@ -17,12 +17,20 @@ BoundaryPolicy::~BoundaryPolicy() = default;
 
 namespace {
 
+/// Records which decision rule produced the boundary about to be returned
+/// (no-op when the caller did not ask).
+void fired(const BoundaryRequest &Request, const char *Rule) {
+  if (Request.RuleFired)
+    *Request.RuleFired = Rule;
+}
+
 /// Degraded-mode boundary: the FIXED1 choice t_{n-1} when the history is
 /// usable, else 0 (a full collection — the always-admissible fallback).
 /// Notes the reason through the request's degradation sink instead of
 /// aborting; a collector must keep collecting even when its inputs are
 /// broken.
 AllocClock degradeToFixed1(const BoundaryRequest &Request, const char *Why) {
+  fired(Request, "degraded");
   if (Request.DegradationNote)
     *Request.DegradationNote = Why;
   if (Request.History) {
@@ -65,12 +73,15 @@ AllocClock dtb::core::feedbackMediationSearch(const BoundaryRequest &Request,
     AllocClock Tk = History.timeOf(K);
     if (Tk < PrevBoundary)
       continue;
-    if (Request.Demo->liveBytesBornAfter(Tk) <= TraceMax)
+    if (Request.Demo->liveBytesBornAfter(Tk) <= TraceMax) {
+      fired(Request, "fit-search");
       return Tk;
+    }
   }
   // Even the youngest candidate (t_{n-1}) exceeds the budget: threaten the
   // newest interval only, the closest we can get to the constraint while
   // still tracing every object once.
+  fired(Request, "over-budget-min-window");
   return History.timeOf(N - 1);
 }
 
@@ -78,7 +89,10 @@ AllocClock dtb::core::feedbackMediationSearch(const BoundaryRequest &Request,
 // FULL
 //===----------------------------------------------------------------------===//
 
-AllocClock FullPolicy::chooseBoundary(const BoundaryRequest &) { return 0; }
+AllocClock FullPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  fired(Request, "full");
+  return 0;
+}
 
 //===----------------------------------------------------------------------===//
 // FIXEDk
@@ -103,6 +117,7 @@ AllocClock FixedAgePolicy::chooseBoundary(const BoundaryRequest &Request) {
   // a full collection.
   int64_t K = static_cast<int64_t>(Request.Index) -
               static_cast<int64_t>(Generations);
+  fired(Request, K <= 0 ? "warmup-full" : "fixed-age");
   return Request.History->timeOf(K);
 }
 
@@ -116,8 +131,10 @@ FeedbackMediationPolicy::FeedbackMediationPolicy(uint64_t TraceMaxBytes)
 AllocClock
 FeedbackMediationPolicy::chooseBoundary(const BoundaryRequest &Request) {
   // First scavenge: full collection (TB_0 conceptually starts at 0).
-  if (Request.Index == 1)
+  if (Request.Index == 1) {
+    fired(Request, "first-full");
     return 0;
+  }
   if (!Request.History || Request.History->empty())
     return degradeToFixed1(Request,
                            "FEEDMED without history; full collection "
@@ -127,6 +144,7 @@ FeedbackMediationPolicy::chooseBoundary(const BoundaryRequest &Request) {
     return feedbackMediationSearch(Request, Prev.Boundary, TraceMaxBytes);
   // Within budget: leave the boundary alone (Feedback Mediation never
   // moves it back in time — the weakness DTBFM fixes).
+  fired(Request, "hold");
   return Prev.Boundary;
 }
 
@@ -138,8 +156,10 @@ DtbPausePolicy::DtbPausePolicy(uint64_t TraceMaxBytes)
     : TraceMaxBytes(TraceMaxBytes) {}
 
 AllocClock DtbPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
-  if (Request.Index == 1)
+  if (Request.Index == 1) {
+    fired(Request, "first-full");
     return 0;
+  }
   if (!Request.History || Request.History->empty())
     return degradeToFixed1(Request,
                            "DTBFM without history; full collection "
@@ -161,8 +181,11 @@ AllocClock DtbPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
   // case; and the result is clamped to [0, t_{n-1}] so that every object
   // is traced at least once (and a degenerate zero-width previous window
   // cannot pin the boundary at t_n forever).
-  if (Prev.TracedBytes == 0)
+  if (Prev.TracedBytes == 0) {
+    fired(Request, "full-on-zero-trace");
     return 0;
+  }
+  fired(Request, "widen");
   double PrevWindow =
       static_cast<double>(Prev.Time) - static_cast<double>(Prev.Boundary);
   double Window = PrevWindow * static_cast<double>(TraceMaxBytes) /
@@ -196,8 +219,10 @@ std::string DtbMemoryPolicy::name() const {
 }
 
 AllocClock DtbMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
-  if (Request.Index == 1)
+  if (Request.Index == 1) {
+    fired(Request, "first-full");
     return 0;
+  }
   if (!Request.History || Request.History->empty())
     return degradeToFixed1(Request,
                            "DTBMEM without history; full collection "
@@ -255,14 +280,21 @@ AllocClock DtbMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
   // clamped to [0, t_{n-1}] — never below zero (an over-constrained budget
   // degrades to a full collection) and never past the previous scavenge
   // time (every object gets traced at least once).
-  if (Request.MemBytes == 0)
+  if (Request.MemBytes == 0) {
+    fired(Request, "over-constrained-full");
     return 0;
+  }
   double Headroom = static_cast<double>(MemMaxBytes) - LiveEstimate;
-  if (Headroom <= 0.0)
+  if (Headroom <= 0.0) {
+    fired(Request, "over-constrained-full");
     return 0;
+  }
   double Boundary = static_cast<double>(Request.Now) * Headroom /
                     static_cast<double>(Request.MemBytes);
-  return std::min(static_cast<AllocClock>(Boundary), Prev.Time);
+  AllocClock Result = std::min(static_cast<AllocClock>(Boundary), Prev.Time);
+  fired(Request, Result < static_cast<AllocClock>(Boundary) ? "fit-clamped"
+                                                            : "fit");
+  return Result;
 }
 
 //===----------------------------------------------------------------------===//
@@ -285,8 +317,11 @@ AllocClock MinorMajorPolicy::chooseBoundary(const BoundaryRequest &Request) {
                            "fallback");
   // Majors at scavenges 1, 1+Period, 1+2*Period, ... so the first
   // collection is full (every paper policy starts that way).
-  if ((Request.Index - 1) % Period == 0)
+  if ((Request.Index - 1) % Period == 0) {
+    fired(Request, "major");
     return 0;
+  }
+  fired(Request, "minor");
   return Request.History->timeOf(static_cast<int64_t>(Request.Index) - 1);
 }
 

@@ -53,6 +53,11 @@ ExperimentGrid::ExperimentGrid(std::vector<workload::WorkloadSpec> InWorkloads,
         SimConfig.TriggerBytes = Config.TriggerBytes;
         SimConfig.Machine = Config.Machine;
         SimConfig.ProgramSeconds = Workloads[W].ProgramSeconds;
+        // Distinct per-cell timelines keep concurrently simulated cells
+        // apart; export order is (track, scavenge index), so the stream
+        // is identical for every thread count.
+        SimConfig.TelemetryTrack =
+            "sim/" + Workloads[W].Name + "/" + PolicyNames[P];
         std::unique_ptr<core::BoundaryPolicy> Policy =
             core::createPolicy(PolicyNames[P], PolicyConfig);
         CellResults[Cell] = sim::simulate(Traces[W], *Policy, SimConfig);

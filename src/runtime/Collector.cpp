@@ -20,7 +20,9 @@
 
 #include "runtime/Heap.h"
 
+#include "core/MachineModel.h"
 #include "support/Error.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 #include <vector>
@@ -68,6 +70,9 @@ core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
   Demographics.endScavenge(Clock);
   BytesSinceCollect = 0;
 
+  if (telemetry::enabled())
+    emitScavengeTelemetry(History.last());
+
   // The full trace just visited every survivor; restore write-barrier
   // completeness by re-deriving the set from the live heap.
   if (RebuildRemSet)
@@ -91,6 +96,68 @@ core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
                  Objects.size(), RemSet.size());
   }
   return History.last();
+}
+
+void Heap::emitScavengeTelemetry(const core::ScavengeRecord &Record) {
+  namespace tm = dtb::telemetry;
+  const std::string &Rule =
+      PendingRule.empty() ? std::string("explicit") : PendingRule;
+
+  // Pause span: the machine model converts traced bytes to milliseconds,
+  // same as the simulator, so runtime and sim pauses are comparable.
+  double PauseMs =
+      core::MachineModel().pauseMillisForTracedBytes(Record.TracedBytes);
+  tm::Event Pause;
+  Pause.Phase = tm::EventPhase::Span;
+  Pause.Track = TelemetryTrack;
+  Pause.Name = "scavenge";
+  Pause.ScavengeIndex = Record.Index;
+  Pause.TsClock = Record.Time;
+  Pause.DurMillis = PauseMs;
+  Pause.Args = {
+      tm::arg("tb", Record.Boundary),
+      tm::arg("window", Record.Time - Record.Boundary),
+      tm::arg("traced_bytes", Record.TracedBytes),
+      tm::arg("reclaimed_bytes", Record.ReclaimedBytes),
+      tm::arg("survived_bytes", Record.SurvivedBytes),
+      tm::arg("mem_before_bytes", Record.MemBeforeBytes),
+      tm::arg("objects_traced", LastStats.ObjectsTraced),
+      tm::arg("objects_reclaimed", LastStats.ObjectsReclaimed),
+      tm::arg("objects_moved", LastStats.ObjectsMoved),
+      tm::arg("remset_roots", LastStats.RememberedSetRoots),
+      tm::arg("remset_pruned", LastStats.RememberedSetPruned),
+      tm::arg("remset_size", static_cast<uint64_t>(RemSet.size())),
+      tm::arg("rule", Rule),
+  };
+  tm::recorder().emit(std::move(Pause));
+
+  // TB decision instant: where the boundary landed and which policy rule
+  // put it there.
+  tm::Event Tb;
+  Tb.Phase = tm::EventPhase::Instant;
+  Tb.Track = TelemetryTrack;
+  Tb.Name = "tb";
+  Tb.ScavengeIndex = Record.Index;
+  Tb.TsClock = Record.Time;
+  Tb.Args = {tm::arg("tb", Record.Boundary), tm::arg("rule", Rule)};
+  tm::recorder().emit(std::move(Tb));
+
+  // Residency counter series (Fig. 2's y-axis, post-scavenge points).
+  tm::Event Resident;
+  Resident.Phase = tm::EventPhase::Counter;
+  Resident.Track = TelemetryTrack;
+  Resident.Name = "resident_bytes";
+  Resident.ScavengeIndex = Record.Index;
+  Resident.TsClock = Record.Time;
+  Resident.Args = {tm::arg("resident_bytes", ResidentBytes)};
+  tm::recorder().emit(std::move(Resident));
+
+  tm::MetricsRegistry &Registry = tm::MetricsRegistry::global();
+  Registry.counter("runtime.scavenge.count").add(1);
+  Registry.counter("runtime.scavenge.traced_bytes").add(Record.TracedBytes);
+  Registry.counter("runtime.scavenge.reclaimed_bytes")
+      .add(Record.ReclaimedBytes);
+  Registry.histogram("runtime.scavenge.pause_ms").record(PauseMs);
 }
 
 Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {

@@ -4,8 +4,10 @@
 
 #include "support/Error.h"
 #include "support/FaultInjector.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
@@ -15,7 +17,12 @@ using namespace dtb;
 using namespace dtb::runtime;
 using core::AllocClock;
 
-Heap::Heap(HeapConfig Config) : Config(Config) {}
+Heap::Heap(HeapConfig Config) : Config(Config) {
+  static std::atomic<unsigned> NextHeapId{1};
+  TelemetryTrack =
+      "heap#" + std::to_string(NextHeapId.fetch_add(1,
+                                                    std::memory_order_relaxed));
+}
 
 Heap::~Heap() {
   for (Object *O : Objects)
@@ -41,6 +48,25 @@ Object *Heap::allocate(uint32_t NumSlots, uint32_t RawBytes) {
 
 void Heap::recordDegradation(DegradationEvent Event) {
   DegradationTotal += 1;
+  if (telemetry::enabled()) {
+    // One consistent story with HeapDump: every ladder rung is also a
+    // telemetry instant plus a per-kind counter.
+    telemetry::MetricsRegistry::global()
+        .counter(std::string("runtime.degradation.") +
+                 degradationKindName(Event.Kind))
+        .add(1);
+    telemetry::Event E;
+    E.Phase = telemetry::EventPhase::Instant;
+    E.Track = TelemetryTrack;
+    E.Name = "degradation";
+    E.ScavengeIndex = History.size();
+    E.TsClock = Event.Time;
+    E.Args.push_back(telemetry::arg("kind", std::string(degradationKindName(
+                                                Event.Kind))));
+    E.Args.push_back(telemetry::arg("detail", Event.Detail));
+    E.Args.push_back(telemetry::arg("resident_bytes", Event.ResidentBytes));
+    telemetry::recorder().emit(std::move(E));
+  }
   DegradationLog.push_back(std::move(Event));
   while (Config.DegradationLogLimit != 0 &&
          DegradationLog.size() > Config.DegradationLogLimit)
@@ -118,6 +144,16 @@ Object *Heap::tryAllocate(uint32_t NumSlots, uint32_t RawBytes) {
   ResidentBytes += Gross;
   BytesSinceCollect += Gross;
   Demographics.setBytesSinceLastScavenge(BytesSinceCollect);
+  if (telemetry::enabled()) {
+    // Registry references are stable for the process lifetime, so the
+    // lookup cost is paid once; the disabled path is one relaxed load.
+    static telemetry::Counter &AllocCount =
+        telemetry::MetricsRegistry::global().counter("runtime.alloc.count");
+    static telemetry::Counter &AllocBytes =
+        telemetry::MetricsRegistry::global().counter("runtime.alloc.bytes");
+    AllocCount.add(1);
+    AllocBytes.add(Gross);
+  }
   return O;
 }
 
@@ -242,6 +278,8 @@ core::ScavengeRecord Heap::collect() {
   Request.Demo = &Demographics;
   std::string Note;
   Request.DegradationNote = &Note;
+  std::string Rule = "unspecified";
+  Request.RuleFired = &Rule;
 
   // The FIXED1 boundary t_{n-1}: threatens only the newest interval, needs
   // no demographics, and is always admissible — the standing fallback when
@@ -252,11 +290,17 @@ core::ScavengeRecord Heap::collect() {
   AllocClock Boundary;
   if (faultRequestedAt(FaultSite::PolicyEvaluation)) {
     Boundary = Fallback;
+    Rule = "degraded";
     recordDegradation({DegradationKind::PolicyFallback, Clock, 0, 0,
                        ResidentBytes,
                        "injected policy-evaluation fault; FIXED1 fallback"});
   } else {
-    Boundary = Policy->chooseBoundary(Request);
+    {
+      // Decision latency is wall time: it goes to the "wall." metrics,
+      // never the deterministic event stream.
+      telemetry::TelemetrySpan Span("runtime.policy_decision");
+      Boundary = Policy->chooseBoundary(Request);
+    }
     if (!Note.empty())
       recordDegradation({DegradationKind::PolicyFallback, Clock, 0, 0,
                          ResidentBytes, Note});
@@ -264,13 +308,21 @@ core::ScavengeRecord Heap::collect() {
       // A buggy policy answered in the future. Every boundary in
       // [0, now] is admissible, so degrade to FIXED1 instead of aborting.
       Boundary = Fallback;
+      Rule = "degraded";
       recordDegradation({DegradationKind::PolicyFallback, Clock, 0, 0,
                          ResidentBytes,
                          "policy chose a boundary in the future; FIXED1 "
                          "fallback"});
     }
   }
-  return collectAtBoundary(Boundary);
+  if (telemetry::enabled())
+    telemetry::MetricsRegistry::global()
+        .counter("policy." + Policy->name() + ".rule." + Rule)
+        .add(1);
+  PendingRule = std::move(Rule);
+  core::ScavengeRecord Record = collectAtBoundary(Boundary);
+  PendingRule.clear();
+  return Record;
 }
 
 void Heap::reclaimObject(Object *O) {

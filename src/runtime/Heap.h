@@ -258,8 +258,20 @@ private:
   /// trace); restores barrier completeness.
   void rebuildRememberedSet();
 
+  /// Emits the per-scavenge telemetry trio (span + TB instant + resident
+  /// counter) for \p Record; no-op when telemetry is disabled.
+  void emitScavengeTelemetry(const core::ScavengeRecord &Record);
+
   HeapConfig Config;
   std::unique_ptr<core::BoundaryPolicy> Policy;
+
+  /// Telemetry timeline for this heap ("heap#<instance>"); instances are
+  /// numbered in construction order so concurrent heaps get distinct
+  /// tracks.
+  std::string TelemetryTrack;
+  /// Rule the policy reported for the scavenge collect() is about to run
+  /// ("unspecified" outside collect()); consumed by emitScavengeTelemetry.
+  std::string PendingRule;
 
   core::AllocClock Clock = 0;
   uint64_t ResidentBytes = 0;

@@ -4,6 +4,7 @@
 
 #include "sim/Trigger.h"
 #include "support/Error.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -70,6 +71,9 @@ SimulationResult dtb::sim::simulate(const trace::Trace &T,
       Result.Curve.push_back({Now, Heap.residentBytes(), AfterScavenge});
   };
 
+  const bool Telemetry =
+      telemetry::enabled() && !Config.TelemetryTrack.empty();
+
   auto runScavenge = [&] {
     uint64_t Index = Result.History.size() + 1;
     core::BoundaryRequest Request;
@@ -78,8 +82,17 @@ SimulationResult dtb::sim::simulate(const trace::Trace &T,
     Request.MemBytes = Heap.residentBytes();
     Request.History = &Result.History;
     Request.Demo = &Demo;
+    std::string Rule = "unspecified";
+    if (Telemetry)
+      Request.RuleFired = &Rule;
 
-    AllocClock Boundary = Policy.chooseBoundary(Request);
+    AllocClock Boundary;
+    {
+      // Decision latency is wall time: it lands in the "wall." metrics
+      // only, never the deterministic event stream.
+      telemetry::TelemetrySpan Span("sim.policy_decision");
+      Boundary = Policy.chooseBoundary(Request);
+    }
     if (Boundary > Now)
       fatalError("policy chose a boundary in the future");
 
@@ -100,11 +113,59 @@ SimulationResult dtb::sim::simulate(const trace::Trace &T,
     Result.History.append(Record);
 
     Result.TotalTracedBytes += Outcome.TracedBytes;
-    Result.PauseMillis.add(
-        Config.Machine.pauseMillisForTracedBytes(Outcome.TracedBytes));
+    double PauseMs =
+        Config.Machine.pauseMillisForTracedBytes(Outcome.TracedBytes);
+    Result.PauseMillis.add(PauseMs);
 
     Memory.setLevel(Now, static_cast<double>(Heap.residentBytes()));
     recordCurvePoint(/*AfterScavenge=*/true);
+
+    if (Telemetry) {
+      namespace tm = dtb::telemetry;
+      // The span duration is the exact double added to PauseMillis above,
+      // so exported quantiles match the Table 3 pipeline bit for bit.
+      tm::Event Pause;
+      Pause.Phase = tm::EventPhase::Span;
+      Pause.Track = Config.TelemetryTrack;
+      Pause.Name = "scavenge";
+      Pause.ScavengeIndex = Index;
+      Pause.TsClock = Now;
+      Pause.DurMillis = PauseMs;
+      Pause.Args = {
+          tm::arg("tb", Boundary),
+          tm::arg("window", Now - Boundary),
+          tm::arg("traced_bytes", Outcome.TracedBytes),
+          tm::arg("reclaimed_bytes", Outcome.ReclaimedBytes),
+          tm::arg("survived_bytes", Outcome.SurvivedBytes),
+          tm::arg("mem_before_bytes", Outcome.MemBeforeBytes),
+          tm::arg("rule", Rule),
+      };
+      tm::recorder().emit(std::move(Pause));
+
+      tm::Event Tb;
+      Tb.Phase = tm::EventPhase::Instant;
+      Tb.Track = Config.TelemetryTrack;
+      Tb.Name = "tb";
+      Tb.ScavengeIndex = Index;
+      Tb.TsClock = Now;
+      Tb.Args = {tm::arg("tb", Boundary), tm::arg("rule", Rule)};
+      tm::recorder().emit(std::move(Tb));
+
+      tm::Event Resident;
+      Resident.Phase = tm::EventPhase::Counter;
+      Resident.Track = Config.TelemetryTrack;
+      Resident.Name = "resident_bytes";
+      Resident.ScavengeIndex = Index;
+      Resident.TsClock = Now;
+      Resident.Args = {tm::arg("resident_bytes", Heap.residentBytes())};
+      tm::recorder().emit(std::move(Resident));
+
+      tm::MetricsRegistry &Registry = tm::MetricsRegistry::global();
+      Registry.counter("sim.scavenge.count").add(1);
+      Registry.counter("sim.scavenge.traced_bytes").add(Outcome.TracedBytes);
+      Registry.counter("policy." + Policy.name() + ".rule." + Rule).add(1);
+      Registry.histogram("sim.scavenge.pause_ms").record(PauseMs);
+    }
   };
 
   for (const trace::AllocationRecord &R : T.records()) {

@@ -58,6 +58,10 @@ struct SimulatorConfig {
   /// When true, every indexed heap-model query is cross-checked against
   /// the naive scan (fatal on divergence). For tests; very slow.
   bool CrossCheckHeapQueries = false;
+  /// Telemetry timeline for this run's events ("sim/<workload>/<policy>").
+  /// Empty keeps the run silent even when the recorder is enabled — the
+  /// default, so parallel grid cells must opt in with distinct tracks.
+  std::string TelemetryTrack;
 };
 
 /// One point of the Figure-2-style memory curve.

@@ -3,6 +3,7 @@
 #include "sim/Trigger.h"
 
 #include "support/Error.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 
@@ -22,7 +23,12 @@ std::string FixedBytesTrigger::name() const {
 }
 
 bool FixedBytesTrigger::shouldScavenge(const TriggerContext &Context) {
-  return Context.BytesSinceLastScavenge >= IntervalBytes;
+  bool Fire = Context.BytesSinceLastScavenge >= IntervalBytes;
+  if (Fire && telemetry::enabled())
+    telemetry::MetricsRegistry::global()
+        .counter("sim.trigger." + name() + ".fired")
+        .add(1);
+  return Fire;
 }
 
 HeapGrowthTrigger::HeapGrowthTrigger(double GrowthFactor,
@@ -45,5 +51,10 @@ bool HeapGrowthTrigger::shouldScavenge(const TriggerContext &Context) {
       MinHeapBytes, static_cast<uint64_t>(
                         GrowthFactor *
                         static_cast<double>(Context.LastSurvivedBytes)));
-  return Context.ResidentBytes >= Threshold;
+  bool Fire = Context.ResidentBytes >= Threshold;
+  if (Fire && telemetry::enabled())
+    telemetry::MetricsRegistry::global()
+        .counter("sim.trigger." + name() + ".fired")
+        .add(1);
+  return Fire;
 }

@@ -12,6 +12,15 @@
 ///                          monotone clock (the paper's "mean memory").
 ///  * SampleSet           — stores samples; exact percentiles (median, 90th).
 ///  * Histogram           — fixed-width linear histogram for reports.
+///  * LogBucketing        — shared geometry for log-scaled (HDR-style)
+///                          histograms: octaves split into linear
+///                          sub-buckets, bounded relative error.
+///  * quantileFromBucketCounts — nearest-rank quantiles over bucketed
+///                          counts, consistent with SampleSet::quantile.
+///
+/// This file is the single home of histogram/quantile math; the telemetry
+/// subsystem's histograms (telemetry/Metrics.h) delegate to LogBucketing
+/// and quantileFromBucketCounts rather than reimplementing them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -109,7 +118,10 @@ public:
 
   /// Returns the \p Q quantile (0 <= Q <= 1) using nearest-rank on a sorted
   /// copy: quantile(0.5) is the median, quantile(0.9) the 90th percentile.
-  /// Returns 0 for an empty set.
+  /// Q is clamped into [0, 1] and the rank into [1, size()], so
+  /// quantile(0.0) is the minimum and quantile(1.0) the maximum even on a
+  /// single sample (and a caller-side rounding error past 1.0 cannot index
+  /// out of range). Returns 0 for an empty set.
   double quantile(double Q) const;
 
   double median() const { return quantile(0.5); }
@@ -144,6 +156,53 @@ private:
   uint64_t Total = 0;
   std::vector<uint64_t> Counts;
 };
+
+/// Bucket geometry for log-scaled histograms in the HDR style: values below
+/// \p Unit land in bucket 0; above that, each octave [Unit*2^k, Unit*2^(k+1))
+/// is split into \p SubBuckets linear sub-buckets, so the relative width of
+/// any bucket is at most 1/SubBuckets. The top bucket saturates. Only the
+/// geometry lives here (value -> bucket, bucket -> bounds); storage is the
+/// caller's (plain counters here, atomics in telemetry/Metrics.h).
+class LogBucketing {
+public:
+  /// \p Unit is the width of bucket 0 (the smallest resolvable value),
+  /// \p SubBuckets the linear subdivisions per octave, \p Octaves the number
+  /// of doublings covered before the top bucket saturates.
+  explicit LogBucketing(double Unit = 1.0, unsigned SubBuckets = 8,
+                        unsigned Octaves = 48);
+
+  size_t numBuckets() const { return NumBuckets; }
+  /// Bucket index for \p X (negative values count as 0; huge values land in
+  /// the saturating top bucket).
+  size_t bucketFor(double X) const;
+  /// Inclusive lower bound of bucket \p I.
+  double bucketLow(size_t I) const;
+  /// Exclusive upper bound of bucket \p I (the top bucket reports infinity).
+  double bucketHigh(size_t I) const;
+  /// Representative value of bucket \p I (midpoint; used for quantiles).
+  double bucketMid(size_t I) const;
+
+  double unit() const { return Unit; }
+  unsigned subBuckets() const { return SubBuckets; }
+  /// Worst-case relative half-width of any finite bucket: a quantile read
+  /// from bucketed counts is within this fraction of the exact sample.
+  double relativeError() const { return 0.5 / static_cast<double>(SubBuckets); }
+
+private:
+  double Unit;
+  unsigned SubBuckets;
+  unsigned Octaves;
+  size_t NumBuckets;
+};
+
+/// Nearest-rank quantile over per-bucket counts laid out by \p Bucketing
+/// (the same rank convention as SampleSet::quantile): finds the bucket
+/// holding the ceil(Q*Total)-th smallest sample and returns its midpoint.
+/// \p Counts must have Bucketing.numBuckets() entries summing to \p Total.
+/// Returns 0 when Total is 0.
+double quantileFromBucketCounts(const LogBucketing &Bucketing,
+                                const uint64_t *Counts, uint64_t Total,
+                                double Q);
 
 } // namespace dtb
 

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 using namespace dtb;
 
 TEST(RunningStatsTest, EmptyIsZero) {
@@ -127,6 +130,19 @@ TEST(SampleSetTest, SumMeanMax) {
   EXPECT_DOUBLE_EQ(S.maxValue(), 6.0);
 }
 
+TEST(SampleSetTest, SingleSampleExtremeQuantilesClamp) {
+  // One sample: every quantile is that sample. ceil(0*1) would be rank 0;
+  // the rank clamp into [1, size()] keeps p0 (and a rounding error past
+  // 1.0) in range.
+  SampleSet S;
+  S.add(42.0);
+  EXPECT_DOUBLE_EQ(S.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(S.median(), 42.0);
+  EXPECT_DOUBLE_EQ(S.quantile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(S.quantile(1.0000000001), 42.0);
+  EXPECT_DOUBLE_EQ(S.quantile(-0.5), 42.0);
+}
+
 TEST(HistogramTest, BucketsAndSaturation) {
   Histogram H(0.0, 10.0, 5);
   H.add(0.5);   // Bucket 0.
@@ -141,4 +157,65 @@ TEST(HistogramTest, BucketsAndSaturation) {
   EXPECT_EQ(H.bucketValue(4), 2u);
   EXPECT_DOUBLE_EQ(H.bucketLow(0), 0.0);
   EXPECT_DOUBLE_EQ(H.bucketLow(4), 8.0);
+}
+
+TEST(LogBucketingTest, GeometryRoundTrips) {
+  LogBucketing B(1.0, 8, 48);
+  // Every bucket's bounds contain its own midpoint, and bucketFor maps the
+  // midpoint back to the bucket (the top saturating bucket aside).
+  for (size_t I = 0; I + 1 < B.numBuckets(); ++I) {
+    double Lo = B.bucketLow(I);
+    double Hi = B.bucketHigh(I);
+    double Mid = B.bucketMid(I);
+    EXPECT_LT(Lo, Hi) << "bucket " << I;
+    EXPECT_LE(Lo, Mid) << "bucket " << I;
+    EXPECT_LT(Mid, Hi) << "bucket " << I;
+    EXPECT_EQ(B.bucketFor(Mid), I) << "bucket " << I;
+    EXPECT_EQ(B.bucketFor(Lo), I) << "bucket " << I;
+  }
+}
+
+TEST(LogBucketingTest, EdgeValues) {
+  LogBucketing B(1.0, 8, 48);
+  EXPECT_EQ(B.bucketFor(-5.0), 0u); // Negatives land in bucket 0.
+  EXPECT_EQ(B.bucketFor(0.0), 0u);
+  EXPECT_EQ(B.bucketFor(1e300), B.numBuckets() - 1); // Top saturates.
+  EXPECT_TRUE(std::isinf(B.bucketHigh(B.numBuckets() - 1)));
+  EXPECT_DOUBLE_EQ(B.relativeError(), 0.5 / 8.0);
+}
+
+TEST(LogBucketingTest, RelativeWidthBound) {
+  LogBucketing B(0.001, 16, 40);
+  // Above the unit, no finite bucket is wider than its own bounds allow:
+  // midpoint within relativeError of anything in the bucket.
+  for (size_t I = 0; I + 1 < B.numBuckets(); ++I) {
+    double Lo = B.bucketLow(I);
+    if (Lo < B.unit())
+      continue; // Bucket 0 has no relative guarantee.
+    double HalfWidth = (B.bucketHigh(I) - Lo) / 2.0;
+    EXPECT_LE(HalfWidth, B.bucketMid(I) * B.relativeError() * 1.0000001)
+        << "bucket " << I;
+  }
+}
+
+TEST(QuantileFromBucketCountsTest, MatchesExactSortWithinBucketWidth) {
+  LogBucketing B(1.0, 8, 48);
+  std::vector<uint64_t> Counts(B.numBuckets(), 0);
+  SampleSet Exact;
+  // A deterministic multi-octave spread.
+  double X = 1.0;
+  uint64_t Total = 0;
+  for (int I = 0; I != 400; ++I) {
+    Counts[B.bucketFor(X)] += 1;
+    Exact.add(X);
+    Total += 1;
+    X *= 1.05;
+  }
+  for (double Q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    double Approx = quantileFromBucketCounts(B, Counts.data(), Total, Q);
+    double Truth = Exact.quantile(Q);
+    EXPECT_NEAR(Approx, Truth, Truth * 2.0 * B.relativeError())
+        << "quantile " << Q;
+  }
+  EXPECT_DOUBLE_EQ(quantileFromBucketCounts(B, Counts.data(), 0, 0.5), 0.0);
 }

@@ -1,0 +1,223 @@
+//===- tests/telemetry_integration_test.cpp - End-to-end telemetry -------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// Telemetry wired through the real pipelines: the experiment grid's event
+// stream is bit-identical across worker-thread counts, the per-scavenge
+// pause spans reproduce the Table 3 quantiles exactly, and the managed
+// heap emits scavenge spans, TB instants, and degradation instants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Export.h"
+#include "telemetry/Telemetry.h"
+
+#include "core/Policies.h"
+#include "report/Experiments.h"
+#include "runtime/Heap.h"
+#include "support/Statistics.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace dtb;
+using namespace dtb::report;
+using namespace dtb::runtime;
+namespace tel = dtb::telemetry;
+
+namespace {
+
+/// Two small distinct workloads; the grid keys tracks by workload name.
+std::vector<workload::WorkloadSpec> testWorkloads() {
+  workload::WorkloadSpec A = workload::makeSteadyStateSpec(192 * 1024, 7);
+  A.Name = "wa";
+  workload::WorkloadSpec B = workload::makeSteadyStateSpec(256 * 1024, 11);
+  B.Name = "wb";
+  return {A, B};
+}
+
+ExperimentConfig smallConfig(unsigned Threads) {
+  ExperimentConfig Config;
+  Config.TriggerBytes = 32 * 1024;
+  Config.TraceMaxBytes = 8 * 1024;
+  Config.MemMaxBytes = 256 * 1024;
+  Config.Threads = Threads;
+  return Config;
+}
+
+const std::vector<std::string> TestPolicies = {"full", "dtbfm", "dtbmem"};
+
+/// Runs the grid with telemetry live and returns the exported trace bytes.
+/// The recorder and global registry are reset first so consecutive calls
+/// start from identical state.
+std::string runGridAndExport(unsigned Threads) {
+  tel::recorder().enable(); // Clears the buffer.
+  tel::MetricsRegistry::global().reset();
+  ExperimentGrid Grid(testWorkloads(), TestPolicies, smallConfig(Threads));
+  char *Data = nullptr;
+  size_t Size = 0;
+  std::FILE *Stream = open_memstream(&Data, &Size);
+  tel::writeChromeTrace(tel::recorder().buffer().sorted(),
+                       tel::MetricsRegistry::global().snapshot(),
+                       tel::ExportOptions(), Stream);
+  std::fclose(Stream);
+  std::string Out(Data, Size);
+  std::free(Data);
+  tel::recorder().disable();
+  tel::recorder().buffer().clear();
+  return Out;
+}
+
+TEST(TelemetryIntegration, GridExportBitIdenticalAcrossThreadCounts) {
+  if (!tel::compiledIn())
+    GTEST_SKIP() << "telemetry compiled out";
+  std::string Serial = runGridAndExport(1);
+  std::string Parallel = runGridAndExport(4);
+  EXPECT_FALSE(Serial.empty());
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(TelemetryIntegration, PauseSpansReproduceTable3QuantilesExactly) {
+  if (!tel::compiledIn())
+    GTEST_SKIP() << "telemetry compiled out";
+  tel::recorder().enable();
+  tel::MetricsRegistry::global().reset();
+  ExperimentGrid Grid(testWorkloads(), TestPolicies, smallConfig(1));
+  std::vector<tel::Event> Events = tel::recorder().buffer().sorted();
+  tel::recorder().disable();
+  tel::recorder().buffer().clear();
+
+  for (const workload::WorkloadSpec &Spec : Grid.workloads()) {
+    for (const std::string &Policy : Grid.policyNames()) {
+      std::string Track = "sim/" + Spec.Name + "/" + Policy;
+      SampleSet Pauses;
+      for (const tel::Event &E : Events)
+        if (E.Track == Track && E.Phase == tel::EventPhase::Span &&
+            E.Name == "scavenge")
+          Pauses.add(E.DurMillis);
+      const sim::SimulationResult &Result = Grid.result(Policy, Spec.Name);
+      ASSERT_EQ(Pauses.size(), Result.PauseMillis.size())
+          << Track << ": one span per scavenge";
+      // The span duration is the same double the simulator fed into
+      // PauseMillis, so Table 3's quantiles come out bit-exact.
+      EXPECT_DOUBLE_EQ(Pauses.median(), Result.PauseMillis.median()) << Track;
+      EXPECT_DOUBLE_EQ(Pauses.percentile90(), Result.PauseMillis.percentile90())
+          << Track;
+    }
+  }
+}
+
+TEST(TelemetryIntegration, GridEmitsTbInstantsAndRuleArgs) {
+  if (!tel::compiledIn())
+    GTEST_SKIP() << "telemetry compiled out";
+  tel::recorder().enable();
+  tel::MetricsRegistry::global().reset();
+  ExperimentGrid Grid(testWorkloads(), {"dtbfm"}, smallConfig(1));
+  std::vector<tel::Event> Events = tel::recorder().buffer().sorted();
+  tel::recorder().disable();
+  tel::recorder().buffer().clear();
+
+  size_t Instants = 0, SpansWithRule = 0, Spans = 0;
+  for (const tel::Event &E : Events) {
+    if (E.Phase == tel::EventPhase::Instant && E.Name == "tb")
+      Instants += 1;
+    if (E.Phase == tel::EventPhase::Span && E.Name == "scavenge") {
+      Spans += 1;
+      for (const tel::EventArg &A : E.Args)
+        if (A.Key == "rule" && !A.Value.empty()) {
+          SpansWithRule += 1;
+          break;
+        }
+    }
+  }
+  EXPECT_GT(Spans, 0u);
+  EXPECT_EQ(Instants, Spans); // One TB decision instant per scavenge.
+  EXPECT_EQ(SpansWithRule, Spans);
+
+  // The policy rule counters account for every scavenge of the run.
+  uint64_t RuleTotal = 0;
+  for (const tel::MetricSample &M : tel::MetricsRegistry::global().snapshot())
+    if (M.Name.rfind("policy.dtbfm.rule.", 0) == 0)
+      RuleTotal += static_cast<uint64_t>(M.Value);
+  uint64_t TotalScavenges = 0;
+  for (const workload::WorkloadSpec &Spec : Grid.workloads())
+    TotalScavenges += Grid.result("dtbfm", Spec.Name).NumScavenges;
+  EXPECT_EQ(RuleTotal, TotalScavenges);
+}
+
+TEST(TelemetryIntegration, HeapEmitsScavengeSpansAndDegradationInstants) {
+  if (!tel::compiledIn())
+    GTEST_SKIP() << "telemetry compiled out";
+  tel::recorder().enable();
+  tel::MetricsRegistry::global().reset();
+  {
+    HeapConfig Config;
+    Config.TriggerBytes = 0;
+    Config.HeapLimitBytes = 16 * 1024;
+    Heap H(Config);
+    H.setPolicy(core::createPolicy("full", core::PolicyConfig()));
+    // Unrooted allocations: each one over the limit walks the degradation
+    // ladder, whose first rung scavenges all the garbage away.
+    for (int I = 0; I != 64; ++I)
+      ASSERT_NE(H.tryAllocate(0, 1024), nullptr);
+  }
+  std::vector<tel::Event> Events = tel::recorder().buffer().sorted();
+  tel::recorder().disable();
+  tel::recorder().buffer().clear();
+
+  size_t Scavenges = 0, Degradations = 0, TbInstants = 0;
+  for (const tel::Event &E : Events) {
+    if (E.Track.rfind("heap#", 0) != 0)
+      continue;
+    if (E.Phase == tel::EventPhase::Span && E.Name == "scavenge")
+      Scavenges += 1;
+    else if (E.Phase == tel::EventPhase::Instant && E.Name == "degradation")
+      Degradations += 1;
+    else if (E.Phase == tel::EventPhase::Instant && E.Name == "tb")
+      TbInstants += 1;
+  }
+  EXPECT_GT(Scavenges, 0u);
+  EXPECT_GT(Degradations, 0u);
+  EXPECT_EQ(TbInstants, Scavenges);
+
+  // Registry mirrors: the scavenge count and at least one per-kind
+  // degradation counter moved.
+  EXPECT_EQ(static_cast<size_t>(tel::MetricsRegistry::global()
+                                    .counter("runtime.scavenge.count")
+                                    .value()),
+            Scavenges);
+  uint64_t DegradationCounted = 0;
+  for (const tel::MetricSample &M : tel::MetricsRegistry::global().snapshot())
+    if (M.Name.rfind("runtime.degradation.", 0) == 0)
+      DegradationCounted += static_cast<uint64_t>(M.Value);
+  EXPECT_EQ(DegradationCounted, Degradations);
+}
+
+TEST(TelemetryIntegration, SilentWithoutTrackOrWhenDisabled) {
+  // A grid run with the recorder disabled leaves the buffer empty; a
+  // direct simulate() with no TelemetryTrack emits nothing even when the
+  // recorder is live.
+  tel::recorder().disable();
+  tel::recorder().buffer().clear();
+  ExperimentGrid Grid(testWorkloads(), {"full"}, smallConfig(1));
+  EXPECT_EQ(tel::recorder().buffer().size(), 0u);
+  if (!tel::compiledIn())
+    return;
+  tel::recorder().enable();
+  workload::WorkloadSpec Spec = testWorkloads()[0];
+  trace::Trace T = workload::generateTrace(Spec);
+  sim::SimulatorConfig SimConfig;
+  SimConfig.TriggerBytes = 32 * 1024;
+  std::unique_ptr<core::BoundaryPolicy> Policy =
+      core::createPolicy("full", core::PolicyConfig());
+  sim::simulate(T, *Policy, SimConfig);
+  EXPECT_EQ(tel::recorder().buffer().size(), 0u);
+  tel::recorder().disable();
+  tel::recorder().buffer().clear();
+}
+
+} // namespace
