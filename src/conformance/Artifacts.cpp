@@ -1,0 +1,187 @@
+//===- conformance/Artifacts.cpp - Divergence artifact writer ------------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// Persists one divergence for offline triage: the shrunk reproducer trace
+// in the replayable text format, a JSON report (config, divergences,
+// end-of-run summaries), and one per-scavenge CSV per side. The CI
+// conformance job uploads this directory when conformance_runner fails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "conformance/Conformance.h"
+
+#include "runtime/Heap.h"
+#include "telemetry/Export.h"
+#include "trace/TraceIO.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+using namespace dtb;
+using namespace dtb::conformance;
+
+namespace {
+
+bool writeFile(const std::string &Path, const std::string &Contents,
+               std::string *Error) {
+  std::FILE *Out = std::fopen(Path.c_str(), "wb");
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return false;
+  }
+  bool Ok = Contents.empty() ||
+            std::fwrite(Contents.data(), 1, Contents.size(), Out) ==
+                Contents.size();
+  if (std::fclose(Out) != 0)
+    Ok = false;
+  if (!Ok && Error)
+    *Error = "short write to " + Path;
+  return Ok;
+}
+
+/// CSV field quoting: wrap in quotes when the value contains a comma or
+/// quote, doubling inner quotes.
+std::string csvField(const std::string &Value) {
+  if (Value.find_first_of(",\"\n") == std::string::npos)
+    return Value;
+  std::string Quoted = "\"";
+  for (char C : Value) {
+    if (C == '"')
+      Quoted += '"';
+    Quoted += C;
+  }
+  Quoted += '"';
+  return Quoted;
+}
+
+std::string scavengeCsv(const std::vector<ScavengeRow> &Rows) {
+  std::string Csv = "index,time,boundary,mem_before_bytes,traced_bytes,"
+                    "reclaimed_bytes,survived_bytes,pause_ms,rule,"
+                    "degradation_note\n";
+  char Buffer[256];
+  for (const ScavengeRow &Row : Rows) {
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.17g,",
+                  static_cast<unsigned long long>(Row.Record.Index),
+                  static_cast<unsigned long long>(Row.Record.Time),
+                  static_cast<unsigned long long>(Row.Record.Boundary),
+                  static_cast<unsigned long long>(Row.Record.MemBeforeBytes),
+                  static_cast<unsigned long long>(Row.Record.TracedBytes),
+                  static_cast<unsigned long long>(Row.Record.ReclaimedBytes),
+                  static_cast<unsigned long long>(Row.Record.SurvivedBytes),
+                  Row.PauseMillis);
+    Csv += Buffer;
+    Csv += csvField(Row.Rule);
+    Csv += ',';
+    Csv += csvField(Row.DegradationNote);
+    Csv += '\n';
+  }
+  return Csv;
+}
+
+std::string jsonString(const std::string &Value) {
+  std::string Quoted = "\"";
+  Quoted += telemetry::escapeJson(Value);
+  Quoted += '"';
+  return Quoted;
+}
+
+std::string jsonDouble(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  return Buffer;
+}
+
+std::string reportJson(const std::string &CaseName,
+                       const trace::Trace &Reproducer,
+                       const LockstepConfig &Config,
+                       const LockstepResult &Result) {
+  std::string Json = "{\n";
+  Json += "  \"case\": " + jsonString(CaseName) + ",\n";
+  Json += "  \"config\": {\n";
+  Json += "    \"policy\": " + jsonString(Config.PolicyName) + ",\n";
+  Json += "    \"trace_max_bytes\": " +
+          std::to_string(Config.Policy.TraceMaxBytes) + ",\n";
+  Json += "    \"mem_max_bytes\": " +
+          std::to_string(Config.Policy.MemMaxBytes) + ",\n";
+  Json += "    \"trigger_bytes\": " + std::to_string(Config.TriggerBytes) +
+          ",\n";
+  Json += "    \"collector\": " +
+          jsonString(Config.Collector == runtime::CollectorKind::MarkSweep
+                         ? "marksweep"
+                         : "copying") +
+          ",\n";
+  Json += "    \"links\": " + jsonString(linkModeName(Config.Links)) + ",\n";
+  Json += "    \"link_seed\": " + std::to_string(Config.LinkSeed) + ",\n";
+  Json += "    \"rel_tolerance\": " +
+          jsonDouble(Config.Tolerance.RelTolerance) + ",\n";
+  Json += "    \"mutate_from_scavenge\": " +
+          std::to_string(Config.MutateFromScavenge) + ",\n";
+  Json += "    \"mutate_delta_bytes\": " +
+          std::to_string(Config.MutateDeltaBytes) + "\n";
+  Json += "  },\n";
+  Json += "  \"reproducer_records\": " +
+          std::to_string(Reproducer.records().size()) + ",\n";
+  Json += "  \"aborted\": " + std::string(Result.Aborted ? "true" : "false") +
+          ",\n";
+  Json += "  \"summary\": {\n";
+  Json += "    \"sim_mem_mean_bytes\": " + jsonDouble(Result.SimMemMeanBytes) +
+          ",\n";
+  Json += "    \"runtime_mem_mean_bytes\": " +
+          jsonDouble(Result.RuntimeMemMeanBytes) + ",\n";
+  Json += "    \"sim_mem_max_bytes\": " +
+          std::to_string(Result.SimMemMaxBytes) + ",\n";
+  Json += "    \"runtime_mem_max_bytes\": " +
+          std::to_string(Result.RuntimeMemMaxBytes) + ",\n";
+  Json += "    \"sim_pause_median_ms\": " +
+          jsonDouble(Result.SimPauseMedianMs) + ",\n";
+  Json += "    \"runtime_pause_median_ms\": " +
+          jsonDouble(Result.RuntimePauseMedianMs) + "\n";
+  Json += "  },\n";
+  Json += "  \"divergences\": [\n";
+  for (size_t I = 0; I != Result.Divergences.size(); ++I) {
+    const Divergence &D = Result.Divergences[I];
+    Json += "    {\"scavenge\": " + std::to_string(D.ScavengeIndex) +
+            ", \"field\": " + jsonString(D.Field) +
+            ", \"logical\": " + (D.Logical ? "true" : "false") +
+            ", \"sim\": " + jsonString(D.SimValue) +
+            ", \"runtime\": " + jsonString(D.RuntimeValue) + "}";
+    Json += I + 1 == Result.Divergences.size() ? "\n" : ",\n";
+  }
+  Json += "  ]\n";
+  Json += "}\n";
+  return Json;
+}
+
+} // namespace
+
+std::optional<ArtifactPaths> dtb::conformance::writeDivergenceArtifacts(
+    const std::string &Dir, const std::string &CaseName,
+    const trace::Trace &Reproducer, const LockstepConfig &Config,
+    const LockstepResult &Result, std::string *Error) {
+  ArtifactPaths Paths;
+  Paths.Dir = Dir + "/" + CaseName;
+  std::error_code Ec;
+  std::filesystem::create_directories(Paths.Dir, Ec);
+  if (Ec) {
+    if (Error)
+      *Error = "cannot create " + Paths.Dir + ": " + Ec.message();
+    return std::nullopt;
+  }
+
+  Paths.TracePath = Paths.Dir + "/reproducer.trace.txt";
+  Paths.ReportPath = Paths.Dir + "/report.json";
+  Paths.SimCsvPath = Paths.Dir + "/sim.scavenges.csv";
+  Paths.RuntimeCsvPath = Paths.Dir + "/runtime.scavenges.csv";
+
+  if (!writeFile(Paths.TracePath, trace::serializeText(Reproducer), Error) ||
+      !writeFile(Paths.ReportPath,
+                 reportJson(CaseName, Reproducer, Config, Result), Error) ||
+      !writeFile(Paths.SimCsvPath, scavengeCsv(Result.Sim), Error) ||
+      !writeFile(Paths.RuntimeCsvPath, scavengeCsv(Result.Runtime), Error))
+    return std::nullopt;
+  return Paths;
+}

@@ -1,0 +1,223 @@
+//===- conformance/Shrink.cpp - Delta-debugging trace minimizer ----------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// Given a trace that diverges under runLockstep, shrink it to a minimal
+// still-diverging reproducer. Candidates are built from (size, lifetime)
+// pairs and re-clocked, so every candidate is a well-formed, replayable
+// trace; four reductions run to a fixpoint under a replay budget:
+//
+//   1. tail truncation by binary search;
+//   2. span coalescing — replace a run of small records with a few
+//      trigger-sized ones carrying the same bytes (a divergence that needs
+//      N trigger intervals of allocation needs only ~N records, not the
+//      hundreds of small ones the workload generator emitted);
+//   3. ddmin over record spans — drop whole allocation spans;
+//   4. per-span size halving (clamped to the replayable minimum).
+//
+// Every adoption strictly decreases (record count, total bytes)
+// lexicographically, so the fixpoint terminates even without the budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "conformance/Conformance.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace dtb;
+using namespace dtb::conformance;
+
+namespace {
+
+/// One record, clock-independent: lifetimes ride along when spans are
+/// dropped or sizes change.
+struct Item {
+  uint32_t Size = 0;
+  /// Bytes of subsequent allocation the object survives; NeverDies for
+  /// immortals.
+  trace::AllocClock Lifetime = 0;
+};
+
+std::vector<Item> itemsOf(const trace::Trace &T) {
+  std::vector<Item> Items;
+  Items.reserve(T.records().size());
+  for (const trace::AllocationRecord &R : T.records())
+    Items.push_back({R.Size, R.Death == trace::NeverDies
+                                 ? trace::NeverDies
+                                 : R.Death - R.Birth});
+  return Items;
+}
+
+trace::Trace buildTrace(const std::vector<Item> &Items) {
+  std::vector<trace::AllocationRecord> Records;
+  Records.reserve(Items.size());
+  trace::AllocClock Clock = 0;
+  for (const Item &I : Items) {
+    Clock += I.Size;
+    Records.push_back({Clock, I.Size,
+                       I.Lifetime == trace::NeverDies ? trace::NeverDies
+                                                      : Clock + I.Lifetime});
+  }
+  return trace::Trace(std::move(Records));
+}
+
+} // namespace
+
+ShrinkResult dtb::conformance::shrinkDivergence(const trace::Trace &T,
+                                                const LockstepConfig &Config,
+                                                const ShrinkOptions &Options) {
+  ShrinkResult Result;
+  Result.OriginalRecords = T.records().size();
+
+  LockstepResult Initial = runLockstep(T, Config);
+  Result.Replays = 1;
+  if (Initial.agreed())
+    fatalError("shrinkDivergence needs a diverging trace");
+
+  std::vector<Item> Best = itemsOf(T);
+  LockstepResult BestResult = std::move(Initial);
+
+  // Tries one candidate; adopts it as the new best when it still
+  // diverges. Returns false (without replaying) once the budget is spent.
+  auto tryAdopt = [&](std::vector<Item> Candidate) -> bool {
+    if (Result.Replays >= Options.MaxReplays)
+      return false;
+    ++Result.Replays;
+    LockstepResult R = runLockstep(buildTrace(Candidate), Config);
+    if (R.agreed())
+      return false;
+    Best = std::move(Candidate);
+    BestResult = std::move(R);
+    return true;
+  };
+  auto budgetLeft = [&] { return Result.Replays < Options.MaxReplays; };
+
+  uint32_t MinSize = minReplayableSize(Config.Links);
+  // Coalesced records aim for one trigger interval each: the smallest
+  // record count that still drives the same number of scavenges.
+  constexpr uint64_t MaxSpan = (uint64_t(1) << 28) - 1;
+  uint32_t Cap = static_cast<uint32_t>(std::clamp<uint64_t>(
+      Config.TriggerBytes, MinSize, uint64_t(MinSize) + MaxSpan));
+
+  bool Changed = true;
+  while (Changed && budgetLeft()) {
+    Changed = false;
+
+    // --- 1. tail truncation ------------------------------------------------
+    // Binary-search the shortest still-diverging prefix. Divergence is not
+    // strictly monotone in the prefix length, so this is a heuristic — but
+    // every adopted candidate is verified, so the reproducer is always
+    // genuinely diverging.
+    size_t Lo = 1, Hi = Best.size();
+    while (Lo < Hi && budgetLeft()) {
+      size_t Mid = Lo + (Hi - Lo) / 2;
+      std::vector<Item> Candidate(Best.begin(),
+                                  Best.begin() + static_cast<long>(Mid));
+      if (tryAdopt(std::move(Candidate))) {
+        Changed = true;
+        Hi = Mid;
+      } else {
+        Lo = Mid + 1;
+      }
+    }
+
+    // --- 2. span coalescing ------------------------------------------------
+    // Replace [Begin, End) with ceil(sum/Cap) records carrying the same
+    // total bytes (balanced sizes, each within [MinSize, Cap]). The merged
+    // records inherit the span's longest lifetime so any liveness the
+    // divergence depends on is preserved; tryAdopt re-verifies regardless.
+    size_t MergeChunks = 1;
+    while (Best.size() > 1 && budgetLeft()) {
+      size_t ChunkLen = std::max<size_t>(2, Best.size() / MergeChunks);
+      bool Merged = false;
+      for (size_t Begin = 0; Begin + 1 < Best.size() && budgetLeft();) {
+        size_t End = std::min(Begin + ChunkLen, Best.size());
+        uint64_t Sum = 0;
+        trace::AllocClock Lifetime = 0;
+        for (size_t I = Begin; I != End; ++I) {
+          Sum += Best[I].Size;
+          Lifetime = Best[I].Lifetime == trace::NeverDies
+                         ? trace::NeverDies
+                         : std::max(Lifetime, Best[I].Lifetime);
+        }
+        size_t Count = static_cast<size_t>((Sum + Cap - 1) / Cap);
+        if (Count == 0 || Count >= End - Begin) {
+          Begin = End;
+          continue;
+        }
+        std::vector<Item> Candidate(Best.begin(),
+                                    Best.begin() + static_cast<long>(Begin));
+        for (size_t I = 0; I != Count; ++I) {
+          uint64_t Size = Sum / Count + (I < Sum % Count ? 1 : 0);
+          Candidate.push_back({static_cast<uint32_t>(Size), Lifetime});
+        }
+        Candidate.insert(Candidate.end(),
+                         Best.begin() + static_cast<long>(End), Best.end());
+        if (tryAdopt(std::move(Candidate))) {
+          Merged = true;
+          Changed = true;
+          // Best shrank; rescan from the same offset.
+        } else {
+          Begin = End;
+        }
+      }
+      if (!Merged) {
+        if (ChunkLen == 2)
+          break;
+        MergeChunks = std::min(MergeChunks * 2, Best.size());
+      }
+    }
+
+    // --- 3. ddmin span removal -------------------------------------------
+    size_t Chunks = 2;
+    while (Best.size() > 1 && budgetLeft()) {
+      size_t ChunkLen = std::max<size_t>(1, Best.size() / Chunks);
+      bool Removed = false;
+      for (size_t Begin = 0; Begin < Best.size() && budgetLeft();) {
+        size_t End = std::min(Begin + ChunkLen, Best.size());
+        std::vector<Item> Candidate;
+        Candidate.reserve(Best.size() - (End - Begin));
+        Candidate.insert(Candidate.end(), Best.begin(),
+                         Best.begin() + static_cast<long>(Begin));
+        Candidate.insert(Candidate.end(),
+                         Best.begin() + static_cast<long>(End), Best.end());
+        if (!Candidate.empty() && tryAdopt(std::move(Candidate))) {
+          Removed = true;
+          Changed = true;
+          // Best shrank; keep the same granularity from this offset.
+        } else {
+          Begin = End;
+        }
+      }
+      if (!Removed) {
+        if (ChunkLen == 1)
+          break;
+        Chunks = std::min(Chunks * 2, Best.size());
+      }
+    }
+
+    // --- 4. span size halving ---------------------------------------------
+    size_t SpanLen = std::max<size_t>(1, Best.size() / 4);
+    for (size_t Begin = 0; Begin < Best.size() && budgetLeft();
+         Begin += SpanLen) {
+      size_t End = std::min(Begin + SpanLen, Best.size());
+      std::vector<Item> Candidate = Best;
+      bool Shrunk = false;
+      for (size_t I = Begin; I != End; ++I) {
+        uint32_t Halved = std::max(MinSize, Candidate[I].Size / 2);
+        if (Halved != Candidate[I].Size) {
+          Candidate[I].Size = Halved;
+          Shrunk = true;
+        }
+      }
+      if (Shrunk && tryAdopt(std::move(Candidate)))
+        Changed = true;
+    }
+  }
+
+  Result.Reproducer = buildTrace(Best);
+  Result.Final = std::move(BestResult);
+  return Result;
+}

@@ -275,7 +275,7 @@ core::ScavengeRecord Heap::collect() {
   Request.Now = Clock;
   Request.MemBytes = ResidentBytes;
   Request.History = &History;
-  Request.Demo = &Demographics;
+  Request.Demo = DemoOverride ? DemoOverride : &Demographics;
   std::string Note;
   Request.DegradationNote = &Note;
   std::string Rule = "unspecified";
@@ -319,6 +319,8 @@ core::ScavengeRecord Heap::collect() {
     telemetry::MetricsRegistry::global()
         .counter("policy." + Policy->name() + ".rule." + Rule)
         .add(1);
+  LastRule = Rule;
+  LastNote = Note;
   PendingRule = std::move(Rule);
   core::ScavengeRecord Record = collectAtBoundary(Boundary);
   PendingRule.clear();

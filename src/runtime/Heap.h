@@ -188,6 +188,24 @@ public:
   uint64_t residentBytes() const { return ResidentBytes; }
   size_t residentObjects() const { return Objects.size(); }
 
+  /// Substitutes \p Demo for the survivor-table estimates in the
+  /// BoundaryRequest that collect() hands the policy (nullptr restores the
+  /// built-in EpochDemographics). The conformance harness uses this to
+  /// feed both the simulator and the runtime the same exact oracle, so
+  /// policy decisions are comparable bit for bit; the survivor table keeps
+  /// updating either way. Not owned; must outlive the heap or be cleared.
+  void setDemographicsOverride(const core::Demographics *Demo) {
+    DemoOverride = Demo;
+  }
+
+  /// Rule identifier the policy reported during the most recent collect()
+  /// ("unspecified" before any policy-driven collection; explicit
+  /// collectAtBoundary() calls do not update it).
+  const std::string &lastRuleFired() const { return LastRule; }
+  /// Degradation note the policy reported during the most recent collect()
+  /// (empty when it ran clean).
+  const std::string &lastDegradationNote() const { return LastNote; }
+
   const core::ScavengeHistory &history() const { return History; }
   const CollectionStats &lastCollectionStats() const { return LastStats; }
   const RememberedSet &rememberedSet() const { return RemSet; }
@@ -272,6 +290,13 @@ private:
   /// Rule the policy reported for the scavenge collect() is about to run
   /// ("unspecified" outside collect()); consumed by emitScavengeTelemetry.
   std::string PendingRule;
+  /// Rule and degradation note from the most recent collect(), kept for
+  /// lastRuleFired()/lastDegradationNote().
+  std::string LastRule = "unspecified";
+  std::string LastNote;
+  /// Optional exact-demographics stand-in for policy requests (see
+  /// setDemographicsOverride). Not owned.
+  const core::Demographics *DemoOverride = nullptr;
 
   core::AllocClock Clock = 0;
   uint64_t ResidentBytes = 0;

@@ -83,8 +83,11 @@ SimulationResult dtb::sim::simulate(const trace::Trace &T,
     Request.History = &Result.History;
     Request.Demo = &Demo;
     std::string Rule = "unspecified";
-    if (Telemetry)
+    std::string Note;
+    if (Telemetry || Config.OnScavenge)
       Request.RuleFired = &Rule;
+    if (Config.OnScavenge)
+      Request.DegradationNote = &Note;
 
     AllocClock Boundary;
     {
@@ -165,6 +168,12 @@ SimulationResult dtb::sim::simulate(const trace::Trace &T,
       Registry.counter("sim.scavenge.traced_bytes").add(Outcome.TracedBytes);
       Registry.counter("policy." + Policy.name() + ".rule." + Rule).add(1);
       Registry.histogram("sim.scavenge.pause_ms").record(PauseMs);
+    }
+
+    if (Config.OnScavenge) {
+      ScavengeObservation Obs{Result.History.last(), Rule, Note, Heap,
+                              PauseMs};
+      Config.OnScavenge(Obs);
     }
   };
 

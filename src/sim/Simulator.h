@@ -25,12 +25,39 @@
 #include "trace/Trace.h"
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 namespace dtb {
 namespace sim {
 
 class TriggerPolicy;
+
+/// Snapshot handed to a ScavengeObserver immediately after each simulated
+/// scavenge completes. All references point at simulator-internal state
+/// and are valid only for the duration of the callback.
+struct ScavengeObservation {
+  /// The scavenge record just appended to the history (index, time,
+  /// boundary, traced/reclaimed/survived/mem-before bytes).
+  const core::ScavengeRecord &Record;
+  /// Rule identifier the policy reported through BoundaryRequest::RuleFired
+  /// ("unspecified" when the policy wrote nothing).
+  const std::string &RuleFired;
+  /// Degradation note the policy reported, if any (empty otherwise).
+  const std::string &DegradationNote;
+  /// The post-scavenge heap model: only live objects born after the
+  /// boundary plus unthreatened residents remain.
+  const HeapModel &Heap;
+  /// Machine-model pause for this scavenge in milliseconds.
+  double PauseMillis = 0.0;
+};
+
+/// Callback invoked after every scavenge; the conformance harness uses it
+/// to drive the managed runtime to the same allocation clock and
+/// cross-check outcomes in lockstep. Throwing from the observer aborts
+/// the simulation (the exception propagates out of simulate()).
+using ScavengeObserver = std::function<void(const ScavengeObservation &)>;
 
 /// Static simulation parameters.
 struct SimulatorConfig {
@@ -62,6 +89,10 @@ struct SimulatorConfig {
   /// Empty keeps the run silent even when the recorder is enabled — the
   /// default, so parallel grid cells must opt in with distinct tracks.
   std::string TelemetryTrack;
+  /// Optional per-scavenge callback (conformance harness). Setting it also
+  /// forces the rule-fired and degradation-note sinks on, independent of
+  /// telemetry.
+  ScavengeObserver OnScavenge;
 };
 
 /// One point of the Figure-2-style memory curve.

@@ -1,0 +1,47 @@
+//===- tests/TestSeeds.h - PRNG seed plumbing for randomized tests -------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// Shared helper for property/fuzz tests: makes the effective PRNG seed
+// overridable through the DTB_TEST_SEED environment variable and easy to
+// print on failure, so any randomized failure can be replayed with
+//
+//   DTB_TEST_SEED=<seed> ctest -R <test> --output-on-failure
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_TESTS_TESTSEEDS_H
+#define DTB_TESTS_TESTSEEDS_H
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace dtb {
+namespace test {
+
+/// The seed a randomized test should use: \p Default (usually GetParam())
+/// unless the DTB_TEST_SEED environment variable overrides it. Accepts
+/// decimal, hex (0x...), and octal.
+inline uint64_t effectiveSeed(uint64_t Default) {
+  if (const char *Env = std::getenv("DTB_TEST_SEED")) {
+    char *End = nullptr;
+    unsigned long long Value = std::strtoull(Env, &End, 0);
+    if (End != Env && *End == '\0')
+      return Value;
+  }
+  return Default;
+}
+
+} // namespace test
+} // namespace dtb
+
+/// Attaches the effective seed to every assertion failure in the scope,
+/// with copy-pasteable replay instructions.
+#define DTB_SCOPED_SEED_TRACE(Seed)                                           \
+  SCOPED_TRACE(::testing::Message()                                           \
+               << "PRNG seed " << (Seed)                                      \
+               << " (replay with DTB_TEST_SEED=" << (Seed) << ")")
+
+#endif // DTB_TESTS_TESTSEEDS_H

@@ -1,0 +1,167 @@
+//===- tests/conformance_lockstep_test.cpp - Differential harness --------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// The conformance tentpole's core guarantee: for every shipped policy, a
+// workload trace replayed through the simulator and the managed runtime
+// in lockstep produces identical logical quantities at every scavenge,
+// and an intentionally mutated policy is caught.
+//
+//===----------------------------------------------------------------------===//
+
+#include "conformance/Conformance.h"
+
+#include "support/FaultInjector.h"
+#include "workload/Workload.h"
+
+#include "gtest/gtest.h"
+
+using namespace dtb;
+using namespace dtb::conformance;
+
+namespace {
+
+trace::Trace steadyTrace(uint64_t TotalBytes, uint64_t Seed, LinkMode Links) {
+  return normalizeForReplay(
+      workload::generateTrace(workload::makeSteadyStateSpec(TotalBytes, Seed)),
+      Links);
+}
+
+LockstepConfig smallConfig(const std::string &Policy) {
+  LockstepConfig Config;
+  Config.PolicyName = Policy;
+  Config.TriggerBytes = 32 * 1024;
+  // Small-enough constraints that the adaptive policies actually exercise
+  // their interesting rules on a few-hundred-KB trace.
+  Config.Policy.TraceMaxBytes = 16 * 1024;
+  Config.Policy.MemMaxBytes = 96 * 1024;
+  return Config;
+}
+
+std::string divergenceSummary(const LockstepResult &Result) {
+  std::string Text;
+  for (const Divergence &D : Result.Divergences) {
+    Text += D.describe();
+    Text += '\n';
+  }
+  return Text;
+}
+
+class LockstepPolicyTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(LockstepPolicyTest, AgreesOnSteadyWorkload) {
+  LockstepConfig Config = smallConfig(GetParam());
+  trace::Trace T = steadyTrace(512 * 1024, /*Seed=*/7, Config.Links);
+  LockstepResult Result = runLockstep(T, Config);
+  EXPECT_TRUE(Result.agreed()) << divergenceSummary(Result);
+  EXPECT_GT(Result.Sim.size(), 4u) << "workload too small to scavenge";
+  EXPECT_EQ(Result.Sim.size(), Result.Runtime.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperPolicies, LockstepPolicyTest,
+                         ::testing::Values("full", "fixed1", "fixed4",
+                                           "feedmed", "dtbfm", "dtbmem",
+                                           "minormajor4"),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+TEST(LockstepTest, AgreesWithEveryLinkMode) {
+  for (LinkMode Links :
+       {LinkMode::None, LinkMode::Forward, LinkMode::Backward}) {
+    LockstepConfig Config = smallConfig("dtbmem");
+    Config.Links = Links;
+    trace::Trace T = steadyTrace(256 * 1024, /*Seed=*/11, Links);
+    LockstepResult Result = runLockstep(T, Config);
+    EXPECT_TRUE(Result.agreed())
+        << "links=" << linkModeName(Links) << "\n"
+        << divergenceSummary(Result);
+  }
+}
+
+TEST(LockstepTest, AgreesWithCopyingCollector) {
+  LockstepConfig Config = smallConfig("dtbfm");
+  Config.Collector = runtime::CollectorKind::Copying;
+  trace::Trace T = steadyTrace(256 * 1024, /*Seed=*/13, Config.Links);
+  LockstepResult Result = runLockstep(T, Config);
+  EXPECT_TRUE(Result.agreed()) << divergenceSummary(Result);
+}
+
+TEST(LockstepTest, EndOfRunSummariesMirrorEachOther) {
+  LockstepConfig Config = smallConfig("fixed4");
+  trace::Trace T = steadyTrace(256 * 1024, /*Seed=*/17, Config.Links);
+  LockstepResult Result = runLockstep(T, Config);
+  ASSERT_TRUE(Result.agreed()) << divergenceSummary(Result);
+  EXPECT_EQ(Result.SimMemMaxBytes, Result.RuntimeMemMaxBytes);
+  EXPECT_NEAR(Result.SimMemMeanBytes, Result.RuntimeMemMeanBytes,
+              1e-6 * Result.SimMemMeanBytes);
+  EXPECT_DOUBLE_EQ(Result.SimPauseMedianMs, Result.RuntimePauseMedianMs);
+  EXPECT_GT(Result.SimMemMaxBytes, 0u);
+}
+
+TEST(LockstepTest, SeededPolicyMutationIsCaught) {
+  LockstepConfig Config = smallConfig("fixed4");
+  Config.MutateFromScavenge = 3;
+  Config.MutateDeltaBytes = Config.TriggerBytes / 2;
+  trace::Trace T = steadyTrace(256 * 1024, /*Seed=*/19, Config.Links);
+  LockstepResult Result = runLockstep(T, Config);
+  ASSERT_FALSE(Result.agreed());
+  // The first divergence must be the boundary of the first mutated
+  // scavenge — everything before it agreed.
+  const Divergence &First = Result.Divergences.front();
+  EXPECT_EQ(First.Field, "boundary");
+  EXPECT_GE(First.ScavengeIndex, Config.MutateFromScavenge);
+}
+
+TEST(LockstepTest, InjectedRuntimeFaultIsCaught) {
+  // The chaos/fault integration path: a one-shot policy-evaluation fault
+  // makes the *runtime* fall back to FIXED1 while the simulator runs the
+  // real policy — the harness must flag the disagreement (rule and, for a
+  // non-FIXED1 policy, usually the boundary too).
+  LockstepConfig Config = smallConfig("full");
+  trace::Trace T = steadyTrace(256 * 1024, /*Seed=*/23, Config.Links);
+  FaultInjector Injector(/*Seed=*/1);
+  Injector.armOneShot(FaultSite::PolicyEvaluation, /*NthHit=*/2);
+  FaultInjectionScope Scope(Injector);
+  LockstepResult Result = runLockstep(T, Config);
+  ASSERT_FALSE(Result.agreed());
+  bool SawRule = false;
+  for (const Divergence &D : Result.Divergences)
+    SawRule |= D.Field == "rule";
+  EXPECT_TRUE(SawRule) << divergenceSummary(Result);
+}
+
+TEST(NormalizeTest, ClampsSizesAndPreservesLifetimes) {
+  trace::TraceBuilder Builder;
+  auto A = Builder.allocate(8); // Below the replayable minimum.
+  auto B = Builder.allocate(100);
+  Builder.free(A);
+  auto C = Builder.allocate(500);
+  Builder.free(C);
+  (void)B; // Immortal.
+  trace::Trace T = Builder.finish();
+
+  trace::Trace N = normalizeForReplay(T, LinkMode::Forward);
+  ASSERT_TRUE(N.verify());
+  EXPECT_TRUE(isReplayable(N, LinkMode::Forward));
+  ASSERT_EQ(N.records().size(), 3u);
+  EXPECT_EQ(N.records()[0].Size, minReplayableSize(LinkMode::Forward));
+  EXPECT_EQ(N.records()[1].Size, 100u);
+  // Lifetimes (death - birth) carry over to the rescaled clock.
+  EXPECT_EQ(N.records()[0].Death - N.records()[0].Birth,
+            T.records()[0].Death - T.records()[0].Birth);
+  EXPECT_EQ(N.records()[1].Death, trace::NeverDies);
+  // Already-replayable traces come back unchanged.
+  trace::Trace Same = normalizeForReplay(N, LinkMode::Forward);
+  EXPECT_EQ(Same.records(), N.records());
+}
+
+TEST(NormalizeTest, MinimumSizeDependsOnLinkMode) {
+  EXPECT_EQ(minReplayableSize(LinkMode::None), sizeof(runtime::Object));
+  EXPECT_EQ(minReplayableSize(LinkMode::Forward),
+            sizeof(runtime::Object) + sizeof(void *));
+  EXPECT_EQ(minReplayableSize(LinkMode::Backward),
+            sizeof(runtime::Object) + sizeof(void *));
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+//===- tests/conformance_property_test.cpp - Randomized lockstep ---------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// Property: for ANY generated workload, policy, constraint set, link mode
+// and collector kind, the simulator and the managed runtime agree on
+// every logical quantity of every scavenge. Each seed derives the whole
+// scenario; failures print the seed and honor DTB_TEST_SEED for replay
+// (tests/TestSeeds.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "conformance/Conformance.h"
+
+#include "TestSeeds.h"
+#include "core/Policies.h"
+#include "support/Random.h"
+#include "workload/Workload.h"
+
+#include "gtest/gtest.h"
+
+using namespace dtb;
+using namespace dtb::conformance;
+
+namespace {
+
+class ConformanceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConformanceProperty, RandomScenarioAgrees) {
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
+  Rng R(Seed);
+
+  LockstepConfig Config;
+  const std::vector<std::string> &Policies = core::paperPolicyNames();
+  Config.PolicyName = Policies[R.nextBelow(Policies.size())];
+  Config.TriggerBytes = R.nextInRange(16, 64) * 1024;
+  Config.Policy.TraceMaxBytes = R.nextInRange(4, 32) * 1024;
+  Config.Policy.MemMaxBytes = R.nextInRange(48, 192) * 1024;
+  Config.Links = static_cast<LinkMode>(R.nextBelow(3));
+  Config.LinkSeed = R.next();
+  Config.LinkProbability = 0.25 + 0.5 * R.nextDouble();
+  Config.Collector = R.nextBool(0.5) ? runtime::CollectorKind::MarkSweep
+                                     : runtime::CollectorKind::Copying;
+
+  uint64_t TotalBytes = R.nextInRange(128, 512) * 1024;
+  workload::WorkloadSpec Spec =
+      workload::makeSteadyStateSpec(TotalBytes, R.next());
+  // Shake the size model too so the trace isn't always the default shape.
+  Spec.Sizes.LogMean = 3.2 + R.nextDouble() * 1.4;
+  Spec.Sizes.MaxSize = static_cast<uint32_t>(R.nextInRange(256, 4096));
+  trace::Trace T =
+      normalizeForReplay(workload::generateTrace(Spec), Config.Links);
+
+  LockstepResult Result = runLockstep(T, Config);
+  EXPECT_TRUE(Result.agreed())
+      << "policy=" << Config.PolicyName
+      << " links=" << linkModeName(Config.Links) << " collector="
+      << (Config.Collector == runtime::CollectorKind::MarkSweep ? "marksweep"
+                                                                : "copying")
+      << " trigger=" << Config.TriggerBytes << " records="
+      << T.records().size() << "\nfirst divergences:\n"
+      << [&] {
+           std::string Text;
+           for (const Divergence &D : Result.Divergences) {
+             Text += D.describe();
+             Text += '\n';
+           }
+           return Text;
+         }();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConformanceProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+} // namespace

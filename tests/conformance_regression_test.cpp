@@ -1,0 +1,84 @@
+//===- tests/conformance_regression_test.cpp - Golden reproducers --------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// Every shrunk counterexample that ever exposed a sim/runtime divergence
+// is checked into tests/data/conformance/ as a golden trace. This suite
+// replays each one through all paper policies expecting agreement — if a
+// regression reintroduces the old divergence, the exact historical
+// reproducer catches it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "conformance/Conformance.h"
+
+#include "core/Policies.h"
+#include "trace/TraceIO.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace dtb;
+using namespace dtb::conformance;
+
+namespace {
+
+std::filesystem::path goldenDir() {
+  return std::filesystem::path(DTB_TEST_DATA_DIR) / "conformance";
+}
+
+std::vector<std::filesystem::path> goldenTraces() {
+  std::vector<std::filesystem::path> Paths;
+  for (const auto &Entry : std::filesystem::directory_iterator(goldenDir())) {
+    if (Entry.is_regular_file() &&
+        Entry.path().string().size() > 10 &&
+        Entry.path().string().rfind(".trace.txt") ==
+            Entry.path().string().size() - 10)
+      Paths.push_back(Entry.path());
+  }
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+LockstepConfig quickConfig(const std::string &Policy) {
+  LockstepConfig Config;
+  Config.PolicyName = Policy;
+  Config.TriggerBytes = 8 * 1024;
+  Config.Policy.TraceMaxBytes = 4 * 1024;
+  Config.Policy.MemMaxBytes = 24 * 1024;
+  return Config;
+}
+
+TEST(ConformanceRegression, GoldenDirectoryHasTraces) {
+  ASSERT_TRUE(std::filesystem::is_directory(goldenDir()))
+      << goldenDir() << " missing";
+  EXPECT_FALSE(goldenTraces().empty())
+      << "no golden *.trace.txt reproducers checked in";
+}
+
+TEST(ConformanceRegression, GoldenTracesAgreeUnderAllPolicies) {
+  for (const std::filesystem::path &Path : goldenTraces()) {
+    std::optional<trace::Trace> T = trace::readTraceFile(Path.string());
+    ASSERT_TRUE(T.has_value()) << "unreadable golden trace: " << Path;
+    ASSERT_TRUE(T->verify()) << "malformed golden trace: " << Path;
+    for (const std::string &Policy : core::paperPolicyNames()) {
+      LockstepConfig Config = quickConfig(Policy);
+      trace::Trace Normalized = normalizeForReplay(*T, Config.Links);
+      LockstepResult Result = runLockstep(Normalized, Config);
+      std::string Summary;
+      for (const Divergence &D : Result.Divergences) {
+        Summary += D.describe();
+        Summary += '\n';
+      }
+      EXPECT_TRUE(Result.agreed())
+          << Path.filename() << " under " << Policy << ":\n"
+          << Summary;
+    }
+  }
+}
+
+} // namespace

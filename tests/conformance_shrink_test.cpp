@@ -1,0 +1,128 @@
+//===- tests/conformance_shrink_test.cpp - Shrinker + artifacts ----------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// The delta-debugging shrinker must reduce a seeded policy mutation to a
+// tiny, still-diverging, well-formed reproducer, and the artifact writer
+// must persist it in a replayable form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "conformance/Conformance.h"
+
+#include "trace/TraceIO.h"
+#include "workload/Workload.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace dtb;
+using namespace dtb::conformance;
+
+namespace {
+
+LockstepConfig mutatedConfig() {
+  LockstepConfig Config;
+  Config.PolicyName = "fixed4";
+  Config.TriggerBytes = 8 * 1024;
+  Config.Policy.TraceMaxBytes = 4 * 1024;
+  Config.Policy.MemMaxBytes = 24 * 1024;
+  // Emulated implementation bug: from the 2nd scavenge the runtime's
+  // boundary is pushed half a trigger interval into the future.
+  Config.MutateFromScavenge = 2;
+  Config.MutateDeltaBytes = Config.TriggerBytes / 2;
+  return Config;
+}
+
+trace::Trace mutatedTrace(const LockstepConfig &Config) {
+  return normalizeForReplay(
+      workload::generateTrace(workload::makeSteadyStateSpec(128 * 1024, 3)),
+      Config.Links);
+}
+
+TEST(ShrinkTest, MutationShrinksToTinyReproducer) {
+  LockstepConfig Config = mutatedConfig();
+  trace::Trace T = mutatedTrace(Config);
+  ASSERT_FALSE(runLockstep(T, Config).agreed());
+
+  ShrinkResult Shrunk = shrinkDivergence(T, Config);
+  EXPECT_FALSE(Shrunk.Final.agreed());
+  EXPECT_EQ(Shrunk.OriginalRecords, T.records().size());
+  EXPECT_LT(Shrunk.Reproducer.records().size(), Shrunk.OriginalRecords);
+  // The acceptance bar: a seeded mutation shrinks to <= 50 records.
+  EXPECT_LE(Shrunk.Reproducer.records().size(), 50u)
+      << "shrinker left " << Shrunk.Reproducer.records().size()
+      << " records after " << Shrunk.Replays << " replays";
+  EXPECT_LE(Shrunk.Replays, ShrinkOptions().MaxReplays);
+  ASSERT_TRUE(Shrunk.Reproducer.verify());
+  EXPECT_TRUE(isReplayable(Shrunk.Reproducer, Config.Links));
+  // The reproducer still diverges when replayed from scratch.
+  EXPECT_FALSE(runLockstep(Shrunk.Reproducer, Config).agreed());
+}
+
+TEST(ShrinkTest, ReproducerSurvivesTextRoundTrip) {
+  LockstepConfig Config = mutatedConfig();
+  ShrinkResult Shrunk = shrinkDivergence(mutatedTrace(Config), Config);
+  std::string Text = trace::serializeText(Shrunk.Reproducer);
+  std::optional<trace::Trace> Parsed = trace::deserializeText(Text);
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->records(), Shrunk.Reproducer.records());
+  EXPECT_FALSE(runLockstep(*Parsed, Config).agreed());
+}
+
+TEST(ShrinkTest, ShrinkerHonorsReplayBudget) {
+  LockstepConfig Config = mutatedConfig();
+  ShrinkOptions Options;
+  Options.MaxReplays = 5;
+  ShrinkResult Shrunk = shrinkDivergence(mutatedTrace(Config), Config, Options);
+  EXPECT_LE(Shrunk.Replays, Options.MaxReplays);
+  EXPECT_FALSE(Shrunk.Final.agreed()); // Best-so-far always diverges.
+}
+
+TEST(ArtifactsTest, WritesReplayableDivergenceBundle) {
+  LockstepConfig Config = mutatedConfig();
+  ShrinkResult Shrunk = shrinkDivergence(mutatedTrace(Config), Config);
+
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "dtb_conformance_artifacts";
+  std::filesystem::remove_all(Dir);
+  std::string Error;
+  std::optional<ArtifactPaths> Paths = writeDivergenceArtifacts(
+      Dir.string(), "fixed4_mutation", Shrunk.Reproducer, Config,
+      Shrunk.Final, &Error);
+  ASSERT_TRUE(Paths.has_value()) << Error;
+
+  // The persisted trace replays (and still diverges under the mutated
+  // config).
+  std::optional<trace::Trace> Reloaded = trace::readTraceFile(Paths->TracePath);
+  ASSERT_TRUE(Reloaded.has_value());
+  EXPECT_EQ(Reloaded->records(), Shrunk.Reproducer.records());
+  EXPECT_FALSE(runLockstep(*Reloaded, Config).agreed());
+
+  // The report names the diverging field and both sides' values.
+  std::ifstream Report(Paths->ReportPath);
+  std::stringstream Contents;
+  Contents << Report.rdbuf();
+  EXPECT_NE(Contents.str().find("\"divergences\""), std::string::npos);
+  EXPECT_NE(Contents.str().find("\"boundary\""), std::string::npos);
+  EXPECT_NE(Contents.str().find("\"policy\": \"fixed4\""), std::string::npos);
+
+  // Both per-side CSVs exist and have one row per scavenge plus a header.
+  for (const std::string &Csv :
+       {Paths->SimCsvPath, Paths->RuntimeCsvPath}) {
+    std::ifstream In(Csv);
+    ASSERT_TRUE(In.good()) << Csv;
+    std::string Line;
+    size_t Lines = 0;
+    while (std::getline(In, Line))
+      ++Lines;
+    EXPECT_GT(Lines, 1u) << Csv;
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace

@@ -85,6 +85,99 @@ TEST(EpochDemographicsTest, EpochOfMapsBirthsToIntervals) {
   EXPECT_EQ(D.epochOf(2500), 2u);
 }
 
+TEST(EpochDemographicsTest, EpochRolloverOpensEmptyEpoch) {
+  EpochDemographics D;
+  D.beginScavenge(0);
+  D.recordSurvivor(500, 100);
+  D.endScavenge(1000);
+
+  // Rollover: endScavenge opened [1000, ...) with a zero estimate and
+  // reset the since-allocation counter.
+  EXPECT_EQ(D.numEpochs(), 2u);
+  EXPECT_EQ(D.epochStart(1), 1000u);
+  EXPECT_EQ(D.liveBytesBornAfter(1000), 0u);
+
+  // A birth stamped exactly at the rollover clock belongs to the closed
+  // epoch (it was allocated before that scavenge ran), the next byte to
+  // the new one.
+  EXPECT_EQ(D.epochOf(1000), 0u);
+  EXPECT_EQ(D.epochOf(1001), 1u);
+}
+
+TEST(EpochDemographicsTest, RolloverSurvivorsLandInTheNewEpoch) {
+  EpochDemographics D;
+  D.beginScavenge(0);
+  D.recordSurvivor(800, 40);
+  D.endScavenge(1000);
+
+  // Scavenge 2 re-measures everything; one survivor was born exactly at
+  // the previous scavenge time (epoch 0) and one just after (epoch 1).
+  D.beginScavenge(0);
+  D.recordSurvivor(1000, 25);
+  D.recordSurvivor(1001, 35);
+  D.endScavenge(2000);
+
+  EXPECT_EQ(D.numEpochs(), 3u);
+  // Boundary at 1000 includes the *whole* containing epoch [0,1000) —
+  // conservative — so the epoch-0 survivor born at 1000 is counted by
+  // liveBytesBornAfter(0) and liveBytesBornAfter(999), and both epochs'
+  // bytes by a boundary of 0.
+  EXPECT_EQ(D.liveBytesBornAfter(0), 60u);
+  EXPECT_EQ(D.liveBytesBornAfter(1000), 35u);
+  EXPECT_EQ(D.liveBytesBornAfter(2000), 0u);
+}
+
+TEST(EpochDemographicsTest, MidEpochBoundaryZeroesTheContainingEpoch) {
+  EpochDemographics D;
+  D.beginScavenge(0);
+  D.recordSurvivor(500, 100);
+  D.endScavenge(1000);
+  D.beginScavenge(0);
+  D.recordSurvivor(1500, 50);
+  D.endScavenge(2000);
+
+  // A boundary strictly inside epoch 0 threatens the whole epoch: its
+  // stale estimate is zeroed before re-measurement, and only epoch 1's
+  // estimate survives untouched... but epoch 1 starts after the boundary,
+  // so it is zeroed too. Record nothing: everything threatened reads 0.
+  D.beginScavenge(700);
+  D.endScavenge(3000);
+  EXPECT_EQ(D.liveBytesBornAfter(0), 0u);
+
+  // Same shape, but this time the boundary coincides with an epoch start:
+  // the earlier epoch is NOT threatened and keeps its stale estimate.
+  EpochDemographics E;
+  E.beginScavenge(0);
+  E.recordSurvivor(500, 100);
+  E.endScavenge(1000);
+  E.beginScavenge(0);
+  E.recordSurvivor(500, 80);
+  E.recordSurvivor(1500, 50);
+  E.endScavenge(2000);
+  E.beginScavenge(1000); // Exactly the epoch-1 start.
+  E.endScavenge(3000);
+  EXPECT_EQ(E.liveBytesBornAfter(0), 80u);
+  EXPECT_EQ(E.liveBytesBornAfter(1000), 0u);
+}
+
+TEST(EpochDemographicsTest, ManyRolloversKeepStartsAndEstimatesAligned) {
+  EpochDemographics D;
+  core::AllocClock Now = 0;
+  for (int I = 0; I != 20; ++I) {
+    Now += 1000;
+    D.beginScavenge(Now - 1000); // FIXED1-style: threaten the last epoch.
+    D.recordSurvivor(Now - 500, 10);
+    D.endScavenge(Now);
+  }
+  EXPECT_EQ(D.numEpochs(), 21u);
+  for (size_t I = 0; I != D.numEpochs(); ++I)
+    EXPECT_EQ(D.epochStart(I), I * 1000) << I;
+  // Every closed epoch holds its 10 stale bytes.
+  EXPECT_EQ(D.liveBytesBornAfter(0), 200u);
+  EXPECT_EQ(D.liveBytesBornAfter(10'000), 100u);
+  EXPECT_EQ(D.liveBytesBornAfter(Now), 0u);
+}
+
 TEST(EpochDemographicsTest, HeapIntegrationTracksSurvivors) {
   HeapConfig Config;
   Config.TriggerBytes = 0;

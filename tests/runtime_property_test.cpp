@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestSeeds.h"
+
 #include "runtime/Heap.h"
 #include "runtime/HeapVerifier.h"
 
@@ -113,13 +115,15 @@ class RuntimePropertyTest : public testing::TestWithParam<uint64_t> {};
 } // namespace
 
 TEST_P(RuntimePropertyTest, RandomBoundariesNeverHurtReachableObjects) {
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
   HeapConfig Config;
   Config.TriggerBytes = 0;
   Config.QuarantineFreedObjects = true;
   Heap H(Config);
   HandleScope Scope(H);
-  RandomMutator Mutator(H, GetParam(), Scope);
-  Rng R(GetParam() ^ 0xB0DA7); // Separate stream for boundary choices.
+  RandomMutator Mutator(H, Seed, Scope);
+  Rng R(Seed ^ 0xB0DA7); // Separate stream for boundary choices.
 
   for (int Round = 0; Round != 30; ++Round) {
     for (int Step = 0; Step != 40; ++Step)
@@ -142,6 +146,8 @@ TEST_P(RuntimePropertyTest, RandomBoundariesNeverHurtReachableObjects) {
 }
 
 TEST_P(RuntimePropertyTest, EveryPaperPolicyKeepsTheHeapSound) {
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
   for (const std::string &PolicyName : core::paperPolicyNames()) {
     HeapConfig Config;
     Config.TriggerBytes = 8'192;
@@ -153,7 +159,7 @@ TEST_P(RuntimePropertyTest, EveryPaperPolicyKeepsTheHeapSound) {
     H.setPolicy(core::createPolicy(PolicyName, PolicyConfig));
 
     HandleScope Scope(H);
-    RandomMutator Mutator(H, GetParam() * 7919 + 13, Scope);
+    RandomMutator Mutator(H, Seed * 7919 + 13, Scope);
     for (int Step = 0; Step != 1200; ++Step)
       Mutator.step();
 

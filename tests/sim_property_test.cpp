@@ -20,6 +20,8 @@
 #include "support/Random.h"
 #include "workload/Workload.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 using namespace dtb;
@@ -75,7 +77,9 @@ class SimPropertyTest : public testing::TestWithParam<uint64_t> {};
 } // namespace
 
 TEST_P(SimPropertyTest, BoundariesAndConservationForEveryPolicy) {
-  trace::Trace T = makeRandomTrace(GetParam(), 300'000);
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
+  trace::Trace T = makeRandomTrace(Seed, 300'000);
   for (const std::string &Name : core::paperPolicyNames()) {
     auto Policy = core::createPolicy(Name, propertyPolicyConfig());
     SimulationResult R = simulate(T, *Policy, propertyConfig());
@@ -99,7 +103,9 @@ TEST_P(SimPropertyTest, BoundariesAndConservationForEveryPolicy) {
 }
 
 TEST_P(SimPropertyTest, FullIsMemoryOptimalAtEveryScavenge) {
-  trace::Trace T = makeRandomTrace(GetParam() * 31 + 7, 300'000);
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
+  trace::Trace T = makeRandomTrace(Seed * 31 + 7, 300'000);
   core::FullPolicy Full;
   SimulationResult FullResult = simulate(T, Full, propertyConfig());
 
@@ -120,7 +126,9 @@ TEST_P(SimPropertyTest, FullIsMemoryOptimalAtEveryScavenge) {
 }
 
 TEST_P(SimPropertyTest, Fixed1TracesLeastPerScavenge) {
-  trace::Trace T = makeRandomTrace(GetParam() * 17 + 3, 300'000);
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
+  trace::Trace T = makeRandomTrace(Seed * 17 + 3, 300'000);
   core::FixedAgePolicy Fixed1(1);
   SimulationResult Fixed1Result = simulate(T, Fixed1, propertyConfig());
 
@@ -137,7 +145,9 @@ TEST_P(SimPropertyTest, Fixed1TracesLeastPerScavenge) {
 }
 
 TEST_P(SimPropertyTest, DtbMemRespectsFeasibleBudget) {
-  trace::Trace T = makeRandomTrace(GetParam() * 13 + 1, 300'000);
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
+  trace::Trace T = makeRandomTrace(Seed * 13 + 1, 300'000);
   // Find a budget that even FULL can satisfy, with slack.
   core::FullPolicy Full;
   SimulationResult FullResult = simulate(T, Full, propertyConfig());
@@ -152,7 +162,9 @@ TEST_P(SimPropertyTest, DtbMemRespectsFeasibleBudget) {
 }
 
 TEST_P(SimPropertyTest, DeterministicAcrossRuns) {
-  trace::Trace T = makeRandomTrace(GetParam() * 29, 150'000);
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
+  trace::Trace T = makeRandomTrace(Seed * 29, 150'000);
   for (const std::string &Name : core::paperPolicyNames()) {
     auto P1 = core::createPolicy(Name, propertyPolicyConfig());
     auto P2 = core::createPolicy(Name, propertyPolicyConfig());

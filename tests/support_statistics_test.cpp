@@ -219,3 +219,74 @@ TEST(QuantileFromBucketCountsTest, MatchesExactSortWithinBucketWidth) {
   }
   EXPECT_DOUBLE_EQ(quantileFromBucketCounts(B, Counts.data(), 0, 0.5), 0.0);
 }
+
+TEST(SampleSetTest, AllEqualSamplesAtEveryQuantile) {
+  // With identical samples every quantile must return exactly that value —
+  // nearest-rank cannot interpolate its way to anything else, and the
+  // result must be bitwise equal (no floating-point drift from averaging).
+  SampleSet S;
+  for (int I = 0; I != 17; ++I)
+    S.add(3.25);
+  for (double Q : {0.0, 0.1, 0.5, 0.9, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(S.quantile(Q), 3.25) << "quantile " << Q;
+  }
+  EXPECT_DOUBLE_EQ(S.median(), 3.25);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(S.maxValue(), 3.25);
+}
+
+TEST(SampleSetTest, EmptyAggregatesAreZero) {
+  SampleSet S;
+  EXPECT_DOUBLE_EQ(S.median(), 0.0);
+  EXPECT_DOUBLE_EQ(S.percentile90(), 0.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.maxValue(), 0.0);
+}
+
+TEST(HistogramTest, ExactBucketBoundaryValues) {
+  // Bucket edges are inclusive-low / exclusive-high: a sample exactly on
+  // an interior edge belongs to the bucket above it, Lo itself to bucket
+  // 0, and Hi (the exclusive end of the range) saturates into the top
+  // bucket.
+  Histogram H(0.0, 10.0, 5);
+  H.add(0.0);  // Lo -> bucket 0.
+  H.add(2.0);  // Edge between buckets 0 and 1 -> bucket 1.
+  H.add(8.0);  // Edge between buckets 3 and 4 -> bucket 4.
+  H.add(10.0); // Hi -> saturates into the top bucket.
+  EXPECT_EQ(H.bucketValue(0), 1u);
+  EXPECT_EQ(H.bucketValue(1), 1u);
+  EXPECT_EQ(H.bucketValue(3), 0u);
+  EXPECT_EQ(H.bucketValue(4), 2u);
+  EXPECT_EQ(H.totalCount(), 4u);
+}
+
+TEST(LogBucketingTest, ExactOctaveBoundaryValues) {
+  LogBucketing B(1.0, 8, 48);
+  // Inclusive lower bounds: the exact low edge of every finite bucket maps
+  // back to that bucket, including octave starts (powers of two), and the
+  // value just below an edge maps to the bucket beneath it.
+  for (double Edge : {1.0, 2.0, 4.0, 1024.0}) {
+    size_t I = B.bucketFor(Edge);
+    EXPECT_DOUBLE_EQ(B.bucketLow(I), Edge) << Edge;
+    EXPECT_EQ(B.bucketFor(std::nextafter(Edge, 0.0)), I - 1) << Edge;
+  }
+  // The unit boundary separates bucket 0 from the scaled region.
+  EXPECT_EQ(B.bucketFor(std::nextafter(1.0, 0.0)), 0u);
+  EXPECT_EQ(B.bucketFor(1.0), 1u);
+}
+
+TEST(QuantileFromBucketCountsTest, AllMassInOneBucket) {
+  // All samples equal (one hot bucket): every quantile answers that
+  // bucket's midpoint, and the answer is within the geometry's relative
+  // error of the true sample.
+  LogBucketing B(1.0, 8, 48);
+  std::vector<uint64_t> Counts(B.numBuckets(), 0);
+  const double Value = 37.0;
+  Counts[B.bucketFor(Value)] = 1000;
+  for (double Q : {0.0, 0.5, 1.0}) {
+    double Answer = quantileFromBucketCounts(B, Counts.data(), 1000, Q);
+    EXPECT_DOUBLE_EQ(Answer, B.bucketMid(B.bucketFor(Value))) << Q;
+    EXPECT_NEAR(Answer, Value, Value * B.relativeError()) << Q;
+  }
+}

@@ -9,6 +9,8 @@
 
 #include "trace/TraceIO.h"
 
+#include "TestSeeds.h"
+
 #include "support/FaultInjector.h"
 #include "support/Random.h"
 #include "workload/Workload.h"
@@ -59,8 +61,10 @@ class TraceIOFuzzTest : public testing::TestWithParam<uint64_t> {};
 } // namespace
 
 TEST_P(TraceIOFuzzTest, SingleByteCorruptionIsHandled) {
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
   std::string Valid = validBinary();
-  Rng R(GetParam());
+  Rng R(Seed);
   for (int Round = 0; Round != 300; ++Round) {
     std::string Mutated = Valid;
     size_t Position = R.nextBelow(Mutated.size());
@@ -70,8 +74,10 @@ TEST_P(TraceIOFuzzTest, SingleByteCorruptionIsHandled) {
 }
 
 TEST_P(TraceIOFuzzTest, TruncationAtEveryPrefixIsHandled) {
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
   std::string Valid = validBinary();
-  Rng R(GetParam() * 3 + 1);
+  Rng R(Seed * 3 + 1);
   for (int Round = 0; Round != 200; ++Round) {
     size_t Length = R.nextBelow(Valid.size());
     expectParseIsSafe(std::string_view(Valid).substr(0, Length));
@@ -79,7 +85,9 @@ TEST_P(TraceIOFuzzTest, TruncationAtEveryPrefixIsHandled) {
 }
 
 TEST_P(TraceIOFuzzTest, RandomBytesWithMagicAreHandled) {
-  Rng R(GetParam() * 7 + 5);
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
+  Rng R(Seed * 7 + 5);
   for (int Round = 0; Round != 300; ++Round) {
     std::string Junk = "DTBT";
     size_t Length = R.nextBelow(256);
@@ -90,7 +98,9 @@ TEST_P(TraceIOFuzzTest, RandomBytesWithMagicAreHandled) {
 }
 
 TEST_P(TraceIOFuzzTest, RandomTextIsHandled) {
-  Rng R(GetParam() * 11 + 3);
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
+  Rng R(Seed * 11 + 3);
   const char Alphabet[] = "0123456789 -#\nabcdefghij";
   for (int Round = 0; Round != 300; ++Round) {
     std::string Text = "# dtb-trace v1\n";
@@ -107,8 +117,10 @@ TEST_P(TraceIOFuzzTest, RandomTextIsHandled) {
 }
 
 TEST_P(TraceIOFuzzTest, MultiByteCorruptionIsHandled) {
+  uint64_t Seed = test::effectiveSeed(GetParam());
+  DTB_SCOPED_SEED_TRACE(Seed);
   std::string Valid = validBinary();
-  Rng R(GetParam() * 13 + 7);
+  Rng R(Seed * 13 + 7);
   for (int Round = 0; Round != 200; ++Round) {
     std::string Mutated = Valid;
     size_t Flips = 1 + R.nextBelow(16);
