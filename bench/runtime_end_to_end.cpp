@@ -14,198 +14,43 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/OptimalPolicies.h"
 #include "core/Policies.h"
-#include "report/Experiments.h"
+#include "report/BenchDriver.h"
+#include "report/GhostMutator.h"
 #include "runtime/Heap.h"
 #include "runtime/HeapVerifier.h"
 #include "support/CommandLine.h"
-#include "support/Random.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/Units.h"
-#include "telemetry/Export.h"
 #include "telemetry/TelemetryCli.h"
-#include "trace/TraceStats.h"
 
-#include <chrono>
 #include <cstdio>
-#include <queue>
-#include <vector>
+#include <string>
 
 using namespace dtb;
 using runtime::HandleScope;
 using runtime::Heap;
-using runtime::Object;
 
 namespace {
 
-/// A GHOST-like mutator: 98.4% of bytes die with ~4 KB exponential
-/// lifetimes, 0.4% live 105-340 KB (the tenured-garbage band at 1/10
-/// scale), 1.2% are immortal.
-class ScaledMutator {
-public:
-  ScaledMutator(Heap &H, HandleScope &Scope, uint64_t Seed)
-      : H(H), Scope(Scope), R(Seed) {}
-
-  void run(uint64_t TotalBytes) {
-    while (H.now() < TotalBytes) {
-      releaseDead();
-      allocateOne();
-    }
-    releaseDead();
-  }
-
-private:
-  struct Pending {
-    core::AllocClock DeathClock;
-    size_t SlotIndex;
-    bool operator<(const Pending &Other) const {
-      return DeathClock > Other.DeathClock; // Min-heap.
-    }
-  };
-
-  Object *&slotAt(size_t Index) { return *Slots[Index]; }
-
-  size_t acquireSlot(Object *O) {
-    if (!FreeSlots.empty()) {
-      size_t Index = FreeSlots.back();
-      FreeSlots.pop_back();
-      slotAt(Index) = O;
-      return Index;
-    }
-    Slots.push_back(&Scope.slot(O));
-    return Slots.size() - 1;
-  }
-
-  void allocateOne() {
-    auto RawBytes = static_cast<uint32_t>(16 + R.nextBelow(64));
-    Object *O = H.allocate(/*NumSlots=*/1, RawBytes);
-
-    double Class = R.nextDouble();
-    if (Class < 0.012) {
-      // Immortal: keep a permanent slot.
-      acquireSlot(O);
-      return;
-    }
-    double Lifetime = Class < 0.016
-                          ? 105'000.0 + R.nextDouble() * 235'000.0 // Medium.
-                          : R.nextExponential(4'000.0);            // Short.
-    size_t Index = acquireSlot(O);
-    Deaths.push({H.now() + static_cast<core::AllocClock>(Lifetime), Index});
-  }
-
-  void releaseDead() {
-    while (!Deaths.empty() && Deaths.top().DeathClock <= H.now()) {
-      size_t Index = Deaths.top().SlotIndex;
-      Deaths.pop();
-      slotAt(Index) = nullptr;
-      FreeSlots.push_back(Index);
-    }
-  }
-
-  Heap &H;
-  HandleScope &Scope;
-  Rng R;
-  std::vector<Object **> Slots;
-  std::vector<size_t> FreeSlots;
-  std::priority_queue<Pending> Deaths;
-};
-
-double secondsSince(std::chrono::steady_clock::time_point Start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       Start)
-      .count();
-}
-
-/// --timing: wall-clock the two perf-critical paths and emit JSON so the
-/// numbers are comparable across PRs:
-///
-///  * report::ExperimentGrid::paperGrid with the requested --threads
-///    versus a forced serial run (the parallel-engine speedup);
-///  * a simulation of the largest paper workload under the oracle
-///    memory-first boundary search with the indexed HeapModel versus the
-///    retained naive scans (the indexed-query speedup).
-///
-/// The figures are published as "timing." gauges in the telemetry metrics
-/// registry and printed through telemetry::writeMetricsJson — the same
-/// code path --telemetry-out uses — instead of a hand-rolled emitter.
+/// --timing: wall-clock the two perf-critical paths — the parallel
+/// experiment engine versus a forced serial run, and the indexed
+/// heap-model queries versus the retained naive scans — and emit the
+/// measurements as a BENCH schema record on stdout. This is the bench
+/// driver's "timing" suite verbatim (bench_driver --suite timing is the
+/// long form with warmup and repeats); the old hand-rolled timing.*
+/// gauge emission is gone.
 int runTimingMode(uint64_t Threads) {
-  using Clock = std::chrono::steady_clock;
-  unsigned Lanes =
-      Threads == 0 ? defaultThreadCount() : static_cast<unsigned>(Threads);
+  report::BenchDriverOptions Options;
+  Options.Suite = "timing";
+  Options.Threads = static_cast<unsigned>(Threads);
+  Options.Repeats = 1;
+  Options.Warmup = 0;
 
-  report::ExperimentConfig GridConfig;
-  GridConfig.Threads = Lanes;
-  auto Start = Clock::now();
-  report::ExperimentGrid::paperGrid(GridConfig);
-  double ParallelSec = secondsSince(Start);
-
-  GridConfig.Threads = 1;
-  Start = Clock::now();
-  report::ExperimentGrid::paperGrid(GridConfig);
-  double SerialSec = secondsSince(Start);
-
-  const workload::WorkloadSpec *Largest = nullptr;
-  for (const workload::WorkloadSpec &Spec : workload::paperWorkloads())
-    if (!Largest || Spec.TotalAllocationBytes > Largest->TotalAllocationBytes)
-      Largest = &Spec;
-  trace::Trace T = workload::generateTrace(*Largest);
-
-  sim::SimulatorConfig SimConfig;
-  SimConfig.ProgramSeconds = Largest->ProgramSeconds;
-  // The query-heaviest policy: the oracle boundary search for the memory
-  // constraint binary-searches the boundary with a pair of demographics
-  // queries per probe. A budget just above the mean live size binds at
-  // every scavenge, so the search actually runs — with a loose budget the
-  // policy takes the newest-boundary early exit and the queries being
-  // measured never execute.
-  trace::TraceStats Stats = trace::computeTraceStats(T);
-  auto MemBudget = static_cast<uint64_t>(Stats.LiveMeanBytes * 1.2);
-  core::OptimalMemoryPolicy MemFirst(MemBudget);
-
-  Start = Clock::now();
-  sim::SimulationResult Indexed = sim::simulate(T, MemFirst, SimConfig);
-  double IndexedSec = secondsSince(Start);
-
-  SimConfig.UseNaiveHeapQueries = true;
-  Start = Clock::now();
-  sim::SimulationResult Scanned = sim::simulate(T, MemFirst, SimConfig);
-  double ScanSec = secondsSince(Start);
-
-  if (Indexed.TotalTracedBytes != Scanned.TotalTracedBytes ||
-      Indexed.NumScavenges != Scanned.NumScavenges) {
-    std::fprintf(stderr, "error: indexed and scan runs disagree\n");
-    return 1;
-  }
-
-  // The workload/policy identity travels on stderr (JSON stays numeric);
-  // it is fixed anyway: the largest paper workload under mem-first.
-  std::fprintf(stderr, "timing workload: %s, policy: mem-first (oracle "
-                       "boundary search)\n",
-               Largest->Name.c_str());
-
-  telemetry::MetricsRegistry &Reg = telemetry::MetricsRegistry::global();
-  Reg.gauge("timing.threads").set(Lanes);
-  Reg.gauge("timing.grid.serial_seconds").set(SerialSec);
-  Reg.gauge("timing.grid.parallel_seconds").set(ParallelSec);
-  Reg.gauge("timing.grid.speedup")
-      .set(ParallelSec > 0.0 ? SerialSec / ParallelSec : 0.0);
-  Reg.gauge("timing.heap_queries.mem_budget_bytes")
-      .set(static_cast<double>(MemBudget));
-  Reg.gauge("timing.heap_queries.scan_seconds").set(ScanSec);
-  Reg.gauge("timing.heap_queries.indexed_seconds").set(IndexedSec);
-  Reg.gauge("timing.heap_queries.speedup")
-      .set(IndexedSec > 0.0 ? ScanSec / IndexedSec : 0.0);
-  Reg.gauge("timing.heap_queries.num_scavenges")
-      .set(static_cast<double>(Indexed.NumScavenges));
-
-  std::vector<telemetry::MetricSample> Timing;
-  for (telemetry::MetricSample &M : Reg.snapshot())
-    if (M.Name.rfind("timing.", 0) == 0)
-      Timing.push_back(std::move(M));
-  telemetry::writeMetricsJson(Timing, telemetry::ExportOptions(), stdout);
+  std::string Json = report::toJson(report::runBenchSuite(Options).Record);
+  std::fwrite(Json.data(), 1, Json.size(), stdout);
   return 0;
 }
 
@@ -225,8 +70,9 @@ int main(int Argc, char **Argv) {
   Parser.addUInt("trace-max", "Pause budget in traced bytes", &TraceMax);
   Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
   Parser.addFlag("timing",
-                 "Emit wall-clock + speedup JSON for the parallel "
-                 "experiment engine and the indexed heap-model queries",
+                 "Emit a BENCH-schema record of the parallel experiment "
+                 "engine and indexed heap-model query speedups (the bench "
+                 "driver's timing suite, single repeat)",
                  &Timing);
   addThreadsOption(Parser, &Threads);
   telemetry::TelemetryOptions TelemetryOpts;
@@ -260,7 +106,7 @@ int main(int Argc, char **Argv) {
     H.setPolicy(core::createPolicy(Name, PolicyConfig));
 
     HandleScope Scope(H);
-    ScaledMutator Mutator(H, Scope, /*Seed=*/0x61057);
+    report::GhostMutator Mutator(H, Scope, /*Seed=*/0x61057);
     Mutator.run(TotalBytes);
 
     RunningStats MemBefore;

@@ -76,6 +76,35 @@ void BM_AllocateTelemetryEnabled(benchmark::State &State) {
 }
 BENCHMARK(BM_AllocateTelemetryEnabled);
 
+void BM_AllocateProfilerArmed(benchmark::State &State) {
+  // BM_AllocateTelemetryEnabled with the heap's phase profiler forced on
+  // as well. The profiler instruments collector phases, not allocation, so
+  // arming it must not move this number: CI diffs the two benchmarks and
+  // fails if the profiler adds more than noise (~1%) to the allocation
+  // path. (With telemetry compiled out both collapse to BM_Allocate:
+  // ProfilePhase is an empty type and the overhead is exactly zero.)
+  telemetry::recorder().enable();
+  auto H = std::make_unique<Heap>(manualConfig());
+  H->profiler().setEnabled(true);
+  size_t Created = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(H->allocate(2, 16));
+    if (++Created == 100'000) {
+      State.PauseTiming();
+      H = std::make_unique<Heap>(manualConfig());
+      H->profiler().setEnabled(true);
+      Created = 0;
+      State.ResumeTiming();
+    }
+  }
+  telemetry::recorder().disable();
+  telemetry::recorder().buffer().clear();
+  State.SetItemsProcessed(State.iterations());
+  State.SetLabel(telemetry::compiledIn() ? "profiler-armed"
+                                         : "telemetry-compiled-out");
+}
+BENCHMARK(BM_AllocateProfilerArmed);
+
 void BM_WriteBarrierBackward(benchmark::State &State) {
   Heap H(manualConfig());
   Object *Old = H.allocate(1);

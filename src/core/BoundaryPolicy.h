@@ -27,6 +27,10 @@
 #include <string>
 
 namespace dtb {
+namespace profiling {
+class PhaseProfiler;
+} // namespace profiling
+
 namespace core {
 
 /// Live-byte demographics: how many bytes born after a candidate boundary
@@ -55,6 +59,34 @@ public:
   }
 };
 
+/// The inputs and predictions behind one boundary choice, filled by the
+/// policy when the caller provides a sink on BoundaryRequest. This is the
+/// "decision explanation" telemetry and the bench records attach to every
+/// scavenge: what budget the policy was working against, which candidate
+/// it picked, and what it predicted the scavenge would trace and reclaim.
+/// Fields a policy has no opinion on stay at their defaults.
+struct BoundaryDecision {
+  /// The pause budget in traced bytes (policies parameterized by
+  /// Trace_max; 0 for the others).
+  uint64_t TraceMaxBytes = 0;
+  /// The memory budget in bytes (DTBMEM; 0 for the others).
+  uint64_t MemMaxBytes = 0;
+  /// Index into History of the scavenge time chosen as the boundary
+  /// candidate (FEEDMED/DTBFM's t_k search), or -1 when the rule did not
+  /// pick among history epochs.
+  int64_t CandidateEpoch = -1;
+  /// Predicted bytes the scavenge will trace at the chosen boundary.
+  uint64_t PredictedTracedBytes = 0;
+  /// Predicted garbage bytes the scavenge will reclaim (resident minus
+  /// live past the boundary, when the policy queried both).
+  uint64_t PredictedGarbageBytes = 0;
+  /// The policy's live-bytes estimate L (DTBMEM).
+  uint64_t LiveEstimateBytes = 0;
+  /// True when PredictedTracedBytes/PredictedGarbageBytes were actually
+  /// computed (policies like FULL and FIXED make no prediction).
+  bool HasPrediction = false;
+};
+
 /// Everything a policy may consult when choosing TB_n. The previous
 /// scavenge's figures are available through History (empty before the
 /// first scavenge).
@@ -81,6 +113,15 @@ struct BoundaryRequest {
   /// callers count these per policy; leaving the sink untouched is legal
   /// for user-defined policies (callers default it to "unspecified").
   std::string *RuleFired = nullptr;
+  /// When non-null, the policy records its inputs and predictions here so
+  /// the caller can explain the decision (telemetry instants, BENCH
+  /// records). Optional for user-defined policies.
+  BoundaryDecision *Decision = nullptr;
+  /// When non-null, the policy attributes its boundary-search work to the
+  /// profiling::phase::BoundarySearch phase on this profiler (cost unit:
+  /// demographic queries). Optional; policies must behave identically with
+  /// and without it.
+  profiling::PhaseProfiler *Profiler = nullptr;
 };
 
 /// A threatening-boundary policy. Implementations must be deterministic

@@ -2,6 +2,8 @@
 
 #include "core/OptimalPolicies.h"
 
+#include "profiling/Profiler.h"
+
 using namespace dtb;
 using namespace dtb::core;
 
@@ -40,8 +42,13 @@ OptimalPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
   if (oracleInputsMissing(Request))
     return 0;
   const Demographics &Demo = *Request.Demo;
+  if (Request.Decision)
+    Request.Decision->TraceMaxBytes = TraceMaxBytes;
+  profiling::ProfilePhase Search(Request.Profiler,
+                                 profiling::phase::BoundarySearch);
 
   // A full collection within budget is the best possible outcome.
+  Search.addCost(1);
   if (Demo.liveBytesBornAfter(0) <= TraceMaxBytes) {
     fired(Request, "full-fits");
     return 0;
@@ -52,12 +59,14 @@ OptimalPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
   // predicate (trace <= budget) holds at Hi, fails at Lo.
   AllocClock Lo = 0;
   AllocClock Hi = Request.History->last().Time;
+  Search.addCost(1);
   if (Demo.liveBytesBornAfter(Hi) > TraceMaxBytes) {
     fired(Request, "over-budget-min-window");
     return Hi; // Even the newest interval busts the budget: best effort.
   }
   while (Lo + 1 < Hi) {
     AllocClock Mid = Lo + (Hi - Lo) / 2;
+    Search.addCost(1);
     if (Demo.liveBytesBornAfter(Mid) <= TraceMaxBytes)
       Hi = Mid;
     else
@@ -79,10 +88,15 @@ OptimalMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
   if (oracleInputsMissing(Request))
     return 0;
   const Demographics &Demo = *Request.Demo;
+  if (Request.Decision)
+    Request.Decision->MemMaxBytes = MemMaxBytes;
+  profiling::ProfilePhase Search(Request.Profiler,
+                                 profiling::phase::BoundarySearch);
 
   // Post-scavenge residency with boundary B: Mem_n minus the garbage born
   // after B (resident minus live in the threatened region).
   auto residencyAfter = [&](AllocClock B) {
+    Search.addCost(2);
     uint64_t Resident = Demo.residentBytesBornAfter(B);
     uint64_t Live = Demo.liveBytesBornAfter(B);
     uint64_t Garbage = Resident >= Live ? Resident - Live : 0;

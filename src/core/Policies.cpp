@@ -4,6 +4,7 @@
 
 #include "core/OptimalPolicies.h"
 
+#include "profiling/Profiler.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -22,6 +23,25 @@ namespace {
 void fired(const BoundaryRequest &Request, const char *Rule) {
   if (Request.RuleFired)
     *Request.RuleFired = Rule;
+}
+
+/// Records the prediction behind a boundary about to be returned: which
+/// history epoch was picked and the traced/garbage bytes the policy
+/// expects the scavenge to see there. Queries the demographics for the
+/// garbage figure only when a decision sink is present — the queries are
+/// value-pure, so asking extra questions cannot change the outcome.
+void explainPrediction(const BoundaryRequest &Request, int64_t Epoch,
+                       AllocClock Boundary, uint64_t PredictedTraced) {
+  if (!Request.Decision)
+    return;
+  Request.Decision->CandidateEpoch = Epoch;
+  Request.Decision->PredictedTracedBytes = PredictedTraced;
+  if (Request.Demo) {
+    uint64_t Resident = Request.Demo->residentBytesBornAfter(Boundary);
+    Request.Decision->PredictedGarbageBytes =
+        Resident >= PredictedTraced ? Resident - PredictedTraced : 0;
+  }
+  Request.Decision->HasPrediction = true;
 }
 
 /// Degraded-mode boundary: the FIXED1 choice t_{n-1} when the history is
@@ -62,6 +82,14 @@ AllocClock dtb::core::feedbackMediationSearch(const BoundaryRequest &Request,
                            "feedback mediation without demographics; FIXED1 "
                            "fallback");
   const ScavengeHistory &History = *Request.History;
+  if (Request.Decision)
+    Request.Decision->TraceMaxBytes = TraceMax;
+
+  // The search is the policy's dominant cost; attribute it to the
+  // boundary_search phase, one work unit per demographic query (a
+  // deterministic count, unlike wall time).
+  profiling::ProfilePhase Search(Request.Profiler,
+                                 profiling::phase::BoundarySearch);
 
   // Candidate boundaries are the previous scavenge times t_k (with t_0 = 0)
   // that are at or after the previous boundary. Search oldest-first: the
@@ -69,19 +97,25 @@ AllocClock dtb::core::feedbackMediationSearch(const BoundaryRequest &Request,
   // subject to the pause constraint. Predicted trace is non-increasing in
   // t_k, so the first fit is the best fit.
   int64_t N = static_cast<int64_t>(History.size()) + 1; // this scavenge is n
+  uint64_t Predicted = 0;
   for (int64_t K = 0; K < N; ++K) {
     AllocClock Tk = History.timeOf(K);
     if (Tk < PrevBoundary)
       continue;
-    if (Request.Demo->liveBytesBornAfter(Tk) <= TraceMax) {
+    Predicted = Request.Demo->liveBytesBornAfter(Tk);
+    Search.addCost(1);
+    if (Predicted <= TraceMax) {
       fired(Request, "fit-search");
+      explainPrediction(Request, K, Tk, Predicted);
       return Tk;
     }
   }
   // Even the youngest candidate (t_{n-1}) exceeds the budget: threaten the
   // newest interval only, the closest we can get to the constraint while
-  // still tracing every object once.
+  // still tracing every object once. Predicted still holds that
+  // candidate's figure — it was the final query of the loop.
   fired(Request, "over-budget-min-window");
+  explainPrediction(Request, N - 1, History.timeOf(N - 1), Predicted);
   return History.timeOf(N - 1);
 }
 
@@ -130,6 +164,8 @@ FeedbackMediationPolicy::FeedbackMediationPolicy(uint64_t TraceMaxBytes)
 
 AllocClock
 FeedbackMediationPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  if (Request.Decision)
+    Request.Decision->TraceMaxBytes = TraceMaxBytes;
   // First scavenge: full collection (TB_0 conceptually starts at 0).
   if (Request.Index == 1) {
     fired(Request, "first-full");
@@ -156,6 +192,8 @@ DtbPausePolicy::DtbPausePolicy(uint64_t TraceMaxBytes)
     : TraceMaxBytes(TraceMaxBytes) {}
 
 AllocClock DtbPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
+  if (Request.Decision)
+    Request.Decision->TraceMaxBytes = TraceMaxBytes;
   if (Request.Index == 1) {
     fired(Request, "first-full");
     return 0;
@@ -186,6 +224,12 @@ AllocClock DtbPausePolicy::chooseBoundary(const BoundaryRequest &Request) {
     return 0;
   }
   fired(Request, "widen");
+  if (Request.Decision) {
+    // The widen formula scales the window so the next trace is predicted
+    // to land exactly on the budget.
+    Request.Decision->PredictedTracedBytes = TraceMaxBytes;
+    Request.Decision->HasPrediction = true;
+  }
   double PrevWindow =
       static_cast<double>(Prev.Time) - static_cast<double>(Prev.Boundary);
   double Window = PrevWindow * static_cast<double>(TraceMaxBytes) /
@@ -219,6 +263,8 @@ std::string DtbMemoryPolicy::name() const {
 }
 
 AllocClock DtbMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
+  if (Request.Decision)
+    Request.Decision->MemMaxBytes = MemMaxBytes;
   if (Request.Index == 1) {
     fired(Request, "first-full");
     return 0;
@@ -262,6 +308,10 @@ AllocClock DtbMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
     break;
   }
 
+  if (Request.Decision)
+    Request.Decision->LiveEstimateBytes =
+        static_cast<uint64_t>(LiveEstimate);
+
   // Demographic sanity: more live bytes than resident bytes is impossible
   // (live ⊆ resident). Inconsistent inputs would corrupt the headroom
   // arithmetic below, so degrade to FIXED1 instead.
@@ -294,6 +344,12 @@ AllocClock DtbMemoryPolicy::chooseBoundary(const BoundaryRequest &Request) {
   AllocClock Result = std::min(static_cast<AllocClock>(Boundary), Prev.Time);
   fired(Request, Result < static_cast<AllocClock>(Boundary) ? "fit-clamped"
                                                             : "fit");
+  if (Request.Decision) {
+    // The boundary was chosen to leave tenured garbage worth the headroom.
+    Request.Decision->PredictedGarbageBytes =
+        static_cast<uint64_t>(Headroom);
+    Request.Decision->HasPrediction = true;
+  }
   return Result;
 }
 

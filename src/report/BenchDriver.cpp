@@ -1,0 +1,452 @@
+//===- report/BenchDriver.cpp ---------------------------------------------==//
+
+#include "report/BenchDriver.h"
+
+#include "core/OptimalPolicies.h"
+#include "core/Policies.h"
+#include "report/Experiments.h"
+#include "report/GhostMutator.h"
+#include "runtime/Heap.h"
+#include "sim/Simulator.h"
+#include "support/Error.h"
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+#include "trace/TraceStats.h"
+#include "workload/Workload.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+using namespace dtb;
+using namespace dtb::report;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Environment identity
+//===----------------------------------------------------------------------===//
+
+/// First line of a shell command's stdout, trimmed; empty on failure.
+std::string captureLine(const char *Command) {
+  std::string Out;
+  if (std::FILE *P = ::popen(Command, "r")) {
+    char Buffer[256];
+    while (size_t N = std::fread(Buffer, 1, sizeof Buffer, P))
+      Out.append(Buffer, N);
+    ::pclose(P);
+  }
+  if (size_t Eol = Out.find('\n'); Eol != std::string::npos)
+    Out.resize(Eol);
+  return Out;
+}
+
+std::string buildFlagsString() {
+  std::string Flags;
+#if DTB_TELEMETRY
+  Flags += "telemetry=on";
+#else
+  Flags += "telemetry=off";
+#endif
+#ifdef NDEBUG
+  Flags += ";ndebug";
+#endif
+#ifdef __VERSION__
+  Flags += ";compiler=" __VERSION__;
+#endif
+  return Flags;
+}
+
+//===----------------------------------------------------------------------===//
+// Wall measurement
+//===----------------------------------------------------------------------===//
+
+double timeSeconds(const std::function<void()> &Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  Fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Warmup runs discarded, then one sample per timed repeat.
+std::vector<double> measureWall(const BenchDriverOptions &Options,
+                                const std::function<void()> &Fn) {
+  for (unsigned I = 0; I != Options.Warmup; ++I)
+    Fn();
+  std::vector<double> Samples;
+  unsigned Repeats = Options.Repeats ? Options.Repeats : 1;
+  for (unsigned I = 0; I != Repeats; ++I)
+    Samples.push_back(timeSeconds(Fn));
+  return Samples;
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic stages
+//===----------------------------------------------------------------------===//
+
+/// The quick suite's sim grid: the parallel-equivalence scale — three
+/// small steady-state workloads, full policy set, scaled budgets.
+std::vector<workload::WorkloadSpec> quickWorkloads() {
+  std::vector<workload::WorkloadSpec> Workloads = {
+      workload::makeSteadyStateSpec(200'000, 1),
+      workload::makeSteadyStateSpec(300'000, 2),
+      workload::makeSteadyStateSpec(250'000, 3)};
+  Workloads[1].Name = "steady2";
+  Workloads[1].DisplayName = "STEADY2";
+  Workloads[2].Name = "steady3";
+  Workloads[2].DisplayName = "STEADY3";
+  return Workloads;
+}
+
+ExperimentConfig quickGridConfig(unsigned Threads) {
+  ExperimentConfig Config;
+  Config.TriggerBytes = 20'000;
+  Config.TraceMaxBytes = 5'000;
+  Config.MemMaxBytes = 60'000;
+  Config.Threads = Threads;
+  return Config;
+}
+
+/// Runs the (workload x policy) sim grid with a per-cell phase profiler and
+/// appends one metric group per cell. The fan-out mirrors ExperimentGrid:
+/// independent tasks deposit into preassigned slots, and the metric /
+/// profile folds run serially in a fixed (workload, policy) order, so the
+/// record is bit-identical for every thread count.
+void runSimGridStage(const std::vector<workload::WorkloadSpec> &Workloads,
+                     const ExperimentConfig &Config, BenchRecord &Record,
+                     profiling::PhaseProfiler &Merged) {
+  const std::vector<std::string> &Policies = core::paperPolicyNames();
+  core::PolicyConfig PolicyConfig;
+  PolicyConfig.TraceMaxBytes = Config.TraceMaxBytes;
+  PolicyConfig.MemMaxBytes = Config.MemMaxBytes;
+
+  PoolSelection Pool(Config.Threads);
+  std::vector<trace::Trace> Traces(Workloads.size());
+  parallelFor(
+      Workloads.size(),
+      [&](size_t W) { Traces[W] = workload::generateTrace(Workloads[W]); },
+      Pool.pool());
+
+  struct Cell {
+    sim::SimulationResult Result;
+    profiling::PhaseProfiler Profile;
+  };
+  std::vector<Cell> Cells(Workloads.size() * Policies.size());
+  parallelFor(
+      Cells.size(),
+      [&](size_t I) {
+        size_t W = I / Policies.size();
+        size_t P = I % Policies.size();
+        sim::SimulatorConfig SimConfig;
+        SimConfig.TriggerBytes = Config.TriggerBytes;
+        SimConfig.Machine = Config.Machine;
+        SimConfig.ProgramSeconds = Workloads[W].ProgramSeconds;
+        Cells[I].Profile.setEnabled(true);
+        SimConfig.Profiler = &Cells[I].Profile;
+        std::unique_ptr<core::BoundaryPolicy> Policy =
+            core::createPolicy(Policies[P], PolicyConfig);
+        Cells[I].Result = sim::simulate(Traces[W], *Policy, SimConfig);
+      },
+      Pool.pool());
+
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    size_t W = I / Policies.size();
+    size_t P = I % Policies.size();
+    const sim::SimulationResult &R = Cells[I].Result;
+    std::string Prefix = "sim/" + Workloads[W].Name + "/" + Policies[P] + "/";
+    Record.addExact(Prefix + "mem_mean_bytes", "bytes", R.MemMeanBytes);
+    Record.addExact(Prefix + "mem_max_bytes", "bytes",
+                    static_cast<double>(R.MemMaxBytes));
+    Record.addExact(Prefix + "traced_bytes", "bytes",
+                    static_cast<double>(R.TotalTracedBytes));
+    Record.addExact(Prefix + "num_scavenges", "count",
+                    static_cast<double>(R.NumScavenges));
+    Record.addExact(Prefix + "pause_p50_ms", "ms", R.PauseMillis.median());
+    Record.addExact(Prefix + "pause_p90_ms", "ms",
+                    R.PauseMillis.percentile90());
+    Merged.mergeFrom(Cells[I].Profile);
+  }
+}
+
+/// Scale parameters for the managed-runtime stage.
+struct RuntimeScale {
+  uint64_t TotalBytes;
+  uint64_t TriggerBytes;
+  uint64_t TraceMaxBytes;
+  uint64_t MemMaxBytes;
+};
+
+constexpr RuntimeScale QuickRuntime = {400'000, 20'000, 5'000, 60'000};
+/// runtime_end_to_end's defaults: ~GHOST(1) at 1/10 scale.
+constexpr RuntimeScale FullRuntime = {5'000'000, 100'000, 12'000, 300'000};
+
+/// One GhostMutator run per policy on the real runtime; serial, so the
+/// record and profile are deterministic by construction. \p Profiled
+/// controls whether heap profilers record (off for pure wall repeats).
+void runRuntimePolicies(const RuntimeScale &Scale, BenchRecord *Record,
+                        profiling::PhaseProfiler *Merged) {
+  core::PolicyConfig PolicyConfig;
+  PolicyConfig.TraceMaxBytes = Scale.TraceMaxBytes;
+  PolicyConfig.MemMaxBytes = Scale.MemMaxBytes;
+
+  for (const std::string &Name : core::paperPolicyNames()) {
+    runtime::HeapConfig Config;
+    Config.TriggerBytes = Scale.TriggerBytes;
+    runtime::Heap H(Config);
+    H.setPolicy(core::createPolicy(Name, PolicyConfig));
+    if (Merged)
+      H.profiler().setEnabled(true);
+
+    runtime::HandleScope Scope(H);
+    GhostMutator Mutator(H, Scope, /*Seed=*/0x61057);
+    Mutator.run(Scale.TotalBytes);
+
+    if (Record) {
+      RunningStats MemBefore;
+      SampleSet PauseBytes;
+      uint64_t Traced = 0;
+      for (const core::ScavengeRecord &R : H.history().records()) {
+        MemBefore.add(static_cast<double>(R.MemBeforeBytes));
+        PauseBytes.add(static_cast<double>(R.TracedBytes));
+        Traced += R.TracedBytes;
+      }
+      std::string Prefix = "runtime/" + Name + "/";
+      Record->addExact(Prefix + "num_collections", "count",
+                       static_cast<double>(H.history().size()));
+      Record->addExact(Prefix + "mem_before_mean_bytes", "bytes",
+                       MemBefore.mean());
+      Record->addExact(Prefix + "mem_before_max_bytes", "bytes",
+                       MemBefore.max());
+      Record->addExact(Prefix + "traced_bytes", "bytes",
+                       static_cast<double>(Traced));
+      Record->addExact(Prefix + "pause_p50_traced_bytes", "bytes",
+                       PauseBytes.median());
+    }
+    if (Merged)
+      Merged->mergeFrom(H.profiler());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Micro stage (wall-only hot-path loops)
+//===----------------------------------------------------------------------===//
+
+runtime::HeapConfig manualHeapConfig() {
+  runtime::HeapConfig Config;
+  Config.TriggerBytes = 0; // Collections driven manually.
+  return Config;
+}
+
+/// Wall samples converted to nanoseconds per operation.
+std::vector<double> measureWallPerOp(const BenchDriverOptions &Options,
+                                     size_t Ops,
+                                     const std::function<void()> &Fn) {
+  std::vector<double> Samples = measureWall(Options, Fn);
+  for (double &S : Samples)
+    S = S * 1e9 / static_cast<double>(Ops);
+  return Samples;
+}
+
+/// Driver-resident counterparts of bench/runtime_micro's hottest loops,
+/// reported as wall ns/op so BENCH records track the raw runtime paths
+/// without a google-benchmark dependency in the library.
+void runMicroStage(const BenchDriverOptions &Options, BenchRecord &Record) {
+  constexpr size_t AllocOps = 100'000;
+  Record.addWall("wall/micro/allocate_ns_per_op", "ns",
+                 measureWallPerOp(Options, AllocOps, [] {
+                   runtime::Heap H(manualHeapConfig());
+                   for (size_t I = 0; I != AllocOps; ++I)
+                     H.allocate(2, 16);
+                 }));
+
+  constexpr size_t BarrierOps = 1'000'000;
+  Record.addWall("wall/micro/write_barrier_backward_ns_per_op", "ns",
+                 measureWallPerOp(Options, BarrierOps, [] {
+                   runtime::Heap H(manualHeapConfig());
+                   runtime::Object *Old = H.allocate(1);
+                   runtime::Object *Young = H.allocate(1);
+                   for (size_t I = 0; I != BarrierOps; ++I)
+                     H.writeSlot(Young, 0, Old);
+                 }));
+
+  Record.addWall("wall/micro/scavenge_full_boundary_seconds", "seconds",
+                 measureWall(Options, [] {
+                   runtime::Heap H(manualHeapConfig());
+                   runtime::HandleScope Scope(H);
+                   runtime::Object *&Head = Scope.slot(nullptr);
+                   for (size_t I = 0; I != 10'000; ++I) {
+                     runtime::Object *Node = H.allocate(1, 16);
+                     H.writeSlot(Node, 0, Head);
+                     Head = Node;
+                     H.allocate(0, 16); // Garbage sibling.
+                   }
+                   H.collectAtBoundary(0);
+                 }));
+}
+
+//===----------------------------------------------------------------------===//
+// Timing stage (formerly runtime_end_to_end --timing)
+//===----------------------------------------------------------------------===//
+
+/// The parallel-engine and indexed-heap-query speedups: the measurements
+/// runtime_end_to_end --timing published as timing.* gauges before the
+/// BENCH schema existed. Speedups are recorded per repeat (paired ratio),
+/// so their MAD reflects the run-to-run noise of the ratio itself.
+void runTimingStage(const BenchDriverOptions &Options, unsigned Lanes,
+                    BenchRecord &Record) {
+  // Grid: parallel vs. forced-serial paper grid.
+  if (Options.IncludeWall) {
+    ExperimentConfig GridConfig;
+    std::vector<double> ParallelSec = measureWall(Options, [&] {
+      GridConfig.Threads = Lanes;
+      ExperimentGrid::paperGrid(GridConfig);
+    });
+    std::vector<double> SerialSec = measureWall(Options, [&] {
+      GridConfig.Threads = 1;
+      ExperimentGrid::paperGrid(GridConfig);
+    });
+    std::vector<double> Speedup;
+    for (size_t I = 0; I != ParallelSec.size() && I != SerialSec.size(); ++I)
+      Speedup.push_back(ParallelSec[I] > 0.0 ? SerialSec[I] / ParallelSec[I]
+                                             : 0.0);
+    Record.addWall("wall/timing/grid_serial_seconds", "seconds", SerialSec);
+    Record.addWall("wall/timing/grid_parallel_seconds", "seconds",
+                   ParallelSec);
+    Record.addWall("wall/timing/grid_speedup", "ratio", Speedup,
+                   /*LowerIsBetter=*/false);
+  }
+
+  // Heap queries: the largest paper workload under the oracle memory-first
+  // boundary search, indexed vs. retained naive scans. A budget just above
+  // the mean live size binds at every scavenge, so the binary search (the
+  // code being measured) actually runs.
+  const workload::WorkloadSpec *Largest = nullptr;
+  for (const workload::WorkloadSpec &Spec : workload::paperWorkloads())
+    if (!Largest || Spec.TotalAllocationBytes > Largest->TotalAllocationBytes)
+      Largest = &Spec;
+  trace::Trace T = workload::generateTrace(*Largest);
+  trace::TraceStats Stats = trace::computeTraceStats(T);
+  auto MemBudget = static_cast<uint64_t>(Stats.LiveMeanBytes * 1.2);
+  core::OptimalMemoryPolicy MemFirst(MemBudget);
+
+  sim::SimulatorConfig SimConfig;
+  SimConfig.ProgramSeconds = Largest->ProgramSeconds;
+
+  // One deterministic run of each query mode: the consistency check and
+  // the exact metrics.
+  sim::SimulationResult Indexed = sim::simulate(T, MemFirst, SimConfig);
+  SimConfig.UseNaiveHeapQueries = true;
+  sim::SimulationResult Scanned = sim::simulate(T, MemFirst, SimConfig);
+  SimConfig.UseNaiveHeapQueries = false;
+  if (Indexed.TotalTracedBytes != Scanned.TotalTracedBytes ||
+      Indexed.NumScavenges != Scanned.NumScavenges)
+    fatalError("indexed and scan heap-query runs disagree");
+
+  Record.addExact("timing/heap_queries/mem_budget_bytes", "bytes",
+                  static_cast<double>(MemBudget));
+  Record.addExact("timing/heap_queries/num_scavenges", "count",
+                  static_cast<double>(Indexed.NumScavenges));
+  Record.addExact("timing/heap_queries/traced_bytes", "bytes",
+                  static_cast<double>(Indexed.TotalTracedBytes));
+
+  if (Options.IncludeWall) {
+    std::vector<double> IndexedSec = measureWall(Options, [&] {
+      sim::simulate(T, MemFirst, SimConfig);
+    });
+    sim::SimulatorConfig ScanConfig = SimConfig;
+    ScanConfig.UseNaiveHeapQueries = true;
+    std::vector<double> ScanSec = measureWall(Options, [&] {
+      sim::simulate(T, MemFirst, ScanConfig);
+    });
+    std::vector<double> Speedup;
+    for (size_t I = 0; I != IndexedSec.size() && I != ScanSec.size(); ++I)
+      Speedup.push_back(IndexedSec[I] > 0.0 ? ScanSec[I] / IndexedSec[I]
+                                            : 0.0);
+    Record.addWall("wall/timing/heap_queries_scan_seconds", "seconds",
+                   ScanSec);
+    Record.addWall("wall/timing/heap_queries_indexed_seconds", "seconds",
+                   IndexedSec);
+    Record.addWall("wall/timing/heap_queries_speedup", "ratio", Speedup,
+                   /*LowerIsBetter=*/false);
+  }
+}
+
+} // namespace
+
+const std::vector<std::string> &dtb::report::benchSuiteNames() {
+  static const std::vector<std::string> Names = {"quick", "paper", "runtime",
+                                                 "timing"};
+  return Names;
+}
+
+BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
+  BenchSuiteResult Result;
+  BenchRecord &Record = Result.Record;
+  Record.Suite = Options.Suite;
+  unsigned Lanes = Options.Threads ? Options.Threads : defaultThreadCount();
+
+  if (Options.IncludeEnv) {
+    Record.HasEnv = true;
+    Record.GitSha = captureLine("git rev-parse HEAD 2>/dev/null");
+    if (Record.GitSha.empty())
+      Record.GitSha = "unknown";
+    Record.BuildFlags = buildFlagsString();
+    Record.Threads = Lanes;
+  }
+
+  if (Options.Suite == "quick") {
+    profiling::PhaseProfiler &Sim = Result.Profiles["sim"];
+    profiling::PhaseProfiler &Runtime = Result.Profiles["runtime"];
+    runSimGridStage(quickWorkloads(), quickGridConfig(Options.Threads),
+                    Record, Sim);
+    runRuntimePolicies(QuickRuntime, &Record, &Runtime);
+    if (Options.IncludeWall) {
+      Record.addWall("wall/quick/sim_grid_seconds", "seconds",
+                     measureWall(Options, [&] {
+                       ExperimentGrid(quickWorkloads(),
+                                      core::paperPolicyNames(),
+                                      quickGridConfig(Options.Threads));
+                     }));
+      Record.addWall("wall/quick/runtime_seconds", "seconds",
+                     measureWall(Options, [&] {
+                       runRuntimePolicies(QuickRuntime, nullptr, nullptr);
+                     }));
+    }
+    addProfileToRecord(Sim, "sim", Record);
+    addProfileToRecord(Runtime, "runtime", Record);
+  } else if (Options.Suite == "paper") {
+    profiling::PhaseProfiler &Sim = Result.Profiles["sim"];
+    profiling::PhaseProfiler &Runtime = Result.Profiles["runtime"];
+    ExperimentConfig Config;
+    Config.Threads = Options.Threads;
+    runSimGridStage(workload::paperWorkloads(), Config, Record, Sim);
+    runRuntimePolicies(FullRuntime, &Record, &Runtime);
+    if (Options.IncludeWall)
+      Record.addWall("wall/paper/sim_grid_seconds", "seconds",
+                     measureWall(Options, [&] {
+                       ExperimentConfig WallConfig;
+                       WallConfig.Threads = Options.Threads;
+                       ExperimentGrid::paperGrid(WallConfig);
+                     }));
+    addProfileToRecord(Sim, "sim", Record);
+    addProfileToRecord(Runtime, "runtime", Record);
+  } else if (Options.Suite == "runtime") {
+    profiling::PhaseProfiler &Runtime = Result.Profiles["runtime"];
+    runRuntimePolicies(FullRuntime, &Record, &Runtime);
+    if (Options.IncludeWall) {
+      Record.addWall("wall/runtime/policies_seconds", "seconds",
+                     measureWall(Options, [&] {
+                       runRuntimePolicies(FullRuntime, nullptr, nullptr);
+                     }));
+      runMicroStage(Options, Record);
+    }
+    addProfileToRecord(Runtime, "runtime", Record);
+  } else if (Options.Suite == "timing") {
+    runTimingStage(Options, Lanes, Record);
+  } else {
+    fatalError("unknown bench suite '" + Options.Suite +
+               "' (expected quick, paper, runtime, or timing)");
+  }
+  return Result;
+}

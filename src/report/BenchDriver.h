@@ -1,0 +1,78 @@
+//===- report/BenchDriver.h - Unified benchmark suites ----------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One harness for every perf measurement in the repo, emitting the
+/// BENCH_<suite>.json records of report/BenchRecord.h. Each suite mixes:
+///
+///  * a deterministic pass — simulator grid cells and managed-runtime
+///    mutator runs, per-cell phase profilers folded serially into one
+///    "sim" and one "runtime" domain. Bit-identical for every --threads
+///    value (tasks deposit into preassigned slots, fixed-order merges).
+///  * optional wall measurements ("wall/..." metrics) — warmup runs
+///    discarded, N timed repeats, min/median/MAD recorded. Skipped
+///    entirely under IncludeWall=false so records meant for bit-exact
+///    comparison carry no nondeterminism.
+///
+/// Suites:
+///  * quick  — small steady-state sim grid + a scaled runtime run; the CI
+///             smoke gate (sub-second deterministic pass).
+///  * paper  — the full Table 2/3/4 workload×policy grid + the
+///             runtime_end_to_end-scale runtime run.
+///  * runtime— the runtime run plus hot-path micro loops (allocation,
+///             write barrier, boundary scavenge), the driver-resident
+///             counterpart of bench/runtime_micro.
+///  * timing — the parallel-engine and indexed-heap-query speedups that
+///             runtime_end_to_end --timing used to emit as timing.*
+///             gauges, now in the BENCH schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_REPORT_BENCHDRIVER_H
+#define DTB_REPORT_BENCHDRIVER_H
+
+#include "profiling/Profiler.h"
+#include "report/BenchRecord.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtb {
+namespace report {
+
+struct BenchDriverOptions {
+  std::string Suite = "quick";
+  /// Worker threads for the sim fan-out: 0 = process default, 1 = serial.
+  /// Deterministic output is independent of this.
+  unsigned Threads = 0;
+  /// Timed repeats per wall measurement.
+  unsigned Repeats = 3;
+  /// Discarded warmup runs before the timed repeats.
+  unsigned Warmup = 1;
+  /// Record wall metrics. Off = fully deterministic record.
+  bool IncludeWall = true;
+  /// Record the env block (git SHA, build flags, thread count).
+  bool IncludeEnv = true;
+};
+
+/// A suite's record plus the merged per-domain profilers backing its
+/// phases block (for the cost-attribution summary).
+struct BenchSuiteResult {
+  BenchRecord Record;
+  std::map<std::string, profiling::PhaseProfiler> Profiles;
+};
+
+/// The declared suite names, in documentation order.
+const std::vector<std::string> &benchSuiteNames();
+
+/// Runs one suite. Fatal on an unknown suite name.
+BenchSuiteResult runBenchSuite(const BenchDriverOptions &Options);
+
+} // namespace report
+} // namespace dtb
+
+#endif // DTB_REPORT_BENCHDRIVER_H

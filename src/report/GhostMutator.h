@@ -1,0 +1,101 @@
+//===- report/GhostMutator.h - Deterministic runtime mutator ----*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic GHOST-like mutator for the managed runtime, shared by
+/// bench/runtime_end_to_end and the bench driver's runtime suites: 98.4%
+/// of bytes die with ~4 KB exponential lifetimes, 0.4% live 105-340 KB
+/// (the tenured-garbage band at 1/10 scale), 1.2% are immortal. Fully
+/// determined by (seed, total bytes), so runtime BENCH metrics are
+/// bit-identical run to run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_REPORT_GHOSTMUTATOR_H
+#define DTB_REPORT_GHOSTMUTATOR_H
+
+#include "runtime/Heap.h"
+#include "support/Random.h"
+
+#include <queue>
+#include <vector>
+
+namespace dtb {
+namespace report {
+
+class GhostMutator {
+public:
+  GhostMutator(runtime::Heap &H, runtime::HandleScope &Scope, uint64_t Seed)
+      : H(H), Scope(Scope), R(Seed) {}
+
+  void run(uint64_t TotalBytes) {
+    while (H.now() < TotalBytes) {
+      releaseDead();
+      allocateOne();
+    }
+    releaseDead();
+  }
+
+private:
+  struct Pending {
+    core::AllocClock DeathClock;
+    size_t SlotIndex;
+    bool operator<(const Pending &Other) const {
+      return DeathClock > Other.DeathClock; // Min-heap.
+    }
+  };
+
+  runtime::Object *&slotAt(size_t Index) { return *Slots[Index]; }
+
+  size_t acquireSlot(runtime::Object *O) {
+    if (!FreeSlots.empty()) {
+      size_t Index = FreeSlots.back();
+      FreeSlots.pop_back();
+      slotAt(Index) = O;
+      return Index;
+    }
+    Slots.push_back(&Scope.slot(O));
+    return Slots.size() - 1;
+  }
+
+  void allocateOne() {
+    auto RawBytes = static_cast<uint32_t>(16 + R.nextBelow(64));
+    runtime::Object *O = H.allocate(/*NumSlots=*/1, RawBytes);
+
+    double Class = R.nextDouble();
+    if (Class < 0.012) {
+      // Immortal: keep a permanent slot.
+      acquireSlot(O);
+      return;
+    }
+    double Lifetime = Class < 0.016
+                          ? 105'000.0 + R.nextDouble() * 235'000.0 // Medium.
+                          : R.nextExponential(4'000.0);            // Short.
+    size_t Index = acquireSlot(O);
+    Deaths.push({H.now() + static_cast<core::AllocClock>(Lifetime), Index});
+  }
+
+  void releaseDead() {
+    while (!Deaths.empty() && Deaths.top().DeathClock <= H.now()) {
+      size_t Index = Deaths.top().SlotIndex;
+      Deaths.pop();
+      slotAt(Index) = nullptr;
+      FreeSlots.push_back(Index);
+    }
+  }
+
+  runtime::Heap &H;
+  runtime::HandleScope &Scope;
+  Rng R;
+  std::vector<runtime::Object **> Slots;
+  std::vector<size_t> FreeSlots;
+  std::priority_queue<Pending> Deaths;
+};
+
+} // namespace report
+} // namespace dtb
+
+#endif // DTB_REPORT_GHOSTMUTATOR_H

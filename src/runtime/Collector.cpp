@@ -70,13 +70,20 @@ core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
   Demographics.endScavenge(Clock);
   BytesSinceCollect = 0;
 
-  if (telemetry::enabled())
-    emitScavengeTelemetry(History.last());
-
   // The full trace just visited every survivor; restore write-barrier
   // completeness by re-deriving the set from the live heap.
-  if (RebuildRemSet)
+  if (RebuildRemSet) {
+    profiling::ProfilePhase Phase(&Profiler,
+                                  profiling::phase::RemSetRebuild);
     rebuildRememberedSet();
+    Phase.addCost(RemSet.size());
+  }
+
+  // Close this scavenge's phase tree (the policy-decision phase recorded
+  // by collect() is part of it) before telemetry walks it.
+  Profiler.finishScavenge();
+  if (telemetry::enabled())
+    emitScavengeTelemetry(History.last());
   InCollection = false;
 
   if (Config.LogStream) {
@@ -131,8 +138,10 @@ void Heap::emitScavengeTelemetry(const core::ScavengeRecord &Record) {
   };
   tm::recorder().emit(std::move(Pause));
 
-  // TB decision instant: where the boundary landed and which policy rule
-  // put it there.
+  // TB decision instant: where the boundary landed, which policy rule put
+  // it there, and — when collect() captured one — the full decision
+  // explanation: the budgets the policy worked against, the history epoch
+  // it picked, and what it predicted the scavenge would trace and reclaim.
   tm::Event Tb;
   Tb.Phase = tm::EventPhase::Instant;
   Tb.Track = TelemetryTrack;
@@ -140,7 +149,58 @@ void Heap::emitScavengeTelemetry(const core::ScavengeRecord &Record) {
   Tb.ScavengeIndex = Record.Index;
   Tb.TsClock = Record.Time;
   Tb.Args = {tm::arg("tb", Record.Boundary), tm::arg("rule", Rule)};
+  if (PendingDecisionValid) {
+    const core::BoundaryDecision &D = LastDecision;
+    if (D.TraceMaxBytes != 0)
+      Tb.Args.push_back(tm::arg("trace_max_bytes", D.TraceMaxBytes));
+    if (D.MemMaxBytes != 0)
+      Tb.Args.push_back(tm::arg("mem_max_bytes", D.MemMaxBytes));
+    if (D.CandidateEpoch >= 0)
+      Tb.Args.push_back(
+          tm::arg("candidate_epoch", static_cast<uint64_t>(D.CandidateEpoch)));
+    if (D.LiveEstimateBytes != 0)
+      Tb.Args.push_back(tm::arg("live_estimate_bytes", D.LiveEstimateBytes));
+    if (D.HasPrediction) {
+      Tb.Args.push_back(
+          tm::arg("predicted_traced_bytes", D.PredictedTracedBytes));
+      Tb.Args.push_back(
+          tm::arg("predicted_garbage_bytes", D.PredictedGarbageBytes));
+    }
+  }
   tm::recorder().emit(std::move(Tb));
+
+  // Phase spans: the scavenge's cost-attribution tree as nested spans.
+  // Timestamps are synthesized by laying children out inside their parent
+  // in recorded order (cost units double as span length), so a trace
+  // viewer renders the nesting even though the real clock never advances
+  // during a stop-the-world pause.
+  const auto &Nodes = Profiler.lastTree();
+  if (!Nodes.empty()) {
+    std::vector<uint64_t> StartOffset(Nodes.size(), 0);
+    std::vector<uint64_t> Consumed(Nodes.size(), 0);
+    uint64_t RootConsumed = 0;
+    for (size_t I = 0; I != Nodes.size(); ++I) {
+      const profiling::PhaseTreeNode &Node = Nodes[I];
+      if (Node.Parent < 0) {
+        StartOffset[I] = RootConsumed;
+        RootConsumed += Node.TotalCost;
+      } else {
+        size_t P = static_cast<size_t>(Node.Parent);
+        StartOffset[I] = StartOffset[P] + Consumed[P];
+        Consumed[P] += Node.TotalCost;
+      }
+      tm::Event PhaseSpan;
+      PhaseSpan.Phase = tm::EventPhase::Span;
+      PhaseSpan.Track = TelemetryTrack;
+      PhaseSpan.Name = std::string("phase.") + Node.Name;
+      PhaseSpan.ScavengeIndex = Record.Index;
+      PhaseSpan.TsClock = Record.Time + StartOffset[I];
+      PhaseSpan.DurMillis = static_cast<double>(Node.TotalCost) / 1000.0;
+      PhaseSpan.Args = {tm::arg("self_cost", Node.SelfCost),
+                        tm::arg("total_cost", Node.TotalCost)};
+      tm::recorder().emit(std::move(PhaseSpan));
+    }
+  }
 
   // Residency counter series (Fig. 2's y-axis, post-scavenge points).
   tm::Event Resident;
@@ -177,43 +237,61 @@ Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
     Worklist.push_back(O);
   };
 
-  for (Object **Root : GlobalRoots)
-    markIfThreatened(*Root);
-  for (Object *Handle : HandleSlots)
-    markIfThreatened(Handle);
-  // Pinned objects survive unconditionally: threatened ones are marked
-  // (and traced) here; immune ones are untouchable anyway, and their
-  // forward-in-time pointers are covered by the remembered set like any
-  // other immune object's.
-  for (Object *PinnedObject : Pinned)
-    markIfThreatened(PinnedObject);
+  // Each marking phase's cost is the bytes it discovered (the delta of
+  // Work.TracedBytes): root objects bill to root_scan, boundary-crossing
+  // targets to remset_scan, everything transitively reached to trace.
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::RootScan);
+    uint64_t Before = Work.TracedBytes;
+    for (Object **Root : GlobalRoots)
+      markIfThreatened(*Root);
+    for (Object *Handle : HandleSlots)
+      markIfThreatened(Handle);
+    // Pinned objects survive unconditionally: threatened ones are marked
+    // (and traced) here; immune ones are untouchable anyway, and their
+    // forward-in-time pointers are covered by the remembered set like any
+    // other immune object's.
+    for (Object *PinnedObject : Pinned)
+      markIfThreatened(PinnedObject);
+    Phase.addCost(Work.TracedBytes - Before);
+  }
 
   // Remembered-set roots: entries whose source is immune and whose current
   // value crosses the boundary. Entries are re-validated against the live
   // slot contents; ones that are no longer forward-in-time pointers
   // (overwritten or cleared) are pruned.
-  RemSet.forEachAndPrune([&](Object *Source, uint32_t SlotIndex) {
-    assert(Source->isAlive() && "remembered set names a dead source");
-    Object *Target = Source->slot(SlotIndex);
-    if (!Target || Target->birth() <= Source->birth()) {
-      LastStats.RememberedSetPruned += 1;
-      return false; // Stale: no longer a forward-in-time pointer.
-    }
-    if (Source->birth() <= Boundary && Target->birth() > Boundary) {
-      LastStats.RememberedSetRoots += 1;
-      markIfThreatened(Target);
-    }
-    return true;
-  });
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::RemSetScan);
+    uint64_t Before = Work.TracedBytes;
+    RemSet.forEachAndPrune([&](Object *Source, uint32_t SlotIndex) {
+      assert(Source->isAlive() && "remembered set names a dead source");
+      Object *Target = Source->slot(SlotIndex);
+      if (!Target || Target->birth() <= Source->birth()) {
+        LastStats.RememberedSetPruned += 1;
+        return false; // Stale: no longer a forward-in-time pointer.
+      }
+      if (Source->birth() <= Boundary && Target->birth() > Boundary) {
+        LastStats.RememberedSetRoots += 1;
+        markIfThreatened(Target);
+      }
+      return true;
+    });
+    Phase.addCost(Work.TracedBytes - Before);
+  }
 
-  while (!Worklist.empty()) {
-    Object *O = Worklist.back();
-    Worklist.pop_back();
-    // Trace only within the threatened set: pointers to immune objects
-    // need no action (immune objects are assumed live), and pointers out
-    // of immune objects were handled through the remembered set.
-    for (uint32_t I = 0, E = O->numSlots(); I != E; ++I)
-      markIfThreatened(O->slot(I));
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::Trace);
+    uint64_t Before = Work.TracedBytes;
+    while (!Worklist.empty()) {
+      Object *O = Worklist.back();
+      Worklist.pop_back();
+      // Trace only within the threatened set: pointers to immune objects
+      // need no action (immune objects are assumed live), and pointers out
+      // of immune objects were handled through the remembered set.
+      for (uint32_t I = 0, E = O->numSlots(); I != E; ++I)
+        markIfThreatened(O->slot(I));
+    }
+    Phase.addCost(Work.TracedBytes - Before);
   }
 
   // --- Weak-reference processing ------------------------------------------
@@ -221,28 +299,36 @@ Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
   // dangle: clear it. Weak references to immune objects (including immune
   // garbage) are untouched — clearing waits for the boundary to reach the
   // target.
-  for (WeakRef *Weak : WeakRefs) {
-    Object *Target = Weak->get();
-    if (Target && Target->birth() > Boundary && !Target->isMarked())
-      Weak->set(nullptr);
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::WeakRefs);
+    Phase.addCost(WeakRefs.size());
+    for (WeakRef *Weak : WeakRefs) {
+      Object *Target = Weak->get();
+      if (Target && Target->birth() > Boundary && !Target->isMarked())
+        Weak->set(nullptr);
+    }
   }
 
   // --- Sweep phase ------------------------------------------------------
   // Compact the threatened suffix of the birth-ordered allocation list in
   // place; the immune prefix is untouched.
-  size_t Begin = firstBornAfter(Boundary);
-  size_t Out = Begin;
-  for (size_t I = Begin, E = Objects.size(); I != E; ++I) {
-    Object *O = Objects[I];
-    if (O->isMarked()) {
-      O->clearMarked();
-      Objects[Out++] = O;
-      continue;
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::Sweep);
+    size_t Begin = firstBornAfter(Boundary);
+    size_t Out = Begin;
+    for (size_t I = Begin, E = Objects.size(); I != E; ++I) {
+      Object *O = Objects[I];
+      if (O->isMarked()) {
+        O->clearMarked();
+        Objects[Out++] = O;
+        continue;
+      }
+      Work.ReclaimedBytes += O->grossBytes();
+      LastStats.ObjectsReclaimed += 1;
+      reclaimObject(O);
     }
-    Work.ReclaimedBytes += O->grossBytes();
-    LastStats.ObjectsReclaimed += 1;
-    reclaimObject(O);
+    Objects.resize(Out);
+    Phase.addCost(Work.ReclaimedBytes);
   }
-  Objects.resize(Out);
   return Work;
 }

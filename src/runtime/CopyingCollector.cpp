@@ -76,59 +76,81 @@ Heap::ScavengeWork Heap::runCopying(AllocClock Boundary) {
   };
 
   // --- Roots ------------------------------------------------------------
-  for (Object **Root : GlobalRoots)
-    if (isThreatened(*Root))
-      *Root = relocate(*Root);
-  for (Object *&Handle : HandleSlots)
-    if (isThreatened(Handle))
-      Handle = relocate(Handle);
-  for (Object *PinnedObject : Pinned)
-    if (isThreatened(PinnedObject))
-      relocate(PinnedObject); // Traced in place; address unchanged.
+  // Phase costs mirror the mark-sweep strategy: bytes evacuated during
+  // each phase (the Work.TracedBytes delta); the transitive scan is the
+  // promote phase — it is where survivors get copied out of the region.
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::RootScan);
+    uint64_t Before = Work.TracedBytes;
+    for (Object **Root : GlobalRoots)
+      if (isThreatened(*Root))
+        *Root = relocate(*Root);
+    for (Object *&Handle : HandleSlots)
+      if (isThreatened(Handle))
+        Handle = relocate(Handle);
+    for (Object *PinnedObject : Pinned)
+      if (isThreatened(PinnedObject))
+        relocate(PinnedObject); // Traced in place; address unchanged.
+    Phase.addCost(Work.TracedBytes - Before);
+  }
 
   // Remembered-set roots: immune sources holding pointers across the
   // boundary get their slots rewritten to the relocated targets. Stale
   // entries are pruned exactly as in the mark-sweep strategy.
-  RemSet.forEachAndPrune([&](Object *Source, uint32_t SlotIndex) {
-    assert(Source->isAlive() && "remembered set names a dead source");
-    Object *Target = Source->slot(SlotIndex);
-    if (!Target || Target->birth() <= Source->birth()) {
-      LastStats.RememberedSetPruned += 1;
-      return false;
-    }
-    if (Source->birth() <= Boundary && isThreatened(Target)) {
-      LastStats.RememberedSetRoots += 1;
-      Source->setSlotRaw(SlotIndex, relocate(Target));
-    }
-    return true;
-  });
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::RemSetScan);
+    uint64_t Before = Work.TracedBytes;
+    RemSet.forEachAndPrune([&](Object *Source, uint32_t SlotIndex) {
+      assert(Source->isAlive() && "remembered set names a dead source");
+      Object *Target = Source->slot(SlotIndex);
+      if (!Target || Target->birth() <= Source->birth()) {
+        LastStats.RememberedSetPruned += 1;
+        return false;
+      }
+      if (Source->birth() <= Boundary && isThreatened(Target)) {
+        LastStats.RememberedSetRoots += 1;
+        Source->setSlotRaw(SlotIndex, relocate(Target));
+      }
+      return true;
+    });
+    Phase.addCost(Work.TracedBytes - Before);
+  }
 
   // --- Transitive evacuation ---------------------------------------------
   // Scan copies (and pinned survivors) for pointers into the threatened
   // region; such targets are themselves relocated and the slots fixed up.
   // Slots referencing immune objects are left alone — immune objects do
   // not move.
-  while (!ScanList.empty()) {
-    Object *O = ScanList.back();
-    ScanList.pop_back();
-    for (uint32_t I = 0, E = O->numSlots(); I != E; ++I) {
-      Object *Target = O->slot(I);
-      if (isThreatened(Target))
-        O->setSlotRaw(I, relocate(Target));
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::Promote);
+    uint64_t Before = Work.TracedBytes;
+    while (!ScanList.empty()) {
+      Object *O = ScanList.back();
+      ScanList.pop_back();
+      for (uint32_t I = 0, E = O->numSlots(); I != E; ++I) {
+        Object *Target = O->slot(I);
+        if (isThreatened(Target))
+          O->setSlotRaw(I, relocate(Target));
+      }
     }
+    Phase.addCost(Work.TracedBytes - Before);
   }
 
   // --- Weak-reference processing ------------------------------------------
   // Weak references follow moved targets and are cleared when the target
   // did not survive; references to immune or pinned objects are untouched.
-  for (WeakRef *Weak : WeakRefs) {
-    Object *Target = Weak->get();
-    if (!isThreatened(Target))
-      continue;
-    if (auto It = Forwarding.find(Target); It != Forwarding.end())
-      Weak->set(It->second);
-    else if (!Target->isMarked()) // Marked == pinned survivor, in place.
-      Weak->set(nullptr);
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::WeakRefs);
+    Phase.addCost(WeakRefs.size());
+    for (WeakRef *Weak : WeakRefs) {
+      Object *Target = Weak->get();
+      if (!isThreatened(Target))
+        continue;
+      if (auto It = Forwarding.find(Target); It != Forwarding.end())
+        Weak->set(It->second);
+      else if (!Target->isMarked()) // Marked == pinned survivor, in place.
+        Weak->set(nullptr);
+    }
   }
 
   // --- Remembered-set rekeying -------------------------------------------
@@ -149,29 +171,33 @@ Heap::ScavengeWork Heap::runCopying(AllocClock Boundary) {
   // Substitute survivors into the birth-ordered allocation list (births
   // travel with copies, so in-place substitution preserves the order) and
   // release every non-pinned original in the threatened region at once.
-  size_t Begin = firstBornAfter(Boundary);
-  size_t Out = Begin;
-  for (size_t I = Begin, E = Objects.size(); I != E; ++I) {
-    Object *O = Objects[I];
-    if (O->isMarked()) { // Pinned survivor.
-      O->clearMarked();
-      Objects[Out++] = O;
-      continue;
-    }
-    auto It = Forwarding.find(O);
-    if (It != Forwarding.end()) {
-      Objects[Out++] = It->second;
-      // The original's storage is released; a stale raw pointer held by
-      // the mutator across this collection is a bug the quarantine canary
-      // will catch.
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::Sweep);
+    size_t Begin = firstBornAfter(Boundary);
+    size_t Out = Begin;
+    for (size_t I = Begin, E = Objects.size(); I != E; ++I) {
+      Object *O = Objects[I];
+      if (O->isMarked()) { // Pinned survivor.
+        O->clearMarked();
+        Objects[Out++] = O;
+        continue;
+      }
+      auto It = Forwarding.find(O);
+      if (It != Forwarding.end()) {
+        Objects[Out++] = It->second;
+        // The original's storage is released; a stale raw pointer held by
+        // the mutator across this collection is a bug the quarantine canary
+        // will catch.
+        releaseStorage(O);
+        continue;
+      }
+      Work.ReclaimedBytes += O->grossBytes();
+      LastStats.ObjectsReclaimed += 1;
       releaseStorage(O);
-      continue;
     }
-    Work.ReclaimedBytes += O->grossBytes();
-    LastStats.ObjectsReclaimed += 1;
-    releaseStorage(O);
+    Objects.resize(Out);
+    Phase.addCost(Work.ReclaimedBytes);
   }
-  Objects.resize(Out);
   return Work;
 }
 

@@ -280,6 +280,13 @@ core::ScavengeRecord Heap::collect() {
   Request.DegradationNote = &Note;
   std::string Rule = "unspecified";
   Request.RuleFired = &Rule;
+  Request.Profiler = &Profiler;
+  core::BoundaryDecision Decision;
+  // The decision explanation drives the telemetry "tb" instant; fill it
+  // only when that instant will be emitted (the extra demographic queries
+  // it costs are value-pure, so this cannot change the boundary).
+  if (telemetry::enabled())
+    Request.Decision = &Decision;
 
   // The FIXED1 boundary t_{n-1}: threatens only the newest interval, needs
   // no demographics, and is always admissible — the standing fallback when
@@ -299,6 +306,8 @@ core::ScavengeRecord Heap::collect() {
       // Decision latency is wall time: it goes to the "wall." metrics,
       // never the deterministic event stream.
       telemetry::TelemetrySpan Span("runtime.policy_decision");
+      profiling::ProfilePhase Phase(&Profiler,
+                                    profiling::phase::PolicyDecision);
       Boundary = Policy->chooseBoundary(Request);
     }
     if (!Note.empty())
@@ -322,8 +331,12 @@ core::ScavengeRecord Heap::collect() {
   LastRule = Rule;
   LastNote = Note;
   PendingRule = std::move(Rule);
+  LastDecision = Decision;
+  LastDecisionValid = Request.Decision != nullptr;
+  PendingDecisionValid = LastDecisionValid;
   core::ScavengeRecord Record = collectAtBoundary(Boundary);
   PendingRule.clear();
+  PendingDecisionValid = false;
   return Record;
 }
 

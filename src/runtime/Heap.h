@@ -41,6 +41,7 @@
 
 #include "core/BoundaryPolicy.h"
 #include "core/ScavengeHistory.h"
+#include "profiling/Profiler.h"
 #include "runtime/Degradation.h"
 #include "runtime/EpochDemographics.h"
 #include "runtime/Object.h"
@@ -206,6 +207,21 @@ public:
   /// (empty when it ran clean).
   const std::string &lastDegradationNote() const { return LastNote; }
 
+  /// The heap's phase profiler. Collections attribute their work to the
+  /// shared phase taxonomy (profiling/Profiler.h) whenever the profiler is
+  /// active — explicitly enabled via profiler().setEnabled(true), or
+  /// implicitly whenever telemetry is recording. Costs are deterministic
+  /// (bytes traced/reclaimed, demographic queries); wall time rides along
+  /// as a quarantined side channel.
+  profiling::PhaseProfiler &profiler() { return Profiler; }
+  const profiling::PhaseProfiler &profiler() const { return Profiler; }
+
+  /// The decision explanation the policy filled during the most recent
+  /// collect() (inputs, candidate epoch, predictions). Only populated
+  /// while telemetry is enabled; check lastDecisionValid().
+  const core::BoundaryDecision &lastDecision() const { return LastDecision; }
+  bool lastDecisionValid() const { return LastDecisionValid; }
+
   const core::ScavengeHistory &history() const { return History; }
   const CollectionStats &lastCollectionStats() const { return LastStats; }
   const RememberedSet &rememberedSet() const { return RemSet; }
@@ -297,6 +313,16 @@ private:
   /// Optional exact-demographics stand-in for policy requests (see
   /// setDemographicsOverride). Not owned.
   const core::Demographics *DemoOverride = nullptr;
+
+  /// Phase-level cost attribution for this heap's collections.
+  profiling::PhaseProfiler Profiler;
+  /// Decision explanation from the most recent collect() (see
+  /// lastDecision()); valid only when LastDecisionValid.
+  core::BoundaryDecision LastDecision;
+  bool LastDecisionValid = false;
+  /// True while collectAtBoundary is running on behalf of collect(), i.e.
+  /// the pending rule/decision describe this scavenge.
+  bool PendingDecisionValid = false;
 
   core::AllocClock Clock = 0;
   uint64_t ResidentBytes = 0;

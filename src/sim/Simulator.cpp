@@ -88,12 +88,21 @@ SimulationResult dtb::sim::simulate(const trace::Trace &T,
       Request.RuleFired = &Rule;
     if (Config.OnScavenge)
       Request.DegradationNote = &Note;
+    Request.Profiler = Config.Profiler;
+    core::BoundaryDecision Decision;
+    // The decision explanation feeds the telemetry "tb" instant; the
+    // extra demographic queries it costs are value-pure, so asking them
+    // only when the instant will be emitted cannot change the run.
+    if (Telemetry)
+      Request.Decision = &Decision;
 
     AllocClock Boundary;
     {
       // Decision latency is wall time: it lands in the "wall." metrics
       // only, never the deterministic event stream.
       telemetry::TelemetrySpan Span("sim.policy_decision");
+      profiling::ProfilePhase Phase(Config.Profiler,
+                                    profiling::phase::PolicyDecision);
       Boundary = Policy.chooseBoundary(Request);
     }
     if (Boundary > Now)
@@ -104,6 +113,24 @@ SimulationResult dtb::sim::simulate(const trace::Trace &T,
     recordCurvePoint(/*AfterScavenge=*/false);
 
     ScavengeOutcome Outcome = Heap.scavenge(Now, Boundary);
+
+    // The heap model scavenges atomically, so the trace and sweep phases
+    // are attributed from the outcome figures (bytes traced, bytes
+    // reclaimed) — the same cost units the runtime collector bills from
+    // inside its loops.
+    if (Config.Profiler && Config.Profiler->active()) {
+      {
+        profiling::ProfilePhase Phase(Config.Profiler,
+                                      profiling::phase::Trace);
+        Phase.addCost(Outcome.TracedBytes);
+      }
+      {
+        profiling::ProfilePhase Phase(Config.Profiler,
+                                      profiling::phase::Sweep);
+        Phase.addCost(Outcome.ReclaimedBytes);
+      }
+      Config.Profiler->finishScavenge();
+    }
 
     core::ScavengeRecord Record;
     Record.Index = Index;
@@ -152,6 +179,22 @@ SimulationResult dtb::sim::simulate(const trace::Trace &T,
       Tb.ScavengeIndex = Index;
       Tb.TsClock = Now;
       Tb.Args = {tm::arg("tb", Boundary), tm::arg("rule", Rule)};
+      if (Decision.TraceMaxBytes != 0)
+        Tb.Args.push_back(tm::arg("trace_max_bytes", Decision.TraceMaxBytes));
+      if (Decision.MemMaxBytes != 0)
+        Tb.Args.push_back(tm::arg("mem_max_bytes", Decision.MemMaxBytes));
+      if (Decision.CandidateEpoch >= 0)
+        Tb.Args.push_back(tm::arg(
+            "candidate_epoch", static_cast<uint64_t>(Decision.CandidateEpoch)));
+      if (Decision.LiveEstimateBytes != 0)
+        Tb.Args.push_back(
+            tm::arg("live_estimate_bytes", Decision.LiveEstimateBytes));
+      if (Decision.HasPrediction) {
+        Tb.Args.push_back(
+            tm::arg("predicted_traced_bytes", Decision.PredictedTracedBytes));
+        Tb.Args.push_back(
+            tm::arg("predicted_garbage_bytes", Decision.PredictedGarbageBytes));
+      }
       tm::recorder().emit(std::move(Tb));
 
       tm::Event Resident;

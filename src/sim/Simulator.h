@@ -20,6 +20,7 @@
 #include "core/BoundaryPolicy.h"
 #include "core/MachineModel.h"
 #include "core/ScavengeHistory.h"
+#include "profiling/Profiler.h"
 #include "sim/HeapModel.h"
 #include "support/Statistics.h"
 #include "trace/Trace.h"
@@ -93,6 +94,12 @@ struct SimulatorConfig {
   /// forces the rule-fired and degradation-note sinks on, independent of
   /// telemetry.
   ScavengeObserver OnScavenge;
+  /// Optional phase profiler: the simulator attributes each scavenge's
+  /// work to the shared phase taxonomy (profiling/Profiler.h) — policy
+  /// decision and boundary search by demographic-query count, trace and
+  /// sweep by bytes — so sim profiles line up with runtime profiles row
+  /// for row. Not owned; one profiler per concurrent simulate() call.
+  profiling::PhaseProfiler *Profiler = nullptr;
 };
 
 /// One point of the Figure-2-style memory curve.

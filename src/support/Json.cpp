@@ -1,0 +1,280 @@
+//===- support/Json.cpp ---------------------------------------------------==//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace dtb;
+using namespace dtb::json;
+
+namespace dtb {
+namespace json {
+
+/// Recursive-descent parser over the whole input string.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  bool run(Value *Out, std::string *Error) {
+    skipSpace();
+    if (!value(Out))
+      return fail(Error);
+    skipSpace();
+    if (Pos != Text.size()) {
+      Message = "trailing characters after the top-level value";
+      return fail(Error);
+    }
+    return true;
+  }
+
+private:
+  bool fail(std::string *Error) const {
+    if (Error)
+      *Error = Message.empty()
+                   ? "malformed JSON at offset " + std::to_string(Pos)
+                   : Message + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = 0;
+    while (Word[Len])
+      ++Len;
+    if (Text.compare(Pos, Len, Word) != 0) {
+      Message = std::string("expected '") + Word + "'";
+      return false;
+    }
+    Pos += Len;
+    return true;
+  }
+
+  bool value(Value *Out) {
+    if (Pos >= Text.size()) {
+      Message = "unexpected end of input";
+      return false;
+    }
+    switch (Text[Pos]) {
+    case '{':
+      return object(Out);
+    case '[':
+      return array(Out);
+    case '"':
+      Out->K = Value::Kind::String;
+      return string(&Out->Str);
+    case 't':
+      Out->K = Value::Kind::Bool;
+      Out->Flag = true;
+      return literal("true");
+    case 'f':
+      Out->K = Value::Kind::Bool;
+      Out->Flag = false;
+      return literal("false");
+    case 'n':
+      Out->K = Value::Kind::Null;
+      return literal("null");
+    default:
+      return number(Out);
+    }
+  }
+
+  bool number(Value *Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    auto digits = [&] {
+      size_t Before = Pos;
+      while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(
+                                      Text[Pos])))
+        ++Pos;
+      return Pos != Before;
+    };
+    if (!digits()) {
+      Message = "expected a number";
+      Pos = Start;
+      return false;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (!digits()) {
+        Message = "expected digits after the decimal point";
+        return false;
+      }
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (!digits()) {
+        Message = "expected exponent digits";
+        return false;
+      }
+    }
+    Out->K = Value::Kind::Number;
+    Out->Str = Text.substr(Start, Pos - Start);
+    Out->Num = std::strtod(Out->Str.c_str(), nullptr);
+    return true;
+  }
+
+  bool string(std::string *Out) {
+    if (!consume('"')) {
+      Message = "expected '\"'";
+      return false;
+    }
+    Out->clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        *Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        *Out += E;
+        break;
+      case 'b':
+        *Out += '\b';
+        break;
+      case 'f':
+        *Out += '\f';
+        break;
+      case 'n':
+        *Out += '\n';
+        break;
+      case 'r':
+        *Out += '\r';
+        break;
+      case 't':
+        *Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          Message = "truncated \\u escape";
+          return false;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else {
+            Message = "bad hex digit in \\u escape";
+            return false;
+          }
+        }
+        // The emitters only escape control characters; encode the code
+        // point as UTF-8 (no surrogate-pair handling — none is produced).
+        if (Code < 0x80) {
+          *Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          *Out += static_cast<char>(0xC0 | (Code >> 6));
+          *Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          *Out += static_cast<char>(0xE0 | (Code >> 12));
+          *Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          *Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        Message = "unknown escape";
+        return false;
+      }
+    }
+    Message = "unterminated string";
+    return false;
+  }
+
+  bool array(Value *Out) {
+    consume('[');
+    Out->K = Value::Kind::Array;
+    skipSpace();
+    if (consume(']'))
+      return true;
+    while (true) {
+      Value Item;
+      skipSpace();
+      if (!value(&Item))
+        return false;
+      Out->Items.push_back(std::move(Item));
+      skipSpace();
+      if (consume(']'))
+        return true;
+      if (!consume(',')) {
+        Message = "expected ',' or ']'";
+        return false;
+      }
+    }
+  }
+
+  bool object(Value *Out) {
+    consume('{');
+    Out->K = Value::Kind::Object;
+    skipSpace();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipSpace();
+      std::string Key;
+      if (!string(&Key))
+        return false;
+      skipSpace();
+      if (!consume(':')) {
+        Message = "expected ':'";
+        return false;
+      }
+      Value Member;
+      skipSpace();
+      if (!value(&Member))
+        return false;
+      Out->Members.emplace_back(std::move(Key), std::move(Member));
+      skipSpace();
+      if (consume('}'))
+        return true;
+      if (!consume(',')) {
+        Message = "expected ',' or '}'";
+        return false;
+      }
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Message;
+};
+
+} // namespace json
+} // namespace dtb
+
+bool dtb::json::parse(const std::string &Text, Value *Out,
+                      std::string *Error) {
+  *Out = Value();
+  return Parser(Text).run(Out, Error);
+}

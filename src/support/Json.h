@@ -1,0 +1,101 @@
+//===- support/Json.h - Minimal JSON document model -------------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON value model and recursive-descent parser for the tools
+/// that must read structured records back (bench_compare diffing two
+/// BENCH_*.json files, tests round-tripping exporter output). Writing
+/// stays with the producers — each emitter controls its own formatting —
+/// so this is deliberately read-only: parse, navigate, done.
+///
+/// Standard JSON only (RFC 8259): no comments, no trailing commas.
+/// Object member order is preserved so diagnostics can point at the
+/// offending position in the input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_SUPPORT_JSON_H
+#define DTB_SUPPORT_JSON_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtb {
+namespace json {
+
+/// One JSON value. Numbers are stored as double (plus the source text for
+/// exact round-trip comparisons); objects as order-preserving key/value
+/// sequences with linear lookup — the documents this parses are small.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return Flag; }
+  double asDouble() const { return Num; }
+  /// The number's exact source spelling (Number values only).
+  const std::string &numberText() const { return Str; }
+  const std::string &asString() const { return Str; }
+
+  size_t size() const {
+    return K == Kind::Array ? Items.size() : Members.size();
+  }
+  const Value &at(size_t I) const { return Items[I]; }
+  const std::vector<Value> &items() const { return Items; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *find(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[Name, V] : Members)
+      if (Name == Key)
+        return &V;
+    return nullptr;
+  }
+
+  /// Convenience: member \p Key as a double, or \p Default when absent or
+  /// non-numeric.
+  double numberOr(const std::string &Key, double Default) const {
+    const Value *V = find(Key);
+    return V && V->isNumber() ? V->asDouble() : Default;
+  }
+  /// Convenience: member \p Key as a string, or \p Default.
+  std::string stringOr(const std::string &Key, std::string Default) const {
+    const Value *V = find(Key);
+    return V && V->isString() ? V->asString() : std::move(Default);
+  }
+
+private:
+  friend class Parser;
+  Kind K = Kind::Null;
+  bool Flag = false;
+  double Num = 0.0;
+  std::string Str; // String payload, or the number's source text.
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parses \p Text into \p Out. On failure returns false and, when
+/// \p Error is non-null, stores a one-line diagnostic with the byte
+/// offset of the problem.
+bool parse(const std::string &Text, Value *Out, std::string *Error = nullptr);
+
+} // namespace json
+} // namespace dtb
+
+#endif // DTB_SUPPORT_JSON_H

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "report/BenchDriver.h"
 #include "report/Experiments.h"
 #include "report/SeedSweep.h"
 
@@ -127,6 +128,49 @@ TEST(ParallelEquivalenceTest, SeedSweepMatchesSerial) {
     expectIdentical(Serial.LiveMeanKB[I].second,
                     Parallel.LiveMeanKB[I].second,
                     Serial.LiveMeanKB[I].first + " LiveMeanKB");
+}
+
+TEST(ParallelEquivalenceTest, BenchRecordBitIdenticalAcrossThreads) {
+  // The continuous-perf gate depends on this: a BENCH record produced
+  // without wall metrics or env identity is byte-for-byte the same JSON
+  // for any worker count — including every per-phase allocation-clock
+  // attribution — so a --threads 4 CI run compares clean against a
+  // --threads 1 baseline.
+  BenchDriverOptions Options;
+  Options.Suite = "quick";
+  Options.IncludeWall = false;
+  Options.IncludeEnv = false;
+
+  Options.Threads = 1;
+  BenchSuiteResult Serial = runBenchSuite(Options);
+  std::string SerialJson = toJson(Serial.Record);
+  for (unsigned Threads : {2u, 4u}) {
+    Options.Threads = Threads;
+    BenchSuiteResult Parallel = runBenchSuite(Options);
+    EXPECT_EQ(toJson(Parallel.Record), SerialJson)
+        << "BENCH record differs at " << Threads << " threads";
+
+    // The merged per-domain phase attributions agree entry by entry, not
+    // just through the serialized record.
+    ASSERT_EQ(Serial.Profiles.size(), Parallel.Profiles.size());
+    for (const auto &[Domain, Profile] : Serial.Profiles) {
+      ASSERT_TRUE(Parallel.Profiles.count(Domain)) << Domain;
+      const auto &A = Profile.aggregates();
+      const auto &B = Parallel.Profiles.at(Domain).aggregates();
+      ASSERT_EQ(A.size(), B.size()) << Domain;
+      for (const auto &[Name, Agg] : A) {
+        ASSERT_TRUE(B.count(Name)) << Domain << "/" << Name;
+        EXPECT_EQ(Agg.Count, B.at(Name).Count) << Domain << "/" << Name;
+        EXPECT_EQ(Agg.SelfCost, B.at(Name).SelfCost)
+            << Domain << "/" << Name;
+        EXPECT_EQ(Agg.TotalCost, B.at(Name).TotalCost)
+            << Domain << "/" << Name;
+        EXPECT_EQ(Agg.SelfCostSamples.samples(),
+                  B.at(Name).SelfCostSamples.samples())
+            << Domain << "/" << Name;
+      }
+    }
+  }
 }
 
 TEST(ParallelEquivalenceTest, RepeatedParallelRunsAreDeterministic) {
