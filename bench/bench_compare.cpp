@@ -61,6 +61,10 @@ int main(int Argc, char **Argv) {
   Parser.addDouble("rel-threshold",
                    "Relative component of the wall noise threshold",
                    &Options.RelThreshold);
+  Parser.addDouble("tail-threshold",
+                   "Relative component applied to tail metrics (pause "
+                   "quantiles, per-quantum maxima) instead of rel-threshold",
+                   &Options.TailRelThreshold);
   Parser.addDouble("mad-multiplier",
                    "MAD multiple component of the wall noise threshold",
                    &Options.MadMultiplier);

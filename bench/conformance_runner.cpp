@@ -50,8 +50,11 @@ struct CaseOutcome {
 };
 
 std::string caseLabel(const Case &C) {
-  return C.Config.PolicyName + "/" + C.Name + "/" +
-         linkModeName(C.Config.Links);
+  std::string Label = C.Config.PolicyName + "/" + C.Name + "/" +
+                      linkModeName(C.Config.Links);
+  if (C.Config.Collector == runtime::CollectorKind::Copying)
+    Label += "/copying";
+  return Label;
 }
 
 /// Runs one grid cell; on divergence shrinks and writes artifacts.
@@ -73,6 +76,8 @@ CaseOutcome runCase(const Case &C, const std::string &ArtifactsDir) {
   Outcome.ReproducerRecords = Shrunk.Reproducer.records().size();
   std::string CaseName = C.Config.PolicyName + "_" + C.Name + "_" +
                          linkModeName(C.Config.Links);
+  if (C.Config.Collector == runtime::CollectorKind::Copying)
+    CaseName += "_copying";
   std::string Error;
   std::optional<ArtifactPaths> Paths = writeDivergenceArtifacts(
       ArtifactsDir, CaseName, Shrunk.Reproducer, C.Config, Shrunk.Final,
@@ -138,6 +143,9 @@ int main(int Argc, char **Argv) {
   bool SelfTestArtifacts = false;
   std::string ArtifactsDir = "conformance-artifacts";
   std::string LinksOpt = "forward";
+  std::string CollectorOpt = "marksweep";
+  uint64_t TraceLanes = 1;
+  uint64_t ScavengeBudget = 0;
   uint64_t Threads = 0;
   uint64_t TriggerBytes = 0; // 0 = mode default
   uint64_t TraceMaxBytes = 0;
@@ -163,6 +171,17 @@ int main(int Argc, char **Argv) {
   Parser.addString("links",
                    "Pointer traffic: none, forward, backward, or all",
                    &LinksOpt);
+  Parser.addString("collector",
+                   "Runtime strategy under test: marksweep, copying, or both",
+                   &CollectorOpt);
+  Parser.addUInt("trace-lanes",
+                 "Runtime trace lanes per case (1 = serial); any value "
+                 "must leave every comparison unchanged",
+                 &TraceLanes);
+  Parser.addUInt("scavenge-budget",
+                 "Runtime trace quantum budget in bytes (0 = monolithic); "
+                 "any value must leave every comparison unchanged",
+                 &ScavengeBudget);
   Parser.addUInt("trigger", "Bytes allocated between scavenges",
                  &TriggerBytes);
   Parser.addUInt("trace-max", "Pause budget in traced bytes",
@@ -206,6 +225,20 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  std::vector<runtime::CollectorKind> Collectors;
+  if (CollectorOpt == "both")
+    Collectors = {runtime::CollectorKind::MarkSweep,
+                  runtime::CollectorKind::Copying};
+  else if (CollectorOpt == "marksweep")
+    Collectors = {runtime::CollectorKind::MarkSweep};
+  else if (CollectorOpt == "copying")
+    Collectors = {runtime::CollectorKind::Copying};
+  else {
+    std::fprintf(stderr, "unknown --collector value: %s\n",
+                 CollectorOpt.c_str());
+    return 1;
+  }
+
   // Traces, generated once and shared across the grid.
   std::vector<std::pair<std::string, trace::Trace>> Traces;
   if (Quick) {
@@ -222,22 +255,26 @@ int main(int Argc, char **Argv) {
   std::vector<Case> Cases;
   for (const std::string &Policy : core::paperPolicyNames())
     for (const auto &[Name, T] : Traces)
-      for (LinkMode Links : LinkModes) {
-        Case C;
-        C.Name = Name;
-        C.T = &T;
-        C.Config.PolicyName = Policy;
-        C.Config.TriggerBytes = TriggerBytes;
-        C.Config.Policy.TraceMaxBytes = TraceMaxBytes;
-        C.Config.Policy.MemMaxBytes = MemMaxBytes;
-        C.Config.Links = Links;
-        Cases.push_back(std::move(C));
-      }
+      for (LinkMode Links : LinkModes)
+        for (runtime::CollectorKind Collector : Collectors) {
+          Case C;
+          C.Name = Name;
+          C.T = &T;
+          C.Config.PolicyName = Policy;
+          C.Config.TriggerBytes = TriggerBytes;
+          C.Config.Policy.TraceMaxBytes = TraceMaxBytes;
+          C.Config.Policy.MemMaxBytes = MemMaxBytes;
+          C.Config.Links = Links;
+          C.Config.Collector = Collector;
+          C.Config.TraceThreads = static_cast<unsigned>(TraceLanes);
+          C.Config.ScavengeBudgetBytes = ScavengeBudget;
+          Cases.push_back(std::move(C));
+        }
 
   std::printf("conformance: %zu cases (%zu policies x %zu workloads x %zu "
-              "link modes), trigger %llu\n",
+              "link modes x %zu collectors), trigger %llu\n",
               Cases.size(), core::paperPolicyNames().size(), Traces.size(),
-              LinkModes.size(),
+              LinkModes.size(), Collectors.size(),
               static_cast<unsigned long long>(TriggerBytes));
 
   std::vector<CaseOutcome> Outcomes(Cases.size());

@@ -77,6 +77,11 @@ inline constexpr const char *Promote = "promote";
 inline constexpr const char *WeakRefs = "weak_refs";
 inline constexpr const char *Sweep = "sweep";
 inline constexpr const char *RemSetRebuild = "remset_rebuild";
+/// Per-lane work inside a parallel trace round. Lane profilers are merged
+/// (mergeFrom, fixed lane order) into the heap's lane profile — kept apart
+/// from the deterministic scavenge phases because per-lane attribution
+/// depends on scheduling.
+inline constexpr const char *TraceLane = "trace_lane";
 } // namespace phase
 
 /// Cross-run aggregate for one phase name.

@@ -60,6 +60,11 @@ void count(BenchCompareResult &Result, const BenchMetricComparison &Row) {
 
 } // namespace
 
+bool dtb::report::isTailMetric(const std::string &Name) {
+  return Name.find("_p99") != std::string::npos ||
+         Name.find("max_quantum") != std::string::npos;
+}
+
 BenchCompareResult
 dtb::report::compareBenchRecords(const BenchRecord &Baseline,
                                  const BenchRecord &Candidate,
@@ -106,8 +111,10 @@ dtb::report::compareBenchRecords(const BenchRecord &Baseline,
     } else {
       Row.Candidate = Cand->Median;
       Row.DeltaPercent = deltaPercent(Base.Median, Cand->Median);
+      double Rel = isTailMetric(Base.Name) ? Options.TailRelThreshold
+                                           : Options.RelThreshold;
       Row.Threshold =
-          std::max(Options.RelThreshold * std::fabs(Base.Median),
+          std::max(Rel * std::fabs(Base.Median),
                    Options.MadMultiplier * std::max(Base.Mad, Cand->Mad));
       double Delta = Cand->Median - Base.Median;
       if (std::fabs(Delta) <= Row.Threshold) {

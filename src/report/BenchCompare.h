@@ -45,12 +45,21 @@ const char *benchVerdictName(BenchVerdict Verdict);
 struct BenchCompareOptions {
   /// Relative component of the wall noise threshold.
   double RelThreshold = 0.10;
+  /// Relative component applied to *tail* metrics instead of RelThreshold:
+  /// pause quantiles (names containing "_p99") and per-quantum maxima
+  /// ("max_quantum"). Tail regressions are what incremental scavenging
+  /// exists to bound, so they gate tighter than throughput metrics.
+  double TailRelThreshold = 0.05;
   /// MAD multiple component of the wall noise threshold (~3 MADs covers
   /// normal-ish jitter past the 99.7% band).
   double MadMultiplier = 3.0;
   /// Whether baseline metrics absent from the candidate fail the compare.
   bool FailOnMissing = true;
 };
+
+/// True for metrics gated with TailRelThreshold: pause-quantile and
+/// max-per-quantum names ("_p99" also matches "_p999").
+bool isTailMetric(const std::string &Name);
 
 /// One metric's comparison row.
 struct BenchMetricComparison {

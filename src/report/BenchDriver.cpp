@@ -184,7 +184,17 @@ constexpr RuntimeScale FullRuntime = {5'000'000, 100'000, 12'000, 300'000};
 /// One GhostMutator run per policy on the real runtime; serial, so the
 /// record and profile are deterministic by construction. \p Profiled
 /// controls whether heap profilers record (off for pure wall repeats).
-void runRuntimePolicies(const RuntimeScale &Scale, BenchRecord *Record,
+///
+/// When \p Record is set, every policy also runs a second, budget-sliced
+/// pass on \p TraceLanes lanes (ScavengeBudgetBytes = Scale.TraceMaxBytes)
+/// whose exported scavenge stream must match the monolithic serial run
+/// bit for bit — the driver fatals otherwise, so any determinism breach
+/// in the parallel or incremental trace fails the bench rather than
+/// shifting numbers silently. The budgeted pass contributes the
+/// trace_quanta / max_quantum_traced_bytes metrics from one final
+/// full-heap collection, bound-checked against the budget.
+void runRuntimePolicies(const RuntimeScale &Scale, unsigned TraceLanes,
+                        BenchRecord *Record,
                         profiling::PhaseProfiler *Merged) {
   core::PolicyConfig PolicyConfig;
   PolicyConfig.TraceMaxBytes = Scale.TraceMaxBytes;
@@ -222,6 +232,54 @@ void runRuntimePolicies(const RuntimeScale &Scale, BenchRecord *Record,
                        static_cast<double>(Traced));
       Record->addExact(Prefix + "pause_p50_traced_bytes", "bytes",
                        PauseBytes.median());
+      Record->addExact(Prefix + "pause_p99_traced_bytes", "bytes",
+                       PauseBytes.quantile(0.99));
+      Record->addExact(Prefix + "pause_p999_traced_bytes", "bytes",
+                       PauseBytes.quantile(0.999));
+
+      // Budget-sliced parallel re-run: same mutator, trace cut into
+      // ScavengeBudgetBytes quanta across TraceLanes lanes.
+      runtime::HeapConfig BudgetConfig;
+      BudgetConfig.TriggerBytes = Scale.TriggerBytes;
+      BudgetConfig.TraceThreads = TraceLanes;
+      BudgetConfig.ScavengeBudgetBytes = Scale.TraceMaxBytes;
+      runtime::Heap B(BudgetConfig);
+      B.setPolicy(core::createPolicy(Name, PolicyConfig));
+      runtime::HandleScope BudgetScope(B);
+      GhostMutator BudgetMutator(B, BudgetScope, /*Seed=*/0x61057);
+      BudgetMutator.run(Scale.TotalBytes);
+
+      if (B.history().size() != H.history().size())
+        fatalError("budgeted runtime pass diverges: " +
+                   std::to_string(B.history().size()) + " vs " +
+                   std::to_string(H.history().size()) + " scavenges (" +
+                   Name + ")");
+      for (uint64_t I = 1; I <= H.history().size(); ++I) {
+        const core::ScavengeRecord &A = H.history().record(I);
+        const core::ScavengeRecord &C = B.history().record(I);
+        if (A.Time != C.Time || A.Boundary != C.Boundary ||
+            A.TracedBytes != C.TracedBytes ||
+            A.MemBeforeBytes != C.MemBeforeBytes ||
+            A.SurvivedBytes != C.SurvivedBytes ||
+            A.ReclaimedBytes != C.ReclaimedBytes)
+          fatalError("budgeted runtime pass diverges from the monolithic "
+                     "trace at scavenge " + std::to_string(I) + " (" + Name +
+                     ")");
+      }
+
+      // One final full-heap collection under the budget gives the
+      // per-quantum pause bound the incremental trace guarantees: no
+      // quantum may overshoot the budget by more than one object.
+      B.collectAtBoundary(0);
+      const runtime::CollectionStats &S = B.lastCollectionStats();
+      if (S.MaxQuantumTracedBytes >
+          Scale.TraceMaxBytes + GhostMutator::MaxObjectGrossBytes)
+        fatalError("trace quantum overshot the budget by more than one "
+                   "object (" + Name + ")");
+      Record->addExact(Prefix + "trace_quanta", "count",
+                       static_cast<double>(S.TraceQuanta));
+      Record->addExact(Prefix + "max_quantum_traced_bytes", "bytes",
+                       static_cast<double>(S.MaxQuantumTracedBytes));
     }
     if (Merged)
       Merged->mergeFrom(H.profiler());
@@ -283,6 +341,67 @@ void runMicroStage(const BenchDriverOptions &Options, BenchRecord &Record) {
                    }
                    H.collectAtBoundary(0);
                  }));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace-speedup stage (parallel scavenge wall measurement)
+//===----------------------------------------------------------------------===//
+
+/// Builds a wide survivor-heavy heap: \p Chains handle-rooted linked
+/// chains of \p Depth nodes each, so every trace round carries ~Chains
+/// gray objects and the lanes have real work to steal.
+void buildTraceGraph(runtime::Heap &H, runtime::HandleScope &Scope,
+                     size_t Chains, size_t Depth) {
+  for (size_t C = 0; C != Chains; ++C) {
+    runtime::Object *&Head = Scope.slot(nullptr);
+    for (size_t D = 0; D != Depth; ++D) {
+      runtime::Object *Node = H.allocate(1, 64);
+      H.writeSlot(Node, 0, Head);
+      Head = Node;
+    }
+  }
+}
+
+/// Wall-times repeated full-heap scavenges of the same survivor graph at
+/// one lane vs. \p Lanes lanes and records the paired speedup ratio (the
+/// CI smoke gate checks it on multi-core runners). The two heaps' scavenge
+/// streams must agree exactly — the parallel trace is deterministic — so
+/// a divergence is fatal, not noise.
+void runTraceSpeedupStage(const BenchDriverOptions &Options, unsigned Lanes,
+                          BenchRecord &Record) {
+  constexpr size_t Chains = 2'048;
+  constexpr size_t Depth = 128;
+
+  runtime::HeapConfig SerialConfig = manualHeapConfig();
+  SerialConfig.TraceThreads = 1;
+  runtime::HeapConfig ParallelConfig = manualHeapConfig();
+  ParallelConfig.TraceThreads = Lanes;
+  runtime::Heap Serial(SerialConfig), Parallel(ParallelConfig);
+  runtime::HandleScope SerialScope(Serial), ParallelScope(Parallel);
+  buildTraceGraph(Serial, SerialScope, Chains, Depth);
+  buildTraceGraph(Parallel, ParallelScope, Chains, Depth);
+
+  std::vector<double> SerialSec =
+      measureWall(Options, [&] { Serial.collectAtBoundary(0); });
+  std::vector<double> ParallelSec =
+      measureWall(Options, [&] { Parallel.collectAtBoundary(0); });
+
+  const core::ScavengeRecord &A = Serial.history().last();
+  const core::ScavengeRecord &B = Parallel.history().last();
+  if (A.TracedBytes != B.TracedBytes || A.SurvivedBytes != B.SurvivedBytes ||
+      A.ReclaimedBytes != B.ReclaimedBytes)
+    fatalError("trace-speedup heaps diverge between 1 lane and " +
+               std::to_string(Lanes) + " lanes");
+
+  std::vector<double> Speedup;
+  for (size_t I = 0; I != SerialSec.size() && I != ParallelSec.size(); ++I)
+    Speedup.push_back(ParallelSec[I] > 0.0 ? SerialSec[I] / ParallelSec[I]
+                                           : 0.0);
+  Record.addWall("wall/runtime/trace_serial_seconds", "seconds", SerialSec);
+  Record.addWall("wall/runtime/trace_parallel_seconds", "seconds",
+                 ParallelSec);
+  Record.addWall("wall/runtime/trace_speedup", "ratio", Speedup,
+                 /*LowerIsBetter=*/false);
 }
 
 //===----------------------------------------------------------------------===//
@@ -385,6 +504,7 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
   BenchRecord &Record = Result.Record;
   Record.Suite = Options.Suite;
   unsigned Lanes = Options.Threads ? Options.Threads : defaultThreadCount();
+  unsigned TraceLanes = Options.TraceLanes ? Options.TraceLanes : Lanes;
 
   if (Options.IncludeEnv) {
     Record.HasEnv = true;
@@ -393,6 +513,7 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
       Record.GitSha = "unknown";
     Record.BuildFlags = buildFlagsString();
     Record.Threads = Lanes;
+    Record.TraceLanes = TraceLanes;
   }
 
   if (Options.Suite == "quick") {
@@ -400,7 +521,7 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
     profiling::PhaseProfiler &Runtime = Result.Profiles["runtime"];
     runSimGridStage(quickWorkloads(), quickGridConfig(Options.Threads),
                     Record, Sim);
-    runRuntimePolicies(QuickRuntime, &Record, &Runtime);
+    runRuntimePolicies(QuickRuntime, TraceLanes, &Record, &Runtime);
     if (Options.IncludeWall) {
       Record.addWall("wall/quick/sim_grid_seconds", "seconds",
                      measureWall(Options, [&] {
@@ -410,7 +531,7 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
                      }));
       Record.addWall("wall/quick/runtime_seconds", "seconds",
                      measureWall(Options, [&] {
-                       runRuntimePolicies(QuickRuntime, nullptr, nullptr);
+                       runRuntimePolicies(QuickRuntime, 1, nullptr, nullptr);
                      }));
     }
     addProfileToRecord(Sim, "sim", Record);
@@ -421,7 +542,7 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
     ExperimentConfig Config;
     Config.Threads = Options.Threads;
     runSimGridStage(workload::paperWorkloads(), Config, Record, Sim);
-    runRuntimePolicies(FullRuntime, &Record, &Runtime);
+    runRuntimePolicies(FullRuntime, TraceLanes, &Record, &Runtime);
     if (Options.IncludeWall)
       Record.addWall("wall/paper/sim_grid_seconds", "seconds",
                      measureWall(Options, [&] {
@@ -433,13 +554,14 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
     addProfileToRecord(Runtime, "runtime", Record);
   } else if (Options.Suite == "runtime") {
     profiling::PhaseProfiler &Runtime = Result.Profiles["runtime"];
-    runRuntimePolicies(FullRuntime, &Record, &Runtime);
+    runRuntimePolicies(FullRuntime, TraceLanes, &Record, &Runtime);
     if (Options.IncludeWall) {
       Record.addWall("wall/runtime/policies_seconds", "seconds",
                      measureWall(Options, [&] {
-                       runRuntimePolicies(FullRuntime, nullptr, nullptr);
+                       runRuntimePolicies(FullRuntime, 1, nullptr, nullptr);
                      }));
       runMicroStage(Options, Record);
+      runTraceSpeedupStage(Options, TraceLanes, Record);
     }
     addProfileToRecord(Runtime, "runtime", Record);
   } else if (Options.Suite == "timing") {

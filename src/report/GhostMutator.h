@@ -28,6 +28,12 @@ namespace report {
 
 class GhostMutator {
 public:
+  /// Largest gross footprint the mutator ever allocates (one slot, raw
+  /// bytes in [16, 80)): the per-quantum overshoot bound for budgeted
+  /// traces over a ghost heap is ScavengeBudgetBytes + this.
+  static constexpr uint64_t MaxObjectGrossBytes =
+      sizeof(runtime::Object) + sizeof(runtime::Object *) + 79;
+
   GhostMutator(runtime::Heap &H, runtime::HandleScope &Scope, uint64_t Seed)
       : H(H), Scope(Scope), R(Seed) {}
 

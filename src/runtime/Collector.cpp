@@ -21,6 +21,7 @@
 #include "runtime/Heap.h"
 
 #include "core/MachineModel.h"
+#include "runtime/TraceLanes.h"
 #include "support/Error.h"
 #include "telemetry/Telemetry.h"
 
@@ -32,6 +33,10 @@ using namespace dtb::runtime;
 using core::AllocClock;
 
 core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
+  // A full collection subsumes any incremental cycle in flight; finish it
+  // first so its record lands in the history before this one.
+  if (Inc.Active)
+    finishIncrementalScavenge();
   if (Boundary > Clock)
     fatalError("threatening boundary lies in the future");
   if (InCollection)
@@ -49,17 +54,25 @@ core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
   InCollection = true;
 
   LastStats = CollectionStats();
-  core::ScavengeRecord Record;
-  Record.Index = History.size() + 1;
-  Record.Time = Clock;
-  Record.Boundary = Boundary;
-  Record.MemBeforeBytes = ResidentBytes;
-
+  uint64_t MemBefore = ResidentBytes;
   Demographics.beginScavenge(Boundary);
 
   ScavengeWork Work = Config.Collector == CollectorKind::MarkSweep
                           ? runMarkSweep(Boundary)
                           : runCopying(Boundary);
+
+  return completeCollection(Boundary, Work, MemBefore, RebuildRemSet);
+}
+
+core::ScavengeRecord Heap::completeCollection(AllocClock Boundary,
+                                              const ScavengeWork &Work,
+                                              uint64_t MemBeforeBytes,
+                                              bool RebuildRemSet) {
+  core::ScavengeRecord Record;
+  Record.Index = History.size() + 1;
+  Record.Time = Clock;
+  Record.Boundary = Boundary;
+  Record.MemBeforeBytes = MemBeforeBytes;
 
   ResidentBytes -= Work.ReclaimedBytes;
   Record.TracedBytes = Work.TracedBytes;
@@ -220,23 +233,27 @@ void Heap::emitScavengeTelemetry(const core::ScavengeRecord &Record) {
   Registry.histogram("runtime.scavenge.pause_ms").record(PauseMs);
 }
 
-Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
-  ScavengeWork Work;
+bool Heap::markThreatened(Object *O, AllocClock Boundary,
+                          AllocClock BlackClock, std::vector<Object *> &Gray,
+                          ScavengeWork &Work) {
+  // Objects born after BlackClock arrived mid-incremental-cycle and are
+  // black by construction (the sweep keeps them); for a monolithic
+  // scavenge BlackClock == Clock, so the test never fires.
+  if (!O || O->birth() <= Boundary || O->birth() > BlackClock ||
+      O->isMarked())
+    return false;
+  assert(O->isAlive() && "tracing through a reclaimed object");
+  O->setMarked();
+  Work.TracedBytes += O->grossBytes();
+  LastStats.ObjectsTraced += 1;
+  Demographics.recordSurvivor(O->birth(), O->grossBytes());
+  Gray.push_back(O);
+  return true;
+}
 
-  // --- Mark phase -------------------------------------------------------
-  std::vector<Object *> Worklist;
-
-  auto markIfThreatened = [&](Object *O) {
-    if (!O || O->birth() <= Boundary || O->isMarked())
-      return;
-    assert(O->isAlive() && "tracing through a reclaimed object");
-    O->setMarked();
-    Work.TracedBytes += O->grossBytes();
-    LastStats.ObjectsTraced += 1;
-    Demographics.recordSurvivor(O->birth(), O->grossBytes());
-    Worklist.push_back(O);
-  };
-
+void Heap::seedMarkSweepRoots(AllocClock Boundary, AllocClock BlackClock,
+                              std::vector<Object *> &Gray,
+                              ScavengeWork &Work) {
   // Each marking phase's cost is the bytes it discovered (the delta of
   // Work.TracedBytes): root objects bill to root_scan, boundary-crossing
   // targets to remset_scan, everything transitively reached to trace.
@@ -244,15 +261,15 @@ Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
     profiling::ProfilePhase Phase(&Profiler, profiling::phase::RootScan);
     uint64_t Before = Work.TracedBytes;
     for (Object **Root : GlobalRoots)
-      markIfThreatened(*Root);
+      markThreatened(*Root, Boundary, BlackClock, Gray, Work);
     for (Object *Handle : HandleSlots)
-      markIfThreatened(Handle);
+      markThreatened(Handle, Boundary, BlackClock, Gray, Work);
     // Pinned objects survive unconditionally: threatened ones are marked
     // (and traced) here; immune ones are untouchable anyway, and their
     // forward-in-time pointers are covered by the remembered set like any
     // other immune object's.
     for (Object *PinnedObject : Pinned)
-      markIfThreatened(PinnedObject);
+      markThreatened(PinnedObject, Boundary, BlackClock, Gray, Work);
     Phase.addCost(Work.TracedBytes - Before);
   }
 
@@ -272,39 +289,105 @@ Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
       }
       if (Source->birth() <= Boundary && Target->birth() > Boundary) {
         LastStats.RememberedSetRoots += 1;
-        markIfThreatened(Target);
+        markThreatened(Target, Boundary, BlackClock, Gray, Work);
       }
       return true;
     });
     Phase.addCost(Work.TracedBytes - Before);
   }
+}
 
-  {
-    profiling::ProfilePhase Phase(&Profiler, profiling::phase::Trace);
-    uint64_t Before = Work.TracedBytes;
-    while (!Worklist.empty()) {
-      Object *O = Worklist.back();
-      Worklist.pop_back();
-      // Trace only within the threatened set: pointers to immune objects
-      // need no action (immune objects are assumed live), and pointers out
-      // of immune objects were handled through the remembered set.
-      for (uint32_t I = 0, E = O->numSlots(); I != E; ++I)
-        markIfThreatened(O->slot(I));
-    }
-    Phase.addCost(Work.TracedBytes - Before);
+void Heap::scanMarkSweepObject(Object *O, AllocClock Boundary,
+                               AllocClock BlackClock, TraceLane &Lane) {
+  // Trace only within the threatened set: pointers to immune objects need
+  // no action (immune objects are assumed live), and pointers out of
+  // immune objects were handled through the remembered set. The mark bit
+  // doubles as the claim: the fetch_or admits exactly one lane per child.
+  for (uint32_t I = 0, E = O->numSlots(); I != E; ++I) {
+    Object *Child = O->slot(I);
+    if (!Child || Child->birth() <= Boundary || Child->birth() > BlackClock)
+      continue;
+    if (!Child->tryAcquireFlag(Object::FlagMarked))
+      continue;
+    assert(Child->isAlive() && "tracing through a reclaimed object");
+    Lane.TracedBytes += Child->grossBytes();
+    Lane.ObjectsTraced += 1;
+    Lane.Survivors.push_back({Child->birth(), Child->grossBytes()});
+    Lane.addChild(Child);
   }
+}
 
-  // --- Weak-reference processing ------------------------------------------
+void Heap::drainTraceLanes(TraceLaneSet &Lanes, std::vector<Object *> &Gray,
+                           ScavengeWork &Work) {
+  for (unsigned I = 0; I != Lanes.numLanes(); ++I) {
+    TraceLane &Lane = Lanes.lane(I);
+    Work.TracedBytes += Lane.TracedBytes;
+    LastStats.ObjectsTraced += Lane.ObjectsTraced;
+    LastStats.ObjectsMoved += Lane.ObjectsMoved;
+    LastStats.LaneOverflowEvents += Lane.OverflowEvents;
+    // recordSurvivor is a commutative sum per epoch, so replaying the
+    // lanes' buffers in lane order yields the same table as any serial
+    // marking order.
+    for (const auto &[Birth, Bytes] : Lane.Survivors)
+      Demographics.recordSurvivor(Birth, Bytes);
+    Gray.insert(Gray.end(), Lane.Children.begin(), Lane.Children.end());
+    Lane.TracedBytes = 0;
+    Lane.ObjectsTraced = 0;
+    Lane.ObjectsMoved = 0;
+    Lane.OverflowEvents = 0;
+    Lane.Survivors.clear();
+    Lane.Children.clear();
+  }
+  std::vector<Object *> &Overflow = Lanes.overflow();
+  Gray.insert(Gray.end(), Overflow.begin(), Overflow.end());
+  Overflow.clear();
+}
+
+uint64_t Heap::traceMarkSweepQuantum(AllocClock Boundary,
+                                     AllocClock BlackClock,
+                                     std::vector<Object *> &Gray,
+                                     uint64_t BudgetBytes,
+                                     ScavengeWork &Work) {
+  bool PoolIsPrivate = false;
+  ThreadPool *Pool = tracePoolFor(&PoolIsPrivate);
+  TraceLaneSet Lanes(Pool, PoolIsPrivate);
+  if (Profiler.active())
+    for (unsigned I = 0; I != Lanes.numLanes(); ++I)
+      Lanes.lane(I).Profiler.setEnabled(true);
+
+  uint64_t Scanned = runTraceQuantum(
+      Lanes, Gray, BudgetBytes,
+      [&](Object *O, TraceLane &Lane) {
+        scanMarkSweepObject(O, Boundary, BlackClock, Lane);
+      },
+      [&](std::vector<Object *> &G) { drainTraceLanes(Lanes, G, Work); });
+
+  // Per-lane attribution is scheduling-dependent; it folds into the
+  // quarantined lane profile, never the deterministic phase costs.
+  for (unsigned I = 0; I != Lanes.numLanes(); ++I)
+    LaneProfile.mergeFrom(Lanes.lane(I).Profiler);
+
+  LastStats.TraceQuanta += 1;
+  if (Scanned > LastStats.MaxQuantumTracedBytes)
+    LastStats.MaxQuantumTracedBytes = Scanned;
+  return Scanned;
+}
+
+void Heap::finishMarkSweepCycle(AllocClock Boundary, AllocClock BlackClock,
+                                ScavengeWork &Work) {
+  // --- Weak-reference processing ----------------------------------------
   // A weak reference whose target is threatened and unmarked is about to
   // dangle: clear it. Weak references to immune objects (including immune
   // garbage) are untouched — clearing waits for the boundary to reach the
-  // target.
+  // target — and mid-cycle allocations (born after BlackClock) are black,
+  // hence live.
   {
     profiling::ProfilePhase Phase(&Profiler, profiling::phase::WeakRefs);
     Phase.addCost(WeakRefs.size());
     for (WeakRef *Weak : WeakRefs) {
       Object *Target = Weak->get();
-      if (Target && Target->birth() > Boundary && !Target->isMarked())
+      if (Target && Target->birth() > Boundary &&
+          Target->birth() <= BlackClock && !Target->isMarked())
         Weak->set(nullptr);
     }
   }
@@ -318,6 +401,11 @@ Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
     size_t Out = Begin;
     for (size_t I = Begin, E = Objects.size(); I != E; ++I) {
       Object *O = Objects[I];
+      if (O->birth() > BlackClock) {
+        // Allocate-black: born during the incremental cycle.
+        Objects[Out++] = O;
+        continue;
+      }
       if (O->isMarked()) {
         O->clearMarked();
         Objects[Out++] = O;
@@ -330,5 +418,110 @@ Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
     Objects.resize(Out);
     Phase.addCost(Work.ReclaimedBytes);
   }
+}
+
+Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
+  ScavengeWork Work;
+  std::vector<Object *> Gray;
+  seedMarkSweepRoots(Boundary, Clock, Gray, Work);
+
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::Trace);
+    uint64_t Before = Work.TracedBytes;
+    while (!Gray.empty())
+      traceMarkSweepQuantum(Boundary, Clock, Gray, Config.ScavengeBudgetBytes,
+                            Work);
+    Phase.addCost(Work.TracedBytes - Before);
+  }
+
+  finishMarkSweepCycle(Boundary, Clock, Work);
   return Work;
+}
+
+void Heap::beginIncrementalScavenge(AllocClock Boundary) {
+  if (Config.Collector != CollectorKind::MarkSweep)
+    fatalError("incremental scavenging requires the mark-sweep collector");
+  if (Inc.Active)
+    fatalError("incremental scavenge already active");
+  if (InCollection)
+    fatalError("re-entrant collection");
+  if (Boundary > Clock)
+    fatalError("threatening boundary lies in the future");
+  bool RebuildRemSet = RemSetPessimized;
+  if (RebuildRemSet && Boundary != 0) {
+    recordDegradation({DegradationKind::BoundaryPessimized, Clock, 0, 0,
+                       ResidentBytes,
+                       "remembered set lost; boundary " +
+                           std::to_string(Boundary) + " forced to 0"});
+    Boundary = 0;
+  }
+  InCollection = true;
+  LastStats = CollectionStats();
+  Inc = IncrementalState();
+  Inc.Active = true;
+  Inc.Boundary = Boundary;
+  Inc.BlackClock = Clock;
+  Inc.RebuildRemSet = RebuildRemSet;
+  Demographics.beginScavenge(Boundary);
+  seedMarkSweepRoots(Boundary, Inc.BlackClock, Inc.Gray, Inc.Work);
+  InCollection = false;
+}
+
+bool Heap::incrementalScavengeStep() {
+  if (!Inc.Active)
+    fatalError("no incremental scavenge is active");
+  if (InCollection)
+    fatalError("re-entrant collection");
+  InCollection = true;
+
+  // Re-grey what the barrier caught since the last step, then rescan the
+  // root locations: globals, handles, and pins are raw slots with no
+  // write barrier, so every step treats them as freshly discovered.
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::RootScan);
+    uint64_t Before = Inc.Work.TracedBytes;
+    for (Object *O : Inc.PendingGray)
+      markThreatened(O, Inc.Boundary, Inc.BlackClock, Inc.Gray, Inc.Work);
+    Inc.PendingGray.clear();
+    for (Object **Root : GlobalRoots)
+      markThreatened(*Root, Inc.Boundary, Inc.BlackClock, Inc.Gray, Inc.Work);
+    for (Object *Handle : HandleSlots)
+      markThreatened(Handle, Inc.Boundary, Inc.BlackClock, Inc.Gray, Inc.Work);
+    for (Object *PinnedObject : Pinned)
+      markThreatened(PinnedObject, Inc.Boundary, Inc.BlackClock, Inc.Gray,
+                     Inc.Work);
+    Phase.addCost(Inc.Work.TracedBytes - Before);
+  }
+
+  if (Inc.Gray.empty()) {
+    // Marking converged: no gray work survived the rescan, so every
+    // reachable threatened object born before BlackClock is marked and
+    // the cycle can close.
+    AllocClock Boundary = Inc.Boundary;
+    AllocClock BlackClock = Inc.BlackClock;
+    bool RebuildRemSet = Inc.RebuildRemSet;
+    ScavengeWork Work = Inc.Work;
+    Inc = IncrementalState();
+    finishMarkSweepCycle(Boundary, BlackClock, Work);
+    completeCollection(Boundary, Work, ResidentBytes, RebuildRemSet);
+    return true;
+  }
+
+  {
+    profiling::ProfilePhase Phase(&Profiler, profiling::phase::Trace);
+    uint64_t Before = Inc.Work.TracedBytes;
+    traceMarkSweepQuantum(Inc.Boundary, Inc.BlackClock, Inc.Gray,
+                          Config.ScavengeBudgetBytes, Inc.Work);
+    Phase.addCost(Inc.Work.TracedBytes - Before);
+  }
+  InCollection = false;
+  return false;
+}
+
+core::ScavengeRecord Heap::finishIncrementalScavenge() {
+  if (!Inc.Active)
+    fatalError("no incremental scavenge is active");
+  while (!incrementalScavengeStep()) {
+  }
+  return History.last();
 }

@@ -3,9 +3,9 @@
 // Part of the dtbgc project (Barrett & Zorn DTB reproduction).
 //
 // The copying strategy: surviving threatened objects are evacuated to
-// fresh storage (Cheney-style, with an explicit forwarding map) and every
-// original in the threatened region is released at once — the paper's
-// "reclaiming all the storage at once in the case of a copying
+// fresh storage (Cheney-style, with an explicit forwarding table) and
+// every original in the threatened region is released at once — the
+// paper's "reclaiming all the storage at once in the case of a copying
 // collector". Immune objects never move; pinned threatened objects are
 // traced in place. References into the threatened region are updated in
 // the global roots, handle slots, evacuated copies, and — for immune
@@ -17,16 +17,28 @@
 // "may maintain object locations in any order" (Figure 1's caption) while
 // the logical age order is preserved.
 //
+// Evacuation runs on the shared trace-lane engine (TraceLanes.h): lanes
+// race an atomic fetch_or on the header's claim bit, so exactly one lane
+// copies each object; the winner publishes the copy through a release
+// store into a side table of forwarding slots (indexed by the original's
+// position in the threatened suffix — the 24-byte header has no room for
+// a forwarding pointer), and losers acquire-spin on that slot. Which lane
+// wins is scheduling-dependent; what is copied, accounted, and published
+// is not.
+//
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Heap.h"
 
+#include "runtime/TraceLanes.h"
 #include "support/Error.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <new>
-#include <unordered_map>
+#include <thread>
 #include <vector>
 
 using namespace dtb;
@@ -36,61 +48,118 @@ using core::AllocClock;
 Heap::ScavengeWork Heap::runCopying(AllocClock Boundary) {
   ScavengeWork Work;
 
-  std::unordered_map<Object *, Object *> Forwarding;
-  std::vector<Object *> ScanList; // Copies and pinned objects to scan.
+  const size_t Begin = firstBornAfter(Boundary);
+  // Forwarding side table, one slot per threatened original. The object
+  // list is birth-ordered and frozen until the sweep, so a threatened
+  // original's slot is recoverable by position (direct index in the
+  // sweep, binary search on the unique birth elsewhere).
+  std::vector<std::atomic<Object *>> Forward(Objects.size() - Begin);
+  auto forwardSlot = [&](const Object *O) -> std::atomic<Object *> & {
+    auto It = std::lower_bound(
+        Objects.begin() + static_cast<ptrdiff_t>(Begin), Objects.end(),
+        O->birth(),
+        [](const Object *A, AllocClock Birth) { return A->birth() < Birth; });
+    assert(It != Objects.end() && *It == O && "original not in object list");
+    return Forward[static_cast<size_t>(It - Objects.begin()) - Begin];
+  };
 
   auto isThreatened = [&](const Object *O) {
     return O && O->birth() > Boundary;
   };
 
   // Evacuates a threatened object (or visits it in place when pinned) and
-  // returns its post-collection address.
-  auto relocate = [&](Object *O) -> Object * {
+  // returns its post-collection address. Safe from any lane: the claim
+  // bit admits exactly one winner, losers wait for the winner's publish.
+  auto relocate = [&](Object *O, TraceLane &Lane) -> Object * {
     assert(isThreatened(O) && "relocating an immune object");
     assert(O->isAlive() && "relocating a reclaimed object");
-    if (auto It = Forwarding.find(O); It != Forwarding.end())
-      return It->second;
-    if (isPinned(O)) {
-      // Pinned objects are traced in place and keep their address.
-      if (!O->isMarked()) {
-        O->setMarked();
-        Work.TracedBytes += O->grossBytes();
-        LastStats.ObjectsTraced += 1;
-        Demographics.recordSurvivor(O->birth(), O->grossBytes());
-        ScanList.push_back(O);
+    std::atomic<Object *> &Slot = forwardSlot(O);
+    if (!O->tryAcquireFlag(Object::FlagClaimed)) {
+      // Another lane owns the evacuation; its publish is imminent.
+      Object *Published = Slot.load(std::memory_order_acquire);
+      while (!Published) {
+        std::this_thread::yield();
+        Published = Slot.load(std::memory_order_acquire);
       }
+      return Published;
+    }
+    if (isPinned(O)) {
+      // Pinned objects are traced in place and keep their address; the
+      // mark bit records the in-place survival for the sweep.
+      O->setFlagAtomic(Object::FlagMarked);
+      Lane.TracedBytes += O->grossBytes();
+      Lane.ObjectsTraced += 1;
+      Lane.Survivors.push_back({O->birth(), O->grossBytes()});
+      Lane.addChild(O);
+      Slot.store(O, std::memory_order_release);
       return O;
     }
-    // Clone: identical header (birth included) and payload; flags clear.
+    // Clone: identical header (birth included) and payload. The header is
+    // copied field by field rather than memcpy'd — losing lanes may still
+    // be doing atomic claim RMWs on the original's flag byte, and a plain
+    // whole-header read would race with them.
     void *Memory = ::operator new(O->grossBytes());
-    std::memcpy(Memory, O, O->grossBytes());
     Object *Copy = reinterpret_cast<Object *>(Memory);
+    Copy->Magic = Object::MagicAlive;
     Copy->Flags = 0;
-    Forwarding.emplace(O, Copy);
-    Work.TracedBytes += O->grossBytes();
-    LastStats.ObjectsTraced += 1;
-    LastStats.ObjectsMoved += 1;
-    Demographics.recordSurvivor(O->birth(), O->grossBytes());
-    ScanList.push_back(Copy);
+    Copy->Padding = 0;
+    Copy->NumSlots = O->NumSlots;
+    Copy->RawBytes = O->RawBytes;
+    Copy->GrossBytes = O->GrossBytes;
+    Copy->Birth = O->Birth;
+    std::memcpy(static_cast<void *>(Copy + 1),
+                static_cast<const void *>(O + 1),
+                O->grossBytes() - sizeof(Object));
+    Lane.TracedBytes += O->grossBytes();
+    Lane.ObjectsTraced += 1;
+    Lane.ObjectsMoved += 1;
+    Lane.Survivors.push_back({O->birth(), O->grossBytes()});
+    Lane.addChild(Copy);
+    Slot.store(Copy, std::memory_order_release);
     return Copy;
   };
+
+  // Scan body for the parallel rounds: fix up one copy's (or pinned
+  // survivor's) slots, relocating threatened targets. The scanned object
+  // is exclusive to this lane, so the slot writes need no synchronization.
+  auto scanForPromotion = [&](Object *O, TraceLane &Lane) {
+    for (uint32_t I = 0, E = O->numSlots(); I != E; ++I) {
+      Object *Target = O->slot(I);
+      if (!isThreatened(Target))
+        continue;
+      Object *Moved = relocate(Target, Lane);
+      if (Moved != Target)
+        O->setSlotRaw(I, Moved);
+    }
+  };
+
+  bool PoolIsPrivate = false;
+  ThreadPool *Pool = tracePoolFor(&PoolIsPrivate);
+  TraceLaneSet Lanes(Pool, PoolIsPrivate);
+  if (Profiler.active())
+    for (unsigned I = 0; I != Lanes.numLanes(); ++I)
+      Lanes.lane(I).Profiler.setEnabled(true);
+  std::vector<Object *> Gray;
 
   // --- Roots ------------------------------------------------------------
   // Phase costs mirror the mark-sweep strategy: bytes evacuated during
   // each phase (the Work.TracedBytes delta); the transitive scan is the
   // promote phase — it is where survivors get copied out of the region.
+  // Root and remset scans run serially on lane 0, drained per phase so
+  // each phase's cost is exactly the bytes it discovered.
   {
     profiling::ProfilePhase Phase(&Profiler, profiling::phase::RootScan);
     uint64_t Before = Work.TracedBytes;
     for (Object **Root : GlobalRoots)
       if (isThreatened(*Root))
-        *Root = relocate(*Root);
+        *Root = relocate(*Root, Lanes.serialLane());
     for (Object *&Handle : HandleSlots)
       if (isThreatened(Handle))
-        Handle = relocate(Handle);
+        Handle = relocate(Handle, Lanes.serialLane());
     for (Object *PinnedObject : Pinned)
       if (isThreatened(PinnedObject))
-        relocate(PinnedObject); // Traced in place; address unchanged.
+        relocate(PinnedObject, Lanes.serialLane()); // In place; no move.
+    drainTraceLanes(Lanes, Gray, Work);
     Phase.addCost(Work.TracedBytes - Before);
   }
 
@@ -109,36 +178,40 @@ Heap::ScavengeWork Heap::runCopying(AllocClock Boundary) {
       }
       if (Source->birth() <= Boundary && isThreatened(Target)) {
         LastStats.RememberedSetRoots += 1;
-        Source->setSlotRaw(SlotIndex, relocate(Target));
+        Source->setSlotRaw(SlotIndex, relocate(Target, Lanes.serialLane()));
       }
       return true;
     });
+    drainTraceLanes(Lanes, Gray, Work);
     Phase.addCost(Work.TracedBytes - Before);
   }
 
-  // --- Transitive evacuation ---------------------------------------------
+  // --- Transitive evacuation --------------------------------------------
   // Scan copies (and pinned survivors) for pointers into the threatened
   // region; such targets are themselves relocated and the slots fixed up.
   // Slots referencing immune objects are left alone — immune objects do
-  // not move.
+  // not move. Runs as budget-bounded quanta of parallel rounds.
   {
     profiling::ProfilePhase Phase(&Profiler, profiling::phase::Promote);
     uint64_t Before = Work.TracedBytes;
-    while (!ScanList.empty()) {
-      Object *O = ScanList.back();
-      ScanList.pop_back();
-      for (uint32_t I = 0, E = O->numSlots(); I != E; ++I) {
-        Object *Target = O->slot(I);
-        if (isThreatened(Target))
-          O->setSlotRaw(I, relocate(Target));
-      }
+    while (!Gray.empty()) {
+      uint64_t Scanned = runTraceQuantum(
+          Lanes, Gray, Config.ScavengeBudgetBytes, scanForPromotion,
+          [&](std::vector<Object *> &G) { drainTraceLanes(Lanes, G, Work); });
+      LastStats.TraceQuanta += 1;
+      if (Scanned > LastStats.MaxQuantumTracedBytes)
+        LastStats.MaxQuantumTracedBytes = Scanned;
     }
     Phase.addCost(Work.TracedBytes - Before);
   }
+  for (unsigned I = 0; I != Lanes.numLanes(); ++I)
+    LaneProfile.mergeFrom(Lanes.lane(I).Profiler);
 
-  // --- Weak-reference processing ------------------------------------------
+  // --- Weak-reference processing ----------------------------------------
   // Weak references follow moved targets and are cleared when the target
-  // did not survive; references to immune or pinned objects are untouched.
+  // did not survive; references to immune objects — and pinned survivors,
+  // whose forwarding slot publishes their unchanged address — are
+  // untouched.
   {
     profiling::ProfilePhase Phase(&Profiler, profiling::phase::WeakRefs);
     Phase.addCost(WeakRefs.size());
@@ -146,48 +219,45 @@ Heap::ScavengeWork Heap::runCopying(AllocClock Boundary) {
       Object *Target = Weak->get();
       if (!isThreatened(Target))
         continue;
-      if (auto It = Forwarding.find(Target); It != Forwarding.end())
-        Weak->set(It->second);
-      else if (!Target->isMarked()) // Marked == pinned survivor, in place.
+      Object *Survivor = forwardSlot(Target).load(std::memory_order_relaxed);
+      if (!Survivor)
         Weak->set(nullptr);
+      else if (Survivor != Target)
+        Weak->set(Survivor);
     }
   }
 
-  // --- Remembered-set rekeying -------------------------------------------
+  // --- Remembered-set rekeying ------------------------------------------
   // Entries whose source moved follow the copy (slot indices are layout-
   // preserved); entries whose threatened source did not survive are
-  // dropped.
+  // dropped. A forwarding slot publishing the original itself is a pinned
+  // survivor, traced in place.
   RemSet.remapSources([&](Object *Source) -> Object * {
     if (!isThreatened(Source))
       return Source; // Immune sources stay put.
-    if (auto It = Forwarding.find(Source); It != Forwarding.end())
-      return It->second;
-    if (Source->isMarked())
-      return Source; // Pinned survivor, traced in place.
-    return nullptr;  // Dead with its region.
+    return forwardSlot(Source).load(std::memory_order_relaxed);
   });
 
-  // --- Region release and list rebuild ------------------------------------
+  // --- Region release and list rebuild ----------------------------------
   // Substitute survivors into the birth-ordered allocation list (births
   // travel with copies, so in-place substitution preserves the order) and
   // release every non-pinned original in the threatened region at once.
   {
     profiling::ProfilePhase Phase(&Profiler, profiling::phase::Sweep);
-    size_t Begin = firstBornAfter(Boundary);
     size_t Out = Begin;
     for (size_t I = Begin, E = Objects.size(); I != E; ++I) {
       Object *O = Objects[I];
-      if (O->isMarked()) { // Pinned survivor.
-        O->clearMarked();
+      Object *Survivor = Forward[I - Begin].load(std::memory_order_relaxed);
+      if (Survivor == O) { // Pinned survivor, traced in place.
+        O->clearTraceFlags();
         Objects[Out++] = O;
         continue;
       }
-      auto It = Forwarding.find(O);
-      if (It != Forwarding.end()) {
-        Objects[Out++] = It->second;
+      if (Survivor) {
+        Objects[Out++] = Survivor;
         // The original's storage is released; a stale raw pointer held by
-        // the mutator across this collection is a bug the quarantine canary
-        // will catch.
+        // the mutator across this collection is a bug the quarantine
+        // canary will catch.
         releaseStorage(O);
         continue;
       }

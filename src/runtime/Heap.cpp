@@ -4,6 +4,7 @@
 
 #include "support/Error.h"
 #include "support/FaultInjector.h"
+#include "support/ThreadPool.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -29,6 +30,21 @@ Heap::~Heap() {
     ::operator delete(static_cast<void *>(O));
   for (Object *O : Quarantine)
     ::operator delete(static_cast<void *>(O));
+}
+
+ThreadPool *Heap::tracePoolFor(bool *PoolIsPrivate) {
+  *PoolIsPrivate = false;
+  if (Config.TraceThreads == 1)
+    return nullptr;
+  if (Config.TraceThreads == 0)
+    return defaultThreadPool();
+  // N > 1: a heap-private pool of N - 1 workers (the collecting thread is
+  // the N-th lane), created once and reused so collections do not respawn
+  // threads.
+  if (!TracePool)
+    TracePool = std::make_unique<ThreadPool>(Config.TraceThreads - 1);
+  *PoolIsPrivate = true;
+  return TracePool.get();
 }
 
 void Heap::setPolicy(std::unique_ptr<core::BoundaryPolicy> NewPolicy) {
@@ -162,6 +178,14 @@ void Heap::writeSlot(Object *Source, uint32_t SlotIndex, Object *Value) {
   DTB_CHECK(!Value || Value->isAlive(), "storing a dead object reference");
   DTB_CHECK(SlotIndex < Source->numSlots(), "slot index out of range");
   Source->setSlotRaw(SlotIndex, Value);
+  // Dijkstra-style incremental greying: between incremental quanta a
+  // store can hide an unmarked threatened object behind an already-
+  // scanned (black) source, so the barrier re-greys the stored value; the
+  // next step marks it. Objects born after the cycle's clock snapshot are
+  // black by construction and need no greying.
+  if (Inc.Active && Value && Value->birth() > Inc.Boundary &&
+      Value->birth() <= Inc.BlackClock && !Value->isMarked())
+    Inc.PendingGray.push_back(Value);
   // Write barrier: record forward-in-time pointers (older -> younger).
   // Backward-in-time pointers never need recording: if the source is
   // threatened it is traced anyway, and an immune source pointing at an
@@ -260,7 +284,10 @@ size_t Heap::firstBornAfter(AllocClock Boundary) const {
 }
 
 void Heap::maybeTriggerCollection() {
-  if (Config.TriggerBytes == 0 || !Policy || InCollection)
+  // While an incremental cycle is active the embedder drives collection
+  // pacing through incrementalScavengeStep(); automatic triggering would
+  // drain the cycle mid-allocation and defeat the bounded-pause contract.
+  if (Config.TriggerBytes == 0 || !Policy || InCollection || Inc.Active)
     return;
   if (BytesSinceCollect >= Config.TriggerBytes)
     collect();
@@ -269,6 +296,10 @@ void Heap::maybeTriggerCollection() {
 core::ScavengeRecord Heap::collect() {
   if (!Policy)
     fatalError("collect() without a policy; use collectAtBoundary()");
+  // Close out any incremental cycle first so the policy decides against a
+  // history that includes it.
+  if (Inc.Active)
+    finishIncrementalScavenge();
 
   core::BoundaryRequest Request;
   Request.Index = History.size() + 1;

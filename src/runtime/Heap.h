@@ -55,7 +55,13 @@
 #include <vector>
 
 namespace dtb {
+
+class ThreadPool;
+
 namespace runtime {
+
+struct TraceLane;
+class TraceLaneSet;
 
 /// Which scavenging strategy the heap uses. Both implement the same
 /// threatened-set contract; see Collector.cpp / CopyingCollector.cpp.
@@ -102,6 +108,21 @@ struct HeapConfig {
   /// When non-null, one human-readable line is written here per
   /// collection (a classic GC log). Not owned.
   std::FILE *LogStream = nullptr;
+  /// Trace lanes for the transitive mark/evacuation phase: 1 = serial
+  /// (default), N > 1 = a heap-private pool of N - 1 workers plus the
+  /// collecting thread, 0 = borrow the process-wide default pool
+  /// (--threads). Results are bit-identical for every setting; only wall
+  /// time changes.
+  unsigned TraceThreads = 1;
+  /// Bounds the gross bytes of gray objects scanned per trace quantum
+  /// (0 = unbounded, the whole trace runs as one quantum). A quantum may
+  /// overshoot by at most one object, so the worst-case per-quantum pause
+  /// is bounded by ScavengeBudgetBytes + the largest object's gross size
+  /// regardless of survivor volume. Budgeted and unbudgeted scavenges
+  /// produce bit-identical results; see also the incremental API
+  /// (beginIncrementalScavenge), which returns to the mutator between
+  /// quanta.
+  uint64_t ScavengeBudgetBytes = 0;
 };
 
 /// Counters describing one runtime collection beyond the policy-visible
@@ -113,6 +134,17 @@ struct CollectionStats {
   uint64_t ObjectsMoved = 0;
   uint64_t RememberedSetRoots = 0;
   uint64_t RememberedSetPruned = 0;
+  /// Trace quanta the collection ran (1 for an unbudgeted trace with any
+  /// gray work, 0 when nothing was threatened or reachable).
+  uint64_t TraceQuanta = 0;
+  /// Largest gross bytes scanned by any single quantum — the max-pause
+  /// proxy a ScavengeBudgetBytes bound is judged against. At most
+  /// ScavengeBudgetBytes + max object gross when budgeted.
+  uint64_t MaxQuantumTracedBytes = 0;
+  /// Times a lane's private child buffer overflowed to the shared list
+  /// (diagnostic; deterministic under fault injection, where every child
+  /// detours).
+  uint64_t LaneOverflowEvents = 0;
 };
 
 /// The managed heap. Not thread-safe (the paper's collector is
@@ -180,7 +212,33 @@ public:
 
   /// Runs a collection with an explicit threatening boundary (0 = full
   /// collection). Records it in the history like any other scavenge.
+  /// Any incremental scavenge in flight is drained to completion first.
   core::ScavengeRecord collectAtBoundary(core::AllocClock Boundary);
+
+  /// Begins a resumable scavenge at \p Boundary (mark-sweep only): roots
+  /// and remembered-set entries are scanned now, and the gray set persists
+  /// across incrementalScavengeStep() calls so the mutator can run between
+  /// quanta. Soundness between steps: writeSlot greys any store of an
+  /// unmarked threatened object (Dijkstra incremental update), objects
+  /// allocated mid-cycle are implicitly black (born after the cycle's
+  /// clock snapshot, so the sweep keeps them), and roots are rescanned at
+  /// every step. Automatic triggering is suspended while a cycle is
+  /// active.
+  void beginIncrementalScavenge(core::AllocClock Boundary);
+
+  /// Runs one quantum (ScavengeBudgetBytes of scanned work; unbounded
+  /// when 0) of the active incremental scavenge. Returns true when the
+  /// cycle completed — weak refs were processed, the threatened suffix
+  /// swept, and the scavenge recorded in history() — false when gray work
+  /// remains.
+  bool incrementalScavengeStep();
+
+  /// Drains the active incremental scavenge to completion and returns its
+  /// record.
+  core::ScavengeRecord finishIncrementalScavenge();
+
+  /// True between beginIncrementalScavenge and cycle completion.
+  bool incrementalScavengeActive() const { return Inc.Active; }
 
   /// Current allocation clock (bytes allocated so far, gross).
   core::AllocClock now() const { return Clock; }
@@ -215,6 +273,13 @@ public:
   /// as a quarantined side channel.
   profiling::PhaseProfiler &profiler() { return Profiler; }
   const profiling::PhaseProfiler &profiler() const { return Profiler; }
+
+  /// Aggregated per-lane trace work (phase "trace_lane"), merged from the
+  /// lanes' private profilers in fixed lane order after every round. Kept
+  /// separate from profiler(): how work splits across lanes depends on
+  /// scheduling, so this profile is *not* part of the deterministic
+  /// surface and never feeds BENCH exact metrics.
+  const profiling::PhaseProfiler &laneProfiler() const { return LaneProfile; }
 
   /// The decision explanation the policy filled during the most recent
   /// collect() (inputs, candidate epoch, predictions). Only populated
@@ -275,6 +340,60 @@ private:
   ScavengeWork runMarkSweep(core::AllocClock Boundary);
   ScavengeWork runCopying(core::AllocClock Boundary);
 
+  /// State of a resumable mark-sweep cycle (see beginIncrementalScavenge).
+  struct IncrementalState {
+    bool Active = false;
+    core::AllocClock Boundary = 0;
+    /// Clock snapshot at cycle begin: objects born after it are black by
+    /// construction (never threatened by this cycle's sweep).
+    core::AllocClock BlackClock = 0;
+    bool RebuildRemSet = false;
+    /// Persisted gray set between quanta.
+    std::vector<Object *> Gray;
+    /// Targets the write barrier greyed since the last step.
+    std::vector<Object *> PendingGray;
+    ScavengeWork Work;
+  };
+
+  /// The pool trace rounds fan out over, per Config.TraceThreads: null for
+  /// serial, the shared default pool for 0, else a lazily created private
+  /// pool (*PoolIsPrivate reports which) reused across collections.
+  ThreadPool *tracePoolFor(bool *PoolIsPrivate);
+
+  /// Marks \p O if it is threatened, unmarked, and born at or before
+  /// \p BlackClock; accounts it and pushes it on \p Gray. Serial phases
+  /// only (root/remset scans and barrier-grey replay).
+  bool markThreatened(Object *O, core::AllocClock Boundary,
+                      core::AllocClock BlackClock, std::vector<Object *> &Gray,
+                      ScavengeWork &Work);
+  /// The mark-sweep root + remembered-set scan (serial, with phase
+  /// attribution), seeding \p Gray.
+  void seedMarkSweepRoots(core::AllocClock Boundary,
+                          core::AllocClock BlackClock,
+                          std::vector<Object *> &Gray, ScavengeWork &Work);
+  /// Parallel scan body: claims \p O's threatened children into \p Lane.
+  void scanMarkSweepObject(Object *O, core::AllocClock Boundary,
+                           core::AllocClock BlackClock, TraceLane &Lane);
+  /// One budgeted quantum of the mark-sweep trace (0 = drain fully).
+  /// Returns gross bytes scanned and updates the quantum stats.
+  uint64_t traceMarkSweepQuantum(core::AllocClock Boundary,
+                                 core::AllocClock BlackClock,
+                                 std::vector<Object *> &Gray,
+                                 uint64_t BudgetBytes, ScavengeWork &Work);
+  /// Weak-ref processing + sweep for a finished mark-sweep trace.
+  void finishMarkSweepCycle(core::AllocClock Boundary,
+                            core::AllocClock BlackClock, ScavengeWork &Work);
+  /// Merges lane buffers (fixed lane order) into the gray queue, the
+  /// collection stats, demographics, and the lane profile.
+  void drainTraceLanes(TraceLaneSet &Lanes, std::vector<Object *> &Gray,
+                       ScavengeWork &Work);
+  /// Shared bookkeeping tail of every collection (record assembly,
+  /// history, demographics close, optional remset rebuild, telemetry).
+  core::ScavengeRecord completeCollection(core::AllocClock Boundary,
+                                          const ScavengeWork &Work,
+                                          uint64_t MemBeforeBytes,
+                                          bool RebuildRemSet);
+
   void maybeTriggerCollection();
   void reclaimObject(Object *O);
   /// Frees (or quarantines+poisons) an object's storage.
@@ -316,6 +435,12 @@ private:
 
   /// Phase-level cost attribution for this heap's collections.
   profiling::PhaseProfiler Profiler;
+  /// Scheduling-dependent per-lane attribution (see laneProfiler()).
+  profiling::PhaseProfiler LaneProfile;
+  /// Lazily created private trace pool (Config.TraceThreads > 1), reused
+  /// across collections so lanes do not respawn threads per scavenge.
+  std::unique_ptr<ThreadPool> TracePool;
+  IncrementalState Inc;
   /// Decision explanation from the most recent collect() (see
   /// lastDecision()); valid only when LastDecisionValid.
   core::BoundaryDecision LastDecision;

@@ -18,6 +18,8 @@ const char *dtb::faultSiteName(FaultSite Site) {
     return "policy-evaluation";
   case FaultSite::TraceIO:
     return "trace-io";
+  case FaultSite::ParallelTrace:
+    return "parallel-trace";
   }
   unreachable("covered switch");
 }

@@ -57,12 +57,19 @@ enum class FaultSite : unsigned {
   PolicyEvaluation,
   /// Trace file I/O — reads and writes fail with a recoverable error.
   TraceIO,
+  /// Parallel trace round dispatch — an injected fault degrades the next
+  /// scan round: every lane's private child buffer is capped at zero (all
+  /// discovered children detour through the mutex-protected shared
+  /// overflow list) and all lanes contend on a single shared cursor,
+  /// forcing maximal steal contention / lane starvation orderings.
+  /// Results stay bit-identical; only scheduling pressure changes.
+  ParallelTrace,
 };
 
-inline constexpr unsigned NumFaultSites = 5;
+inline constexpr unsigned NumFaultSites = 6;
 
 /// Stable lowercase identifier for a site ("allocation", "write-barrier",
-/// "remset-insert", "policy-evaluation", "trace-io").
+/// "remset-insert", "policy-evaluation", "trace-io", "parallel-trace").
 const char *faultSiteName(FaultSite Site);
 
 /// Deterministic fault source. Not thread-safe; install one per thread

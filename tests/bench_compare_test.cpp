@@ -245,3 +245,59 @@ TEST(BenchRecordTest, WallStatisticsFromSamples) {
   EXPECT_DOUBLE_EQ(M->Median, 2.0);
   EXPECT_DOUBLE_EQ(M->Mad, 1.0);
 }
+
+TEST(BenchCompareTest, TailMetricClassification) {
+  EXPECT_TRUE(isTailMetric("wall/runtime/pause_p99_ms"));
+  EXPECT_TRUE(isTailMetric("runtime/full/pause_p999_traced_bytes"));
+  EXPECT_TRUE(isTailMetric("runtime/full/max_quantum_traced_bytes"));
+  EXPECT_FALSE(isTailMetric("wall/runtime/policies_seconds"));
+  EXPECT_FALSE(isTailMetric("sim/ghost/full/traced_bytes"));
+}
+
+TEST(BenchCompareTest, TailWallMetricsGateTighter) {
+  // Identical jitter-free samples: MAD is 0, so the threshold reduces to
+  // the relative component alone — 10% for throughput metrics, 5% for
+  // tail ones.
+  BenchRecord Baseline;
+  Baseline.addWall("wall/runtime/pause_p99_ms", "ms", {10.0, 10.0, 10.0});
+  Baseline.addWall("wall/runtime/policies_seconds", "seconds",
+                   {10.0, 10.0, 10.0});
+  BenchRecord Candidate;
+  // +8%: beyond the 5% tail threshold, within the 10% throughput one.
+  Candidate.addWall("wall/runtime/pause_p99_ms", "ms", {10.8, 10.8, 10.8});
+  Candidate.addWall("wall/runtime/policies_seconds", "seconds",
+                    {10.8, 10.8, 10.8});
+
+  BenchCompareResult Result =
+      compareBenchRecords(Baseline, Candidate, BenchCompareOptions());
+  EXPECT_TRUE(Result.Failed);
+  EXPECT_EQ(row(Result, "wall/runtime/pause_p99_ms").Verdict,
+            BenchVerdict::Regressed);
+  EXPECT_EQ(row(Result, "wall/runtime/policies_seconds").Verdict,
+            BenchVerdict::Pass);
+
+  // Loosening --tail-threshold clears the tail regression too.
+  BenchCompareOptions Lenient;
+  Lenient.TailRelThreshold = 0.10;
+  Result = compareBenchRecords(Baseline, Candidate, Lenient);
+  EXPECT_FALSE(Result.Failed);
+  EXPECT_EQ(row(Result, "wall/runtime/pause_p99_ms").Verdict,
+            BenchVerdict::Pass);
+}
+
+TEST(BenchRecordTest, TraceLanesEnvRoundTrips) {
+  BenchRecord Record;
+  Record.Suite = "runtime";
+  Record.HasEnv = true;
+  Record.GitSha = "abc123";
+  Record.BuildFlags = "-O2";
+  Record.Threads = 4;
+  Record.TraceLanes = 8;
+  Record.addExact("runtime/full/pause_p99_traced_bytes", "bytes", 4096.0);
+
+  std::string Json = toJson(Record);
+  BenchRecord Reparsed = parse(Json);
+  EXPECT_EQ(Reparsed.Threads, 4u);
+  EXPECT_EQ(Reparsed.TraceLanes, 8u);
+  EXPECT_EQ(toJson(Reparsed), Json);
+}
