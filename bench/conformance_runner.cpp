@@ -118,9 +118,10 @@ bool runSelfTest(const std::string &ArtifactsDir, bool WriteArtifacts,
   ShrinkResult Shrunk = shrinkDivergence(T, Config);
   size_t Records = Shrunk.Reproducer.records().size();
   bool Ok = !Shrunk.Final.agreed() && Records <= 50;
-  std::printf("self-test: seeded mutation caught at scavenge %u, shrunk "
+  std::printf("self-test: seeded mutation caught at scavenge %llu, shrunk "
               "%zu -> %zu records in %zu replays%s\n",
-              Result.Divergences.front().ScavengeIndex,
+              static_cast<unsigned long long>(
+                  Result.Divergences.front().ScavengeIndex),
               Shrunk.OriginalRecords, Records, Shrunk.Replays,
               Ok ? "" : "  [FAILED: reproducer > 50 records]");
   if (WriteArtifacts) {
@@ -146,6 +147,7 @@ int main(int Argc, char **Argv) {
   std::string CollectorOpt = "marksweep";
   uint64_t TraceLanes = 1;
   uint64_t ScavengeBudget = 0;
+  bool AbortProbe = false;
   uint64_t Threads = 0;
   uint64_t TriggerBytes = 0; // 0 = mode default
   uint64_t TraceMaxBytes = 0;
@@ -182,6 +184,11 @@ int main(int Argc, char **Argv) {
                  "Runtime trace quantum budget in bytes (0 = monolithic); "
                  "any value must leave every comparison unchanged",
                  &ScavengeBudget);
+  Parser.addFlag("abort-probe",
+                 "Open, step, and abort an incremental cycle before every "
+                 "runtime collection (mark-sweep cases); an aborted cycle "
+                 "must leave every comparison unchanged",
+                 &AbortProbe);
   Parser.addUInt("trigger", "Bytes allocated between scavenges",
                  &TriggerBytes);
   Parser.addUInt("trace-max", "Pause budget in traced bytes",
@@ -268,6 +275,7 @@ int main(int Argc, char **Argv) {
           C.Config.Collector = Collector;
           C.Config.TraceThreads = static_cast<unsigned>(TraceLanes);
           C.Config.ScavengeBudgetBytes = ScavengeBudget;
+          C.Config.AbortProbe = AbortProbe;
           Cases.push_back(std::move(C));
         }
 

@@ -119,6 +119,13 @@ struct LockstepConfig {
   /// any value must leave the lockstep comparison unchanged.
   uint64_t ScavengeBudgetBytes = 0;
   ToleranceModel Tolerance;
+  /// Abort-equivalence probe (mark-sweep only): before every runtime-side
+  /// collection the harness opens an incremental cycle, runs a few
+  /// bounded quanta while gray work remains, then aborts it. An aborted
+  /// cycle must be observably equivalent to one that never started, so
+  /// every lockstep comparison — boundary, traced bytes, per-epoch
+  /// demographics — must still agree exactly.
+  bool AbortProbe = false;
   /// Stop comparing (and stop the simulation) after this many divergences;
   /// the first one already tells the story and shrinking replays are much
   /// cheaper when they abort early.

@@ -403,6 +403,22 @@ LockstepResult dtb::conformance::runLockstep(const trace::Trace &T,
     // the real collector at the very same moment.
     advanceRuntime(Obs.Record.Time);
     RtMemory.setLevel(Obs.Record.Time, static_cast<double>(H.residentBytes()));
+    if (Config.AbortProbe &&
+        Config.Collector == runtime::CollectorKind::MarkSweep) {
+      // Abort-equivalence probe: open a cycle, trace a few quanta, abort.
+      // The collect() below and every comparison after it must come out
+      // exactly as if this block never ran. A step entered with gray work
+      // cannot complete the cycle (the root rescan only adds), so the
+      // bounded loop never races past the abort; the guard covers an
+      // injected step fault having aborted it already.
+      H.beginIncrementalScavenge(Obs.Record.Time / 2);
+      for (int Probe = 0;
+           Probe != 3 && H.incrementalCycleInfo().GrayObjects != 0; ++Probe)
+        if (H.incrementalScavengeStep())
+          break;
+      if (H.incrementalScavengeActive())
+        H.abortIncrementalScavenge();
+    }
     core::ScavengeRecord Rt = H.collect();
     RtMemory.setLevel(Obs.Record.Time, static_cast<double>(H.residentBytes()));
     double RtPauseMs = Machine.pauseMillisForTracedBytes(Rt.TracedBytes);

@@ -200,6 +200,19 @@ void runRuntimePolicies(const RuntimeScale &Scale, unsigned TraceLanes,
   PolicyConfig.TraceMaxBytes = Scale.TraceMaxBytes;
   PolicyConfig.MemMaxBytes = Scale.MemMaxBytes;
 
+  // Degradation-ladder accounting across every heap the stage runs
+  // (monolithic and budgeted passes alike). A clean bench run must not
+  // take a single rung — the exported runtime/degradation/* exact
+  // metrics let bench_compare gate that at zero against the baseline.
+  std::array<uint64_t, runtime::NumDegradationKinds> DegradationByKind{};
+  uint64_t DegradationTotal = 0;
+  auto AccumulateDegradation = [&](const runtime::Heap &Heap) {
+    DegradationTotal += Heap.totalDegradationEvents();
+    for (unsigned Kind = 0; Kind != runtime::NumDegradationKinds; ++Kind)
+      DegradationByKind[Kind] += Heap.degradationEventsOfKind(
+          static_cast<runtime::DegradationKind>(Kind));
+  };
+
   for (const std::string &Name : core::paperPolicyNames()) {
     runtime::HeapConfig Config;
     Config.TriggerBytes = Scale.TriggerBytes;
@@ -280,9 +293,21 @@ void runRuntimePolicies(const RuntimeScale &Scale, unsigned TraceLanes,
                        static_cast<double>(S.TraceQuanta));
       Record->addExact(Prefix + "max_quantum_traced_bytes", "bytes",
                        static_cast<double>(S.MaxQuantumTracedBytes));
+      AccumulateDegradation(B);
     }
+    AccumulateDegradation(H);
     if (Merged)
       Merged->mergeFrom(H.profiler());
+  }
+
+  if (Record) {
+    for (unsigned Kind = 0; Kind != runtime::NumDegradationKinds; ++Kind)
+      Record->addExact(std::string("runtime/degradation/") +
+                           runtime::degradationKindName(
+                               static_cast<runtime::DegradationKind>(Kind)),
+                       "count", static_cast<double>(DegradationByKind[Kind]));
+    Record->addExact("runtime/degradation/total", "count",
+                     static_cast<double>(DegradationTotal));
   }
 }
 

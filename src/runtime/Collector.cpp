@@ -26,6 +26,7 @@
 #include "telemetry/Telemetry.h"
 
 #include <cassert>
+#include <chrono>
 #include <vector>
 
 using namespace dtb;
@@ -54,6 +55,9 @@ core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
   InCollection = true;
 
   LastStats = CollectionStats();
+  WatchdogConsecutive = 0;
+  WatchdogSerial = false;
+  EffectiveBudgetBytes = 0;
   uint64_t MemBefore = ResidentBytes;
   Demographics.beginScavenge(Boundary);
 
@@ -348,12 +352,26 @@ uint64_t Heap::traceMarkSweepQuantum(AllocClock Boundary,
                                      std::vector<Object *> &Gray,
                                      uint64_t BudgetBytes,
                                      ScavengeWork &Work) {
+  // The watchdog's retry-halving backoff overrides the configured budget
+  // for the remainder of this collection.
+  if (EffectiveBudgetBytes != 0)
+    BudgetBytes = EffectiveBudgetBytes;
+
   bool PoolIsPrivate = false;
   ThreadPool *Pool = tracePoolFor(&PoolIsPrivate);
   TraceLaneSet Lanes(Pool, PoolIsPrivate);
+  if (WatchdogSerial)
+    Lanes.degradeAllRounds();
   if (Profiler.active())
     for (unsigned I = 0; I != Lanes.numLanes(); ++I)
       Lanes.lane(I).Profiler.setEnabled(true);
+
+  // Wall time is quarantined observability (like every `wall.` metric):
+  // it never feeds the deterministic violation decision below.
+  std::chrono::steady_clock::time_point WallStart;
+  const bool MeasureWall = telemetry::enabled();
+  if (MeasureWall)
+    WallStart = std::chrono::steady_clock::now();
 
   uint64_t Scanned = runTraceQuantum(
       Lanes, Gray, BudgetBytes,
@@ -370,6 +388,62 @@ uint64_t Heap::traceMarkSweepQuantum(AllocClock Boundary,
   LastStats.TraceQuanta += 1;
   if (Scanned > LastStats.MaxQuantumTracedBytes)
     LastStats.MaxQuantumTracedBytes = Scanned;
+
+  if (MeasureWall) {
+    double WallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - WallStart)
+                        .count();
+    telemetry::MetricsRegistry &Registry =
+        telemetry::MetricsRegistry::global();
+    Registry.histogram("wall.runtime.quantum_pause_ms").record(WallMs);
+    if (Config.QuantumDeadlineMillis > 0 &&
+        WallMs > Config.QuantumDeadlineMillis)
+      Registry.counter("wall.runtime.watchdog.deadline_overruns").add(1);
+  }
+
+  // --- Pause-deadline watchdog ------------------------------------------
+  // Deterministic: the quantum's pause is its machine-model cost (same
+  // conversion the simulator and telemetry use), so a violation — and the
+  // backoff it drives — replays identically on every platform. An
+  // injected fault counts as a violation even with no deadline set.
+  bool Violated = faultRequestedAt(FaultSite::WatchdogDeadline);
+  const char *Cause = "injected watchdog-deadline fault";
+  double CostMs = core::MachineModel().pauseMillisForTracedBytes(Scanned);
+  if (Config.QuantumDeadlineMillis > 0 && CostMs > Config.QuantumDeadlineMillis) {
+    Violated = true;
+    Cause = "quantum over deadline";
+  }
+  if (!Violated) {
+    WatchdogConsecutive = 0;
+    return Scanned;
+  }
+
+  LastStats.WatchdogViolations += 1;
+  WatchdogConsecutive += 1;
+  // Retry-halving backoff: each violation halves the budget the next
+  // quantum runs under (an unbounded budget starts from what this quantum
+  // actually scanned), with a floor of one byte — a quantum always makes
+  // progress.
+  uint64_t Halved = (BudgetBytes != 0 ? BudgetBytes : Scanned) / 2;
+  EffectiveBudgetBytes = Halved != 0 ? Halved : 1;
+
+  std::string Detail = std::string(Cause) + ": scanned " +
+                       std::to_string(Scanned) + " bytes (model cost " +
+                       std::to_string(CostMs) + " ms, deadline " +
+                       std::to_string(Config.QuantumDeadlineMillis) +
+                       " ms); budget halved to " +
+                       std::to_string(EffectiveBudgetBytes);
+  if (!WatchdogSerial && Config.WatchdogMaxConsecutive != 0 &&
+      WatchdogConsecutive >= Config.WatchdogMaxConsecutive) {
+    // K consecutive violations: the parallel fan-out itself is suspect
+    // (steal storms, cache pressure); degrade to a single shared cursor
+    // for the rest of the collection. Results are bit-identical — only
+    // scheduling changes — so this is safe to do deterministically.
+    WatchdogSerial = true;
+    Detail += "; degrading to serial shared-cursor tracing";
+  }
+  recordDegradation({DegradationKind::WatchdogDeadline, Clock, 0,
+                     BudgetBytes, ResidentBytes, std::move(Detail)});
   return Scanned;
 }
 
@@ -456,12 +530,20 @@ void Heap::beginIncrementalScavenge(AllocClock Boundary) {
     Boundary = 0;
   }
   InCollection = true;
-  LastStats = CollectionStats();
   Inc = IncrementalState();
   Inc.Active = true;
   Inc.Boundary = Boundary;
   Inc.BlackClock = Clock;
   Inc.RebuildRemSet = RebuildRemSet;
+  // Rollback state for abortIncrementalScavenge: the pre-cycle stats and
+  // survivor-table estimates, captured before beginScavenge destructively
+  // zeroes the threatened epochs.
+  Inc.PrevStats = LastStats;
+  Inc.DemoSnapshot = Demographics.liveEstimatesSnapshot();
+  LastStats = CollectionStats();
+  WatchdogConsecutive = 0;
+  WatchdogSerial = false;
+  EffectiveBudgetBytes = 0;
   Demographics.beginScavenge(Boundary);
   seedMarkSweepRoots(Boundary, Inc.BlackClock, Inc.Gray, Inc.Work);
   InCollection = false;
@@ -472,6 +554,13 @@ bool Heap::incrementalScavengeStep() {
     fatalError("no incremental scavenge is active");
   if (InCollection)
     fatalError("re-entrant collection");
+  if (faultRequestedAt(FaultSite::IncrementalStep)) {
+    // The embedder's quantum "failed" before it ran (cancelled time
+    // slice, preempted helper). The always-safe recovery is to cancel
+    // the whole cycle; a later collection redoes the work.
+    abortIncrementalCycle("injected incremental-step fault");
+    return true;
+  }
   InCollection = true;
 
   // Re-grey what the barrier caught since the last step, then rescan the
@@ -521,7 +610,99 @@ bool Heap::incrementalScavengeStep() {
 core::ScavengeRecord Heap::finishIncrementalScavenge() {
   if (!Inc.Active)
     fatalError("no incremental scavenge is active");
+  size_t RecordsBefore = History.size();
   while (!incrementalScavengeStep()) {
   }
+  // An injected IncrementalStep fault can abort the drain instead of
+  // completing it; no record was appended then.
+  if (History.size() == RecordsBefore)
+    return core::ScavengeRecord();
   return History.last();
+}
+
+void Heap::abortIncrementalScavenge() {
+  if (!Inc.Active)
+    fatalError("no incremental scavenge is active");
+  if (InCollection)
+    fatalError("re-entrant collection");
+  abortIncrementalCycle("explicit abort");
+}
+
+void Heap::abortIncrementalCycle(const char *Why) {
+  InCollection = true;
+  const AllocClock Boundary = Inc.Boundary;
+  const AllocClock BlackClock = Inc.BlackClock;
+  const size_t GrayObjects = Inc.Gray.size() + Inc.PendingGray.size();
+  const uint64_t TracedBytes = Inc.Work.TracedBytes;
+  const uint64_t Quanta = LastStats.TraceQuanta;
+
+  // Clear every mark this cycle set. Only threatened objects born at or
+  // before BlackClock were ever marked (mark-sweep never sets the claim
+  // flag separately), and the allocation list is birth-ordered, so the
+  // walk covers exactly the threatened non-black window.
+  for (size_t I = firstBornAfter(Boundary), E = Objects.size(); I != E; ++I) {
+    Object *O = Objects[I];
+    if (O->birth() > BlackClock)
+      break;
+    O->clearTraceFlags();
+  }
+
+  // Roll back everything the cycle touched: the survivor-table estimates
+  // (beginScavenge zeroed the threatened epochs, recordSurvivor
+  // accumulated into them) and the per-collection stats. EpochStarts and
+  // the history only change in endScavenge, which never ran.
+  Demographics.restoreLiveEstimates(std::move(Inc.DemoSnapshot));
+  LastStats = Inc.PrevStats;
+  Inc = IncrementalState();
+  WatchdogConsecutive = 0;
+  WatchdogSerial = false;
+  EffectiveBudgetBytes = 0;
+
+  // Close the partial phase tree (no frames stay open between incremental
+  // calls); the aggregates keep the already-attributed cost, which is
+  // diagnostic only.
+  Profiler.finishScavenge();
+  InCollection = false;
+
+  // The rollback above is itself a fault site: a failure mid-rollback
+  // could leave barrier bookkeeping half-unwound, so an injected fault
+  // here answers with the same always-safe response as a remembered-set
+  // loss — the next collection is forced full.
+  bool RollbackFaulted = faultRequestedAt(FaultSite::CycleAbort);
+
+  recordDegradation(
+      {DegradationKind::CycleAborted, Clock, 0, 0, ResidentBytes,
+       std::string(Why) + "; tb=" + std::to_string(Boundary) +
+           " discarded " + std::to_string(GrayObjects) + " gray after " +
+           std::to_string(Quanta) + " quanta (" +
+           std::to_string(TracedBytes) + " bytes traced)"});
+
+  if (RollbackFaulted && !RemSetPessimized) {
+    RemSetPessimized = true;
+    recordDegradation({DegradationKind::BoundaryPessimized, Clock, 0, 0,
+                       ResidentBytes,
+                       "injected cycle-abort fault; rollback distrusted, "
+                       "next collection forced full"});
+  }
+}
+
+IncrementalCycleInfo Heap::incrementalCycleInfo() const {
+  IncrementalCycleInfo Info;
+  if (!Inc.Active)
+    return Info;
+  Info.Active = true;
+  Info.Boundary = Inc.Boundary;
+  Info.BlackClock = Inc.BlackClock;
+  Info.GrayObjects = Inc.Gray.size();
+  for (const Object *O : Inc.Gray)
+    Info.GrayBytes += O->grossBytes();
+  Info.PendingGrayObjects = Inc.PendingGray.size();
+  Info.TracedBytes = Inc.Work.TracedBytes;
+  Info.Quanta = LastStats.TraceQuanta;
+  Info.BudgetBytes = EffectiveBudgetBytes != 0 ? EffectiveBudgetBytes
+                                               : Config.ScavengeBudgetBytes;
+  Info.RebuildRemSet = Inc.RebuildRemSet;
+  Info.SerialDegraded = WatchdogSerial;
+  Info.WatchdogViolations = LastStats.WatchdogViolations;
+  return Info;
 }

@@ -16,6 +16,19 @@
 ///        admissible fallback                        (EmergencyFullCollection)
 ///     3. report OOM to the caller                   (AllocationFailure)
 ///
+///   allocation over HeapLimitBytes *while an incremental cycle is open*
+///   (automatic triggering is suspended, so the cycle itself must yield):
+///     i1. accelerate — run extra quanta now         (CycleAccelerated)
+///     i2. complete-now — drain the cycle when the
+///         remaining gray work is bounded            (CycleCompletedEarly)
+///     i3. abort the cycle, then fall through to
+///         rungs 1–3 above                           (CycleAborted)
+///
+///   per-quantum pause deadline blown (machine-model cost, or injected
+///   watchdog fault) → halve the scavenge budget; after K consecutive
+///   violations degrade tracing to a serial shared
+///   cursor for the rest of the collection           (WatchdogDeadline)
+///
 ///   remembered-set overflow → drop the set, pessimize the next boundary
 ///   to 0 and rebuild during that full trace         (RemSetOverflow,
 ///                                                    BoundaryPessimized)
@@ -59,9 +72,25 @@ enum class DegradationKind : uint8_t {
   /// injected fault, out-of-range answer); a FIXED1/FULL fallback boundary
   /// was used instead.
   PolicyFallback,
+  /// Mid-cycle allocation pressure ran extra quanta on the open
+  /// incremental cycle (mid-cycle rung i1).
+  CycleAccelerated,
+  /// Mid-cycle allocation pressure drained the open incremental cycle to
+  /// completion because its remaining gray work was bounded (rung i2).
+  CycleCompletedEarly,
+  /// An open incremental cycle was cancelled — by the mid-cycle pressure
+  /// ladder (rung i3), an injected incremental-step fault, or an explicit
+  /// abortIncrementalScavenge() call. The heap is restored to a state
+  /// observably equivalent to the cycle never having started.
+  CycleAborted,
+  /// A trace quantum exceeded the configured per-quantum pause deadline
+  /// (deterministic machine-model cost) or an injected watchdog fault
+  /// fired; the effective scavenge budget was halved, and after K
+  /// consecutive violations tracing degrades to a serial shared cursor.
+  WatchdogDeadline,
 };
 
-inline constexpr unsigned NumDegradationKinds = 6;
+inline constexpr unsigned NumDegradationKinds = 10;
 
 /// Stable lowercase identifier for a kind.
 inline const char *degradationKindName(DegradationKind Kind) {
@@ -78,6 +107,14 @@ inline const char *degradationKindName(DegradationKind Kind) {
     return "boundary-pessimized";
   case DegradationKind::PolicyFallback:
     return "policy-fallback";
+  case DegradationKind::CycleAccelerated:
+    return "cycle-accelerated";
+  case DegradationKind::CycleCompletedEarly:
+    return "cycle-completed-early";
+  case DegradationKind::CycleAborted:
+    return "cycle-aborted";
+  case DegradationKind::WatchdogDeadline:
+    return "watchdog-deadline";
   }
   return "unknown";
 }

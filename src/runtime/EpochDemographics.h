@@ -67,6 +67,19 @@ public:
   /// epoch [Now, ...) and resets the since-allocation counter.
   void endScavenge(core::AllocClock Now);
 
+  /// Snapshot of the per-epoch estimates, for rolling back an aborted
+  /// scavenge. beginScavenge destructively zeroes the threatened epochs
+  /// and recordSurvivor accumulates into them; a cycle that aborts before
+  /// endScavenge restores the snapshot so the table is exactly as if the
+  /// cycle never began (EpochStarts only changes in endScavenge, so the
+  /// estimates vector is the whole mutable state).
+  std::vector<uint64_t> liveEstimatesSnapshot() const {
+    return LiveEstimates;
+  }
+  void restoreLiveEstimates(std::vector<uint64_t> Snapshot) {
+    LiveEstimates = std::move(Snapshot);
+  }
+
 private:
   /// Epoch i covers [EpochStarts[i], EpochStarts[i+1]) — the last epoch is
   /// open-ended.

@@ -64,6 +64,7 @@ Object *Heap::allocate(uint32_t NumSlots, uint32_t RawBytes) {
 
 void Heap::recordDegradation(DegradationEvent Event) {
   DegradationTotal += 1;
+  DegradationKindTotals[static_cast<unsigned>(Event.Kind)] += 1;
   if (telemetry::enabled()) {
     // One consistent story with HeapDump: every ladder rung is also a
     // telemetry instant plus a per-kind counter.
@@ -99,6 +100,54 @@ bool Heap::ensureHeadroom(uint64_t Gross) {
     return true;
   const char *Why = overLimit() ? "heap limit reached"
                                 : "injected allocation fault";
+
+  // Mid-cycle rungs: while an incremental cycle is open, automatic
+  // triggering is suspended, so pressure must be relieved through the
+  // cycle itself before the ordinary ladder below can run.
+  if (Inc.Active && !InCollection) {
+    // Rung i1: accelerate — run extra quanta on the open cycle right now.
+    // The cheapest response: the cycle may be a few quanta from sweeping
+    // the garbage that relieves the pressure.
+    size_t RecordsBefore = History.size();
+    unsigned Extra = 0;
+    while (Extra != Config.PressureAccelerateQuanta && Inc.Active) {
+      ++Extra;
+      if (incrementalScavengeStep())
+        break;
+    }
+    bool Completed = History.size() != RecordsBefore;
+    recordDegradation({DegradationKind::CycleAccelerated, Clock, Gross,
+                       Config.HeapLimitBytes, ResidentBytes,
+                       std::string(Why) + "; ran " + std::to_string(Extra) +
+                           " pressure " + (Extra == 1 ? "quantum" : "quanta") +
+                           (Completed ? " (cycle completed)" : "")});
+    if (!overLimit())
+      return true;
+
+    // Rung i2: complete-now — drain the cycle when its remaining gray
+    // work is bounded (a few budgets' worth), trading one oversized pause
+    // for the cycle's full reclamation.
+    if (Inc.Active) {
+      uint64_t GrayBytes = 0;
+      for (const Object *O : Inc.Gray)
+        GrayBytes += O->grossBytes();
+      uint64_t Budget = Config.ScavengeBudgetBytes;
+      if (Budget == 0 || GrayBytes <= 4 * Budget) {
+        finishIncrementalScavenge();
+        recordDegradation({DegradationKind::CycleCompletedEarly, Clock, Gross,
+                           Config.HeapLimitBytes, ResidentBytes, Why});
+        if (!overLimit())
+          return true;
+      }
+    }
+
+    // Rung i3: abort — the cycle itself is now the obstacle (it holds the
+    // trigger suspended and its marking is stale against the pressure);
+    // cancel it so the full-strength rungs below can run. Aborting is
+    // always safe: the heap is restored as if the cycle never started.
+    if (Inc.Active)
+      abortIncrementalCycle("mid-cycle allocation pressure");
+  }
 
   // Rung 1: an out-of-schedule scavenge at the policy's boundary — the
   // cheap recovery, reclaiming whatever the policy already threatens.

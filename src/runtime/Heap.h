@@ -48,6 +48,7 @@
 #include "runtime/RememberedSet.h"
 #include "runtime/WeakRef.h"
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -123,6 +124,24 @@ struct HeapConfig {
   /// (beginIncrementalScavenge), which returns to the mutator between
   /// quanta.
   uint64_t ScavengeBudgetBytes = 0;
+  /// Per-quantum pause deadline in deterministic machine-model
+  /// milliseconds (core::MachineModel cost of the bytes a quantum
+  /// scanned; 0 disables the watchdog). A quantum whose model cost
+  /// exceeds the deadline is a violation: the effective scavenge budget
+  /// is halved (retry-halving backoff, floor 1 byte) and a
+  /// WatchdogDeadline degradation event is recorded. Wall time is
+  /// observed only as quarantined `wall.` telemetry — violations and
+  /// their responses are fully deterministic.
+  double QuantumDeadlineMillis = 0.0;
+  /// Consecutive watchdog violations after which the trace degrades to a
+  /// serial shared cursor (every lane contends on one cursor, no private
+  /// child buffers) for the remainder of the collection. Results stay
+  /// bit-identical; only scheduling changes.
+  unsigned WatchdogMaxConsecutive = 3;
+  /// Mid-cycle pressure rung i1: maximum extra incremental quanta
+  /// tryAllocate runs on an open cycle before escalating to
+  /// complete-now/abort.
+  unsigned PressureAccelerateQuanta = 4;
 };
 
 /// Counters describing one runtime collection beyond the policy-visible
@@ -145,6 +164,37 @@ struct CollectionStats {
   /// (diagnostic; deterministic under fault injection, where every child
   /// detours).
   uint64_t LaneOverflowEvents = 0;
+  /// Pause-deadline watchdog violations during this collection (machine-
+  /// model cost over HeapConfig::QuantumDeadlineMillis, or injected
+  /// watchdog faults). Each one halved the effective scavenge budget.
+  uint64_t WatchdogViolations = 0;
+};
+
+/// Snapshot of an open incremental cycle (all-zero when none is open);
+/// see Heap::incrementalCycleInfo(). Serves introspection (HeapDump) and
+/// harnesses that need to step a cycle without completing it.
+struct IncrementalCycleInfo {
+  bool Active = false;
+  core::AllocClock Boundary = 0;
+  /// Allocate-black clock snapshot: objects born after it are untouched
+  /// by this cycle.
+  core::AllocClock BlackClock = 0;
+  /// Gray objects queued for the next quantum (after re-greying any
+  /// barrier-buffered targets is still pending — PendingGrayObjects).
+  size_t GrayObjects = 0;
+  uint64_t GrayBytes = 0;
+  /// Targets the write barrier greyed since the last step.
+  size_t PendingGrayObjects = 0;
+  uint64_t TracedBytes = 0;
+  /// Quanta run so far this cycle.
+  uint64_t Quanta = 0;
+  /// Quantum budget currently in force (after any watchdog backoff;
+  /// 0 = unbounded).
+  uint64_t BudgetBytes = 0;
+  bool RebuildRemSet = false;
+  /// True once the watchdog degraded tracing to a serial shared cursor.
+  bool SerialDegraded = false;
+  uint64_t WatchdogViolations = 0;
 };
 
 /// The managed heap. Not thread-safe (the paper's collector is
@@ -175,6 +225,10 @@ public:
   /// (1) normal scavenge at the policy's boundary, (2) emergency FULL
   /// collection at TB = 0, (3) give up — and returns nullptr only after
   /// every rung failed. Each rung taken is recorded in degradationLog().
+  /// Under an open incremental cycle the ladder gains mid-cycle rungs
+  /// first: accelerate (extra quanta), complete-now (drain when remaining
+  /// gray work is bounded), abort — so allocation pressure never
+  /// dead-ends against a suspended trigger.
   Object *tryAllocate(uint32_t NumSlots, uint32_t RawBytes = 0);
 
   /// Stores \p Value into \p Source's slot \p SlotIndex, applying the
@@ -228,17 +282,35 @@ public:
 
   /// Runs one quantum (ScavengeBudgetBytes of scanned work; unbounded
   /// when 0) of the active incremental scavenge. Returns true when the
-  /// cycle completed — weak refs were processed, the threatened suffix
-  /// swept, and the scavenge recorded in history() — false when gray work
-  /// remains.
+  /// cycle is over: either it completed — weak refs were processed, the
+  /// threatened suffix swept, and the scavenge recorded in history() — or
+  /// an injected IncrementalStep fault aborted it (no record appended;
+  /// distinguish via history().size() or incrementalScavengeActive()).
+  /// Returns false while gray work remains.
   bool incrementalScavengeStep();
 
   /// Drains the active incremental scavenge to completion and returns its
-  /// record.
+  /// record. If an injected fault aborts the cycle mid-drain, returns a
+  /// zero record (Index == 0) instead — callers that need the
+  /// distinction should compare history().size().
   core::ScavengeRecord finishIncrementalScavenge();
 
-  /// True between beginIncrementalScavenge and cycle completion.
+  /// Cancels the open incremental cycle, restoring the heap to a state
+  /// observably equivalent to the cycle never having started: the gray
+  /// set and barrier buffers are discarded, every mark this cycle set is
+  /// cleared, the collection stats and survivor-table estimates are
+  /// rolled back, and automatic triggering re-arms. No ScavengeRecord is
+  /// appended. Records a CycleAborted degradation event (+ telemetry
+  /// instant). An injected CycleAbort fault models a failed rollback of
+  /// the barrier bookkeeping: the heap stays safe by pessimizing the next
+  /// collection to a full one.
+  void abortIncrementalScavenge();
+
+  /// True between beginIncrementalScavenge and cycle completion/abort.
   bool incrementalScavengeActive() const { return Inc.Active; }
+
+  /// Introspection snapshot of the open cycle (all-zero when none).
+  IncrementalCycleInfo incrementalCycleInfo() const;
 
   /// Current allocation clock (bytes allocated so far, gross).
   core::AllocClock now() const { return Clock; }
@@ -301,9 +373,15 @@ public:
   /// Count of all degradation events ever recorded, including any dropped
   /// from the bounded log.
   uint64_t totalDegradationEvents() const { return DegradationTotal; }
+  /// Exact per-rung count over the heap's whole lifetime (unlike the
+  /// bounded log, never loses old events).
+  uint64_t degradationEventsOfKind(DegradationKind Kind) const {
+    return DegradationKindTotals[static_cast<unsigned>(Kind)];
+  }
   void clearDegradationLog() {
     DegradationLog.clear();
     DegradationTotal = 0;
+    DegradationKindTotals.fill(0);
   }
 
   /// True between a remembered-set overflow and the pessimized (full)
@@ -353,6 +431,11 @@ private:
     /// Targets the write barrier greyed since the last step.
     std::vector<Object *> PendingGray;
     ScavengeWork Work;
+    /// Rollback state for abortIncrementalScavenge: the collection stats
+    /// and survivor-table estimates as they were before begin, so an
+    /// aborted cycle leaves both exactly as if it never started.
+    CollectionStats PrevStats;
+    std::vector<uint64_t> DemoSnapshot;
   };
 
   /// The pool trace rounds fan out over, per Config.TraceThreads: null for
@@ -383,6 +466,10 @@ private:
   /// Weak-ref processing + sweep for a finished mark-sweep trace.
   void finishMarkSweepCycle(core::AllocClock Boundary,
                             core::AllocClock BlackClock, ScavengeWork &Work);
+  /// Abort body shared by abortIncrementalScavenge(), the injected
+  /// IncrementalStep fault, and the mid-cycle pressure ladder; \p Why
+  /// leads the CycleAborted event's detail.
+  void abortIncrementalCycle(const char *Why);
   /// Merges lane buffers (fixed lane order) into the gray queue, the
   /// collection stats, demographics, and the lane profile.
   void drainTraceLanes(TraceLaneSet &Lanes, std::vector<Object *> &Gray,
@@ -454,6 +541,14 @@ private:
   uint64_t BytesSinceCollect = 0;
   bool InCollection = false;
 
+  /// Pause-deadline watchdog state, reset at the start of every
+  /// collection (and by abortIncrementalScavenge). EffectiveBudgetBytes
+  /// overrides the configured scavenge budget once backoff engages
+  /// (0 = no override yet).
+  unsigned WatchdogConsecutive = 0;
+  bool WatchdogSerial = false;
+  uint64_t EffectiveBudgetBytes = 0;
+
   std::vector<Object *> Objects; // Birth-ordered.
   std::vector<Object *> Quarantine;
   std::vector<Object *> Pinned;
@@ -468,6 +563,7 @@ private:
   CollectionStats LastStats;
   std::deque<DegradationEvent> DegradationLog;
   uint64_t DegradationTotal = 0;
+  std::array<uint64_t, NumDegradationKinds> DegradationKindTotals{};
 };
 
 /// RAII scope providing GC-visible local roots. Scopes must nest like a

@@ -94,6 +94,18 @@ dtb::runtime::collectDemographics(const Heap &H, AllocClock BaseAgeBytes) {
   size_t First = Log.size() > MaxRecent ? Log.size() - MaxRecent : 0;
   for (size_t I = First; I != Log.size(); ++I)
     Demo.RecentDegradations.push_back(describeDegradation(Log[I]));
+
+  IncrementalCycleInfo Cycle = H.incrementalCycleInfo();
+  Demo.CycleActive = Cycle.Active;
+  Demo.CycleBoundary = Cycle.Boundary;
+  Demo.CycleBlackClock = Cycle.BlackClock;
+  Demo.CycleGrayObjects = Cycle.GrayObjects;
+  Demo.CycleGrayBytes = Cycle.GrayBytes;
+  Demo.CyclePendingGrayObjects = Cycle.PendingGrayObjects;
+  Demo.CycleTracedBytes = Cycle.TracedBytes;
+  Demo.CycleQuanta = Cycle.Quanta;
+  Demo.CycleBudgetBytes = Cycle.BudgetBytes;
+  Demo.CycleSerialDegraded = Cycle.SerialDegraded;
   return Demo;
 }
 
@@ -135,6 +147,23 @@ void dtb::runtime::printDemographics(const HeapDemographics &Demo,
                  static_cast<unsigned long long>(Band.ReachableBytes),
                  BarLength,
                  "########################################");
+  }
+
+  if (Demo.CycleActive) {
+    std::fprintf(Out,
+                 "incremental cycle: tb=%llu black=%llu gray %llu objects / "
+                 "%llu bytes (+%llu pending), %llu quanta so far, traced "
+                 "%llu, budget %llu%s\n",
+                 static_cast<unsigned long long>(Demo.CycleBoundary),
+                 static_cast<unsigned long long>(Demo.CycleBlackClock),
+                 static_cast<unsigned long long>(Demo.CycleGrayObjects),
+                 static_cast<unsigned long long>(Demo.CycleGrayBytes),
+                 static_cast<unsigned long long>(Demo.CyclePendingGrayObjects),
+                 static_cast<unsigned long long>(Demo.CycleQuanta),
+                 static_cast<unsigned long long>(Demo.CycleTracedBytes),
+                 static_cast<unsigned long long>(Demo.CycleBudgetBytes),
+                 Demo.CycleSerialDegraded ? " [watchdog: serial-degraded]"
+                                          : "");
   }
 
   if (Demo.DegradationEventsTotal != 0) {

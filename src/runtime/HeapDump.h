@@ -55,6 +55,20 @@ struct HeapDemographics {
   uint64_t DegradationEventsTotal = 0;
   std::array<uint64_t, NumDegradationKinds> DegradationCounts{};
   std::vector<std::string> RecentDegradations;
+  /// Open-incremental-cycle state (Heap::incrementalCycleInfo mirror;
+  /// all-zero when no cycle is open). A heap dumped mid-cycle is mostly
+  /// explained by these: the boundary/black window says what is
+  /// threatened, the gray backlog says how far marking got.
+  bool CycleActive = false;
+  core::AllocClock CycleBoundary = 0;
+  core::AllocClock CycleBlackClock = 0;
+  uint64_t CycleGrayObjects = 0;
+  uint64_t CycleGrayBytes = 0;
+  uint64_t CyclePendingGrayObjects = 0;
+  uint64_t CycleTracedBytes = 0;
+  uint64_t CycleQuanta = 0;
+  uint64_t CycleBudgetBytes = 0;
+  bool CycleSerialDegraded = false;
 };
 
 /// Collects a demographics snapshot of \p H. \p BaseAgeBytes is the width

@@ -55,6 +55,11 @@ public:
 
   bool isAlive() const { return Magic == MagicAlive; }
   bool isMarked() const { return (Flags & FlagMarked) != 0; }
+  /// Raw mark + claim bits, for the verifier's flag-hygiene check (no
+  /// resident object may carry either outside a collection).
+  uint8_t traceFlags() const {
+    return Flags & static_cast<uint8_t>(FlagMarked | FlagClaimed);
+  }
 
   /// Reads pointer slot \p Index (no barrier needed for reads).
   Object *slot(uint32_t Index) const {

@@ -127,12 +127,18 @@ public:
   /// and a single shared cursor all lanes contend on.
   void degradeNextRound() { DegradeNextRound = true; }
 
+  /// Degrades every round for this lane set's lifetime (the watchdog's
+  /// serial fallback after repeated deadline violations): same mechanism
+  /// as degradeNextRound, but sticky. Results stay bit-identical; only
+  /// scheduling changes.
+  void degradeAllRounds() { DegradeAllRounds = true; }
+
   /// Scans Items[0..N) across the lanes; Scan(Object*, TraceLane&) must
   /// only touch its lane's buffers and lane-safe (atomic) object state.
   template <typename ScanFn>
   void scanRound(Object *const *Items, size_t N, const ScanFn &Scan) {
     const unsigned L = numLanes();
-    const bool Degrade = DegradeNextRound;
+    const bool Degrade = DegradeNextRound || DegradeAllRounds;
     DegradeNextRound = false;
     for (TraceLane &Lane : Lanes)
       Lane.ChildCap = Degrade ? 0 : TraceLaneChildCap;
@@ -197,6 +203,7 @@ private:
   bool CanFanOut;
   std::vector<TraceLane> Lanes;
   bool DegradeNextRound = false;
+  bool DegradeAllRounds = false;
   std::vector<Object *> Overflow;
   std::mutex OverflowMutex;
 };

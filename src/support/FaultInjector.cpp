@@ -20,6 +20,12 @@ const char *dtb::faultSiteName(FaultSite Site) {
     return "trace-io";
   case FaultSite::ParallelTrace:
     return "parallel-trace";
+  case FaultSite::IncrementalStep:
+    return "incremental-step";
+  case FaultSite::CycleAbort:
+    return "cycle-abort";
+  case FaultSite::WatchdogDeadline:
+    return "watchdog-deadline";
   }
   unreachable("covered switch");
 }

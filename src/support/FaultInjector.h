@@ -64,12 +64,27 @@ enum class FaultSite : unsigned {
   /// forcing maximal steal contention / lane starvation orderings.
   /// Results stay bit-identical; only scheduling pressure changes.
   ParallelTrace,
+  /// Heap::incrementalScavengeStep entry — the embedder's trace quantum
+  /// "fails" before it runs (cancelled slice, preempted helper thread);
+  /// the heap recovers by aborting the open cycle, which is always safe.
+  IncrementalStep,
+  /// Heap::abortIncrementalScavenge — the abort's barrier-bookkeeping
+  /// rollback "fails"; the heap stays safe by pessimizing the next
+  /// collection to a full one (TB = 0), exactly like a remembered-set
+  /// loss.
+  CycleAbort,
+  /// Pause-deadline watchdog, consulted once per trace quantum — an
+  /// injected fault counts as a deadline violation even when no deadline
+  /// is configured, driving the retry-halving budget backoff and (after K
+  /// consecutive violations) serial-degraded tracing.
+  WatchdogDeadline,
 };
 
-inline constexpr unsigned NumFaultSites = 6;
+inline constexpr unsigned NumFaultSites = 9;
 
 /// Stable lowercase identifier for a site ("allocation", "write-barrier",
-/// "remset-insert", "policy-evaluation", "trace-io", "parallel-trace").
+/// "remset-insert", "policy-evaluation", "trace-io", "parallel-trace",
+/// "incremental-step", "cycle-abort", "watchdog-deadline").
 const char *faultSiteName(FaultSite Site);
 
 /// Deterministic fault source. Not thread-safe; install one per thread

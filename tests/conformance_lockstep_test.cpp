@@ -66,6 +66,26 @@ INSTANTIATE_TEST_SUITE_P(AllPaperPolicies, LockstepPolicyTest,
                            return std::string(Info.param);
                          });
 
+TEST(LockstepTest, AbortProbeLeavesLockstepUnchanged) {
+  // Abort-equivalence: opening an incremental cycle, tracing a few quanta,
+  // and aborting it before every runtime collection must leave every
+  // lockstep comparison — boundary, traced bytes, per-epoch demographics —
+  // exactly as if the probe never ran.
+  for (const char *Policy : {"full", "dtbmem"}) {
+    for (uint64_t Budget : {uint64_t(0), uint64_t(2048)}) {
+      LockstepConfig Config = smallConfig(Policy);
+      Config.AbortProbe = true;
+      Config.ScavengeBudgetBytes = Budget;
+      trace::Trace T = steadyTrace(512 * 1024, /*Seed=*/7, Config.Links);
+      LockstepResult Result = runLockstep(T, Config);
+      EXPECT_TRUE(Result.agreed())
+          << "policy=" << Policy << " budget=" << Budget << "\n"
+          << divergenceSummary(Result);
+      EXPECT_GT(Result.Sim.size(), 4u) << "workload too small to scavenge";
+    }
+  }
+}
+
 TEST(LockstepTest, AgreesWithEveryLinkMode) {
   for (LinkMode Links :
        {LinkMode::None, LinkMode::Forward, LinkMode::Backward}) {

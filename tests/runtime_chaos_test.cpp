@@ -17,6 +17,8 @@
 #include "support/FaultInjector.h"
 #include "support/Random.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -47,7 +49,9 @@ TEST_P(ChaosTest, EverythingAtOnceStaysSound) {
   std::vector<Object **> Roots;
   std::vector<Object *> PinnedObjects;
   std::vector<std::unique_ptr<WeakRef>> Weaks;
-  Rng R(GetParam().Seed);
+  uint64_t Seed = test::effectiveSeed(GetParam().Seed);
+  DTB_SCOPED_SEED_TRACE(Seed);
+  Rng R(Seed);
 
   for (int Step = 0; Step != 1'500; ++Step) {
     double Action = R.nextDouble();
@@ -159,7 +163,9 @@ TEST_P(FaultChaosTest, DegradesGracefullyNeverAborts) {
   PolicyConfig.MemMaxBytes = 192 * 1024;
   H.setPolicy(core::createPolicy("dtbmem", PolicyConfig));
 
-  FaultInjector Injector(GetParam().Seed * 977 + 1);
+  uint64_t Seed = test::effectiveSeed(GetParam().Seed);
+  DTB_SCOPED_SEED_TRACE(Seed);
+  FaultInjector Injector(Seed * 977 + 1);
   Injector.setProbability(FaultSite::Allocation, 0.01);
   Injector.setProbability(FaultSite::WriteBarrier, 0.02);
   Injector.setProbability(FaultSite::RemSetInsert, 0.02);
@@ -170,7 +176,7 @@ TEST_P(FaultChaosTest, DegradesGracefullyNeverAborts) {
   std::vector<Object **> Roots;
   std::vector<Object *> PinnedObjects;
   std::vector<std::unique_ptr<WeakRef>> Weaks;
-  Rng R(GetParam().Seed);
+  Rng R(Seed);
 
   for (int Step = 0; Step != 1'200; ++Step) {
     double Action = R.nextDouble();

@@ -18,6 +18,8 @@
 #include "report/GhostMutator.h"
 #include "support/FaultInjector.h"
 
+#include "TestSeeds.h"
+
 #include <gtest/gtest.h>
 
 #include <string>
@@ -92,7 +94,9 @@ RunResult runGhost(CollectorKind Kind, unsigned Lanes,
   H.setPolicy(core::createPolicy(Policy, PolicyConfig));
 
   HandleScope Scope(H);
-  report::GhostMutator Mutator(H, Scope, /*Seed=*/0x61057);
+  uint64_t Seed = test::effectiveSeed(0x61057);
+  DTB_SCOPED_SEED_TRACE(Seed);
+  report::GhostMutator Mutator(H, Scope, Seed);
   Mutator.run(300'000);
   return snapshot(H);
 }
@@ -245,7 +249,9 @@ TEST(ParallelTraceChaosTest, DegradedRoundsOverflowWithoutChangingResults) {
     // Degrade every round: zero private child caps force every discovered
     // child through the shared overflow list, and all lanes contend on a
     // single cursor (maximal steal contention / starvation ordering).
-    FaultInjector Injector(/*Seed=*/7);
+    uint64_t FaultSeed = test::effectiveSeed(7);
+    DTB_SCOPED_SEED_TRACE(FaultSeed);
+    FaultInjector Injector(FaultSeed);
     Injector.setProbability(FaultSite::ParallelTrace, 1.0);
     {
       FaultInjectionScope FaultScope(Injector);
