@@ -3,7 +3,7 @@
 // Part of the dtbgc project (Barrett & Zorn DTB reproduction).
 //
 // One driver for every perf measurement in the repo. Runs a declared suite
-// (quick / paper / runtime / timing) with warmup and repeated wall
+// (quick / paper / runtime / timing / server) with warmup and repeated wall
 // measurements, and emits a schema-versioned BENCH_<suite>.json record
 // carrying git SHA, build flags, thread count, every deterministic metric,
 // and the per-phase cost attribution from the scoped phase profiler.

@@ -9,8 +9,9 @@
 // with both sides' telemetry, to the artifacts directory.
 //
 // Two modes:
-//   --quick   small steady-state traces with tight constraints (~seconds);
-//             also runs the seeded-mutation self-test. This is the CI job.
+//   --quick   small steady-state traces plus a downscaled server scenario
+//             with tight constraints (~seconds); also runs the
+//             seeded-mutation self-test. This is the CI job.
 //   default   the paper's six calibrated workloads under the paper's
 //             constraint parameters.
 //
@@ -22,6 +23,7 @@
 #include "conformance/Conformance.h"
 
 #include "core/Policies.h"
+#include "serverload/ServerLoad.h"
 #include "support/CommandLine.h"
 #include "support/ThreadPool.h"
 #include "workload/Workload.h"
@@ -254,6 +256,12 @@ int main(int Argc, char **Argv) {
           "steady" + std::to_string(Seed),
           workload::generateTrace(
               workload::makeSteadyStateSpec(192 * 1024, Seed)));
+    // One downscaled server scenario, so the sim-vs-runtime oracle also
+    // holds on the bimodal request/session shape (non-paper workloads).
+    Traces.emplace_back(
+        "frontend",
+        serverload::generateServerTrace(serverload::scaledScenario(
+            *serverload::findServerScenario("frontend"), 192 * 1024)));
   } else {
     for (const workload::WorkloadSpec &Spec : workload::paperWorkloads())
       Traces.emplace_back(Spec.Name, workload::generateTrace(Spec));

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Policies.h"
+#include "serverload/ServerLoad.h"
 #include "sim/Simulator.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
@@ -36,13 +37,16 @@ int main(int Argc, char **Argv) {
   std::string SavePath;
   uint64_t TotalBytes = 20'000'000;
   uint64_t Seed = 1;
-  uint64_t TriggerBytes = 1'000'000;
-  uint64_t TraceMax = 50'000;
-  uint64_t MemMax = 3'000'000;
+  uint64_t TriggerBytes = 0;
+  uint64_t TraceMax = 0;
+  uint64_t MemMax = 0;
 
   OptionParser Parser("Runs every collector policy over an allocation "
                       "trace and prints the comparison tables");
-  Parser.addString("workload", "Workload: steady or a paper workload name",
+  Parser.addString("workload",
+                   "Workload: steady, a paper workload name, or a server "
+                   "scenario (frontend, diurnal, flashcrowd, bigdata, "
+                   "multitenant)",
                    &WorkloadName);
   Parser.addString("load", "Load a trace file instead of generating",
                    &LoadPath);
@@ -50,10 +54,14 @@ int main(int Argc, char **Argv) {
   Parser.addUInt("bytes", "Total allocation for the steady workload",
                  &TotalBytes);
   Parser.addUInt("seed", "Generator seed", &Seed);
-  Parser.addUInt("trigger", "Bytes allocated between scavenges",
+  Parser.addUInt("trigger",
+                 "Bytes allocated between scavenges (0 = workload default)",
                  &TriggerBytes);
-  Parser.addUInt("trace-max", "Pause budget in traced bytes", &TraceMax);
-  Parser.addUInt("mem-max", "Memory budget in bytes", &MemMax);
+  Parser.addUInt("trace-max",
+                 "Pause budget in traced bytes (0 = workload default)",
+                 &TraceMax);
+  Parser.addUInt("mem-max", "Memory budget in bytes (0 = workload default)",
+                 &MemMax);
   telemetry::TelemetryOptions TelemetryOpts;
   telemetry::addTelemetryOptions(Parser, &TelemetryOpts);
   if (!Parser.parse(Argc, Argv))
@@ -80,6 +88,18 @@ int main(int Argc, char **Argv) {
                  workload::findWorkload(WorkloadName)) {
     T = workload::generateTrace(*Spec);
     ProgramSeconds = Spec->ProgramSeconds;
+  } else if (const serverload::ServerScenario *Scenario =
+                 serverload::findServerScenario(WorkloadName)) {
+    T = serverload::generateServerTrace(*Scenario);
+    ProgramSeconds = Scenario->ProgramSeconds;
+    // Server scenarios carry their own suggested constraint set, scaled to
+    // their live levels; the flags still override.
+    if (TriggerBytes == 0)
+      TriggerBytes = Scenario->TriggerBytes;
+    if (TraceMax == 0)
+      TraceMax = Scenario->TraceMaxBytes;
+    if (MemMax == 0)
+      MemMax = Scenario->MemMaxBytes;
   } else if (WorkloadName == "steady") {
     workload::WorkloadSpec Spec =
         workload::makeSteadyStateSpec(TotalBytes, Seed);
@@ -98,6 +118,14 @@ int main(int Argc, char **Argv) {
     }
     std::printf("trace written to %s\n\n", SavePath.c_str());
   }
+
+  // Paper-parameter defaults for everything without its own constraint set.
+  if (TriggerBytes == 0)
+    TriggerBytes = 1'000'000;
+  if (TraceMax == 0)
+    TraceMax = 50'000;
+  if (MemMax == 0)
+    MemMax = 3'000'000;
 
   // --- Describe it --------------------------------------------------------
   trace::TraceStats Stats = trace::computeTraceStats(T);

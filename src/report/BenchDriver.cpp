@@ -7,6 +7,7 @@
 #include "report/Experiments.h"
 #include "report/GhostMutator.h"
 #include "runtime/Heap.h"
+#include "serverload/ServerLoad.h"
 #include "sim/Simulator.h"
 #include "support/Error.h"
 #include "support/Statistics.h"
@@ -166,6 +167,101 @@ void runSimGridStage(const std::vector<workload::WorkloadSpec> &Workloads,
     Record.addExact(Prefix + "pause_p90_ms", "ms",
                     R.PauseMillis.percentile90());
     Merged.mergeFrom(Cells[I].Profile);
+  }
+}
+
+/// Runs the (server scenario x policy) sim grid with tail metrics. Mirrors
+/// runSimGridStage's determinism recipe (preassigned slots, serial fixed-
+/// order fold) but adds the two tail families the server suite gates:
+/// machine-model pause quantiles out to p99.9, and the memory-*overshoot*
+/// distribution — per scavenge, resident bytes just before the collection
+/// minus the trace's oracle live bytes at that clock, i.e. the floating
+/// garbage the policy allowed to accumulate. Each scenario runs under its
+/// own suggested trigger/constraint set (the scenarios differ in live
+/// level by design). Pass null \p Record / \p Merged for a pure wall pass.
+void runServerGridStage(unsigned Threads, BenchRecord *Record,
+                        profiling::PhaseProfiler *Merged) {
+  const std::vector<serverload::ServerScenario> &Scenarios =
+      serverload::serverScenarios();
+  const std::vector<std::string> &Policies = core::paperPolicyNames();
+
+  PoolSelection Pool(Threads);
+  std::vector<trace::Trace> Traces(Scenarios.size());
+  parallelFor(
+      Scenarios.size(),
+      [&](size_t S) {
+        Traces[S] = serverload::generateServerTrace(Scenarios[S]);
+      },
+      Pool.pool());
+
+  struct Cell {
+    sim::SimulationResult Result;
+    SampleSet OvershootBytes;
+    profiling::PhaseProfiler Profile;
+  };
+  std::vector<Cell> Cells(Scenarios.size() * Policies.size());
+  parallelFor(
+      Cells.size(),
+      [&](size_t I) {
+        size_t S = I / Policies.size();
+        size_t P = I % Policies.size();
+        const serverload::ServerScenario &Scenario = Scenarios[S];
+        core::PolicyConfig PolicyConfig;
+        PolicyConfig.TraceMaxBytes = Scenario.TraceMaxBytes;
+        PolicyConfig.MemMaxBytes = Scenario.MemMaxBytes;
+        sim::SimulatorConfig SimConfig;
+        SimConfig.TriggerBytes = Scenario.TriggerBytes;
+        SimConfig.ProgramSeconds = Scenario.ProgramSeconds;
+        if (Merged) {
+          Cells[I].Profile.setEnabled(true);
+          SimConfig.Profiler = &Cells[I].Profile;
+        }
+        std::unique_ptr<core::BoundaryPolicy> Policy =
+            core::createPolicy(Policies[P], PolicyConfig);
+        Cells[I].Result = sim::simulate(Traces[S], *Policy, SimConfig);
+
+        const std::vector<core::ScavengeRecord> &History =
+            Cells[I].Result.History.records();
+        std::vector<trace::AllocClock> Times;
+        Times.reserve(History.size());
+        for (const core::ScavengeRecord &R : History)
+          Times.push_back(R.Time);
+        std::vector<uint64_t> Live = trace::liveBytesAt(Traces[S], Times);
+        for (size_t N = 0; N != History.size(); ++N) {
+          uint64_t Mem = History[N].MemBeforeBytes;
+          Cells[I].OvershootBytes.add(
+              Mem > Live[N] ? static_cast<double>(Mem - Live[N]) : 0.0);
+        }
+      },
+      Pool.pool());
+
+  if (!Record)
+    return;
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    size_t S = I / Policies.size();
+    size_t P = I % Policies.size();
+    const sim::SimulationResult &R = Cells[I].Result;
+    std::string Prefix =
+        "server/" + Scenarios[S].Name + "/" + Policies[P] + "/";
+    Record->addExact(Prefix + "pause_p50_ms", "ms", R.PauseMillis.median());
+    Record->addExact(Prefix + "pause_p99_ms", "ms",
+                     R.PauseMillis.quantile(0.99));
+    Record->addExact(Prefix + "pause_p999_ms", "ms",
+                     R.PauseMillis.quantile(0.999));
+    Record->addExact(Prefix + "mem_overshoot_p50_bytes", "bytes",
+                     Cells[I].OvershootBytes.median());
+    Record->addExact(Prefix + "mem_overshoot_p99_bytes", "bytes",
+                     Cells[I].OvershootBytes.quantile(0.99));
+    Record->addExact(Prefix + "mem_overshoot_p999_bytes", "bytes",
+                     Cells[I].OvershootBytes.quantile(0.999));
+    Record->addExact(Prefix + "mem_max_bytes", "bytes",
+                     static_cast<double>(R.MemMaxBytes));
+    Record->addExact(Prefix + "traced_bytes", "bytes",
+                     static_cast<double>(R.TotalTracedBytes));
+    Record->addExact(Prefix + "num_scavenges", "count",
+                     static_cast<double>(R.NumScavenges));
+    if (Merged)
+      Merged->mergeFrom(Cells[I].Profile);
   }
 }
 
@@ -520,7 +616,7 @@ void runTimingStage(const BenchDriverOptions &Options, unsigned Lanes,
 
 const std::vector<std::string> &dtb::report::benchSuiteNames() {
   static const std::vector<std::string> Names = {"quick", "paper", "runtime",
-                                                 "timing"};
+                                                 "timing", "server"};
   return Names;
 }
 
@@ -591,9 +687,18 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
     addProfileToRecord(Runtime, "runtime", Record);
   } else if (Options.Suite == "timing") {
     runTimingStage(Options, Lanes, Record);
+  } else if (Options.Suite == "server") {
+    profiling::PhaseProfiler &Sim = Result.Profiles["sim"];
+    runServerGridStage(Options.Threads, &Record, &Sim);
+    if (Options.IncludeWall)
+      Record.addWall("wall/server/sim_grid_seconds", "seconds",
+                     measureWall(Options, [&] {
+                       runServerGridStage(Options.Threads, nullptr, nullptr);
+                     }));
+    addProfileToRecord(Sim, "sim", Record);
   } else {
     fatalError("unknown bench suite '" + Options.Suite +
-               "' (expected quick, paper, runtime, or timing)");
+               "' (expected quick, paper, runtime, timing, or server)");
   }
   return Result;
 }

@@ -28,6 +28,11 @@
 ///  * timing — the parallel-engine and indexed-heap-query speedups that
 ///             runtime_end_to_end --timing used to emit as timing.*
 ///             gauges, now in the BENCH schema.
+///  * server — the serverload scenario catalog (serverload/ServerLoad.h)
+///             under every paper policy, emitting the tail families the
+///             server story gates: pause p50/p99/p99.9 and
+///             memory-overshoot (floating garbage vs. the trace oracle)
+///             quantiles per scenario x policy.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,361 @@
+//===- serverload/ServerLoad.cpp ------------------------------------------==//
+
+#include "serverload/ServerLoad.h"
+
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dtb;
+using namespace dtb::serverload;
+using trace::AllocClock;
+using trace::AllocationRecord;
+using trace::NeverDies;
+
+//===----------------------------------------------------------------------===//
+// Load curves
+//===----------------------------------------------------------------------===//
+
+double LoadCurve::multiplierAt(double Fraction) const {
+  double F = std::clamp(Fraction, 0.0, 1.0);
+  switch (Kind) {
+  case LoadCurveKind::Flat:
+    return 1.0;
+  case LoadCurveKind::Diurnal: {
+    // Starts at the overnight trough (1x), peaks mid-cycle.
+    constexpr double TwoPi = 6.283185307179586;
+    double Swing = 0.5 * (1.0 - std::cos(TwoPi * Cycles * F));
+    return 1.0 + (PeakMultiplier - 1.0) * Swing;
+  }
+  case LoadCurveKind::Spiky: {
+    for (unsigned I = 0; I != NumSpikes; ++I) {
+      double Center = (static_cast<double>(I) + 0.5) /
+                      static_cast<double>(NumSpikes);
+      if (std::abs(F - Center) <= 0.5 * SpikeFraction)
+        return PeakMultiplier;
+    }
+    return 1.0;
+  }
+  }
+  unreachable("covered switch");
+}
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+trace::Trace
+dtb::serverload::generateServerTrace(const ServerScenario &S,
+                                     std::vector<uint32_t> *TenantOf) {
+  if (S.TotalAllocationBytes == 0)
+    fatalError("server scenario has zero total allocation");
+  if (S.Tenants.empty())
+    fatalError("server scenario has no tenants");
+
+  const uint64_t Total = S.TotalAllocationBytes;
+  const size_t NumTenants = S.Tenants.size();
+
+  // Per-tenant deterministic state, forked from the scenario seed in tenant
+  // order so adding a trailing tenant never perturbs earlier streams.
+  Rng Base(S.Seed);
+  std::vector<Rng> Rngs;
+  std::vector<workload::MixtureSampler> Mixtures;
+  std::vector<double> TargetFraction(NumTenants, 0.0);
+  std::vector<uint64_t> Allocated(NumTenants, 0);
+  std::vector<uint64_t> NextBatch(NumTenants, 0);
+  Rngs.reserve(NumTenants);
+  Mixtures.reserve(NumTenants);
+  double TotalWeight = 0.0;
+  for (const TenantSpec &T : S.Tenants)
+    TotalWeight += T.Weight;
+  if (TotalWeight <= 0.0)
+    fatalError("server scenario tenant weights must be positive");
+  for (size_t I = 0; I != NumTenants; ++I) {
+    Rngs.push_back(Base.fork());
+    Mixtures.emplace_back(S.Tenants[I].Mixture);
+    TargetFraction[I] = S.Tenants[I].Weight / TotalWeight;
+    NextBatch[I] = S.Tenants[I].Churn.BatchPeriodBytes;
+  }
+
+  std::vector<AllocationRecord> Records;
+  Records.reserve(Total / 64 + 16);
+  if (TenantOf)
+    TenantOf->clear();
+
+  auto emit = [&](AllocClock &Clock, uint32_t Size, AllocClock Death,
+                  size_t Tenant) {
+    Clock += Size;
+    AllocationRecord Rec;
+    Rec.Birth = Clock;
+    Rec.Size = Size;
+    Rec.Death = Death;
+    Records.push_back(Rec);
+    Allocated[Tenant] += Size;
+    if (TenantOf)
+      TenantOf->push_back(static_cast<uint32_t>(Tenant));
+  };
+
+  AllocClock Clock = 0;
+  while (Clock < Total) {
+    // Deficit round-robin: the tenant furthest behind its byte budget
+    // allocates next (ties break to the lowest index).
+    size_t Tenant = 0;
+    double BestDeficit = -1.0;
+    for (size_t I = 0; I != NumTenants; ++I) {
+      double Deficit = TargetFraction[I] * static_cast<double>(Clock) -
+                       static_cast<double>(Allocated[I]);
+      if (Deficit > BestDeficit) {
+        BestDeficit = Deficit;
+        Tenant = I;
+      }
+    }
+    const TenantSpec &Spec = S.Tenants[Tenant];
+
+    // Big-data churn rider: rotate in the next long-lived batch once the
+    // clock crosses its period boundary. Batch deaths are structural
+    // (BatchesRetained periods), not stretched by the load curve.
+    const BigDataChurn &Churn = Spec.Churn;
+    if (Churn.BatchPeriodBytes != 0 && Clock >= NextBatch[Tenant]) {
+      NextBatch[Tenant] += Churn.BatchPeriodBytes;
+      AllocClock BatchLife =
+          static_cast<AllocClock>(Churn.BatchesRetained) *
+          Churn.BatchPeriodBytes;
+      uint64_t Remaining = Churn.BatchBytes;
+      while (Remaining != 0) {
+        uint32_t Size = static_cast<uint32_t>(std::min<uint64_t>(
+            std::max<uint32_t>(Churn.ObjectSize, 16), Remaining));
+        AllocClock Birth = Clock + Size;
+        emit(Clock, Size, Birth + BatchLife, Tenant);
+        Remaining -= Size;
+      }
+      continue;
+    }
+
+    // Regular allocation from the tenant's mixture; the load curve
+    // stretches byte-lifetimes at peak rate (a fixed wall-time lifetime
+    // spans more allocated bytes when the heap allocates faster).
+    uint32_t Size = workload::sampleObjectSize(Rngs[Tenant], Spec.Sizes);
+    bool Immortal = false;
+    AllocClock Lifetime =
+        Mixtures[Tenant].sampleLifetime(Rngs[Tenant], &Immortal);
+    AllocClock Birth = Clock + Size;
+    AllocClock Death = NeverDies;
+    if (!Immortal) {
+      double Mult = S.Curve.multiplierAt(static_cast<double>(Birth) /
+                                         static_cast<double>(Total));
+      Death = Birth + static_cast<AllocClock>(
+                          static_cast<double>(Lifetime) * Mult);
+    }
+    emit(Clock, Size, Death, Tenant);
+  }
+  return trace::Trace(std::move(Records));
+}
+
+//===----------------------------------------------------------------------===//
+// Scenario catalog
+//===----------------------------------------------------------------------===//
+//
+// Sizing rationale: totals of 3-4 MB give each scenario ~150-250 scavenges
+// at its suggested trigger — enough samples for meaningful p99/p99.9
+// nearest-rank quantiles while keeping the full server grid (scenarios x
+// policies) under a couple of seconds in the bench driver. Steady live
+// levels follow Little's law (weight w x mean lifetime m => w*m live
+// bytes), and MemMaxBytes leaves ~2x headroom over the curve-stretched
+// live peak so the memory-constrained policies have a feasible target.
+
+namespace {
+
+using workload::LifetimeClass;
+using workload::LifetimeKind;
+
+LifetimeClass expClass(double Weight, double MeanBytes) {
+  return {Weight, LifetimeKind::Exponential, MeanBytes, 0.0};
+}
+
+LifetimeClass uniformClass(double Weight, double LoBytes, double HiBytes) {
+  return {Weight, LifetimeKind::Uniform, LoBytes, HiBytes};
+}
+
+LifetimeClass immortalClass(double Weight) {
+  return {Weight, LifetimeKind::Immortal, 0.0, 0.0};
+}
+
+/// The canonical request/session bimodal tenant: ~90% of bytes die within
+/// a request window, a session-cache tail lives ~25-75x longer, and a
+/// small immortal trickle models interned metadata.
+TenantSpec frontendTenant() {
+  TenantSpec T;
+  T.Name = "web";
+  T.Weight = 1.0;
+  T.Mixture = {expClass(0.90, 24.0e3), uniformClass(0.09, 300.0e3, 900.0e3),
+               immortalClass(0.01)};
+  return T;
+}
+
+std::vector<ServerScenario> buildCatalog() {
+  std::vector<ServerScenario> Catalog;
+
+  {
+    ServerScenario S;
+    S.Name = "frontend";
+    S.DisplayName = "FRONTEND";
+    S.Description = "request/session bimodal lifetimes, steady load";
+    S.TotalAllocationBytes = 3'000'000;
+    S.ProgramSeconds = 2.5;
+    S.Seed = 0x5e12f001;
+    S.Curve = {LoadCurveKind::Flat, 1.0, 1.0, 0.05, 1};
+    S.Tenants = {frontendTenant()};
+    S.TriggerBytes = 16'384;
+    S.TraceMaxBytes = 49'152;
+    S.MemMaxBytes = 524'288;
+    Catalog.push_back(std::move(S));
+  }
+
+  {
+    ServerScenario S;
+    S.Name = "diurnal";
+    S.DisplayName = "DIURNAL";
+    S.Description = "bimodal lifetimes under a 3x day/night load swing";
+    S.TotalAllocationBytes = 3'000'000;
+    S.ProgramSeconds = 2.5;
+    S.Seed = 0x5e12f002;
+    S.Curve = {LoadCurveKind::Diurnal, 3.0, 2.0, 0.05, 1};
+    S.Tenants = {frontendTenant()};
+    S.TriggerBytes = 16'384;
+    S.TraceMaxBytes = 49'152;
+    S.MemMaxBytes = 786'432;
+    Catalog.push_back(std::move(S));
+  }
+
+  {
+    ServerScenario S;
+    S.Name = "flashcrowd";
+    S.DisplayName = "FLASHCROWD";
+    S.Description = "bimodal lifetimes with three 6x flash-crowd spikes";
+    S.TotalAllocationBytes = 3'000'000;
+    S.ProgramSeconds = 2.5;
+    S.Seed = 0x5e12f003;
+    S.Curve = {LoadCurveKind::Spiky, 6.0, 1.0, 0.04, 3};
+    S.Tenants = {frontendTenant()};
+    S.TriggerBytes = 16'384;
+    S.TraceMaxBytes = 49'152;
+    S.MemMaxBytes = 786'432;
+    Catalog.push_back(std::move(S));
+  }
+
+  {
+    ServerScenario S;
+    S.Name = "bigdata";
+    S.DisplayName = "BIGDATA";
+    S.Description = "short-lived requests under rotating long-lived batches";
+    S.TotalAllocationBytes = 4'000'000;
+    S.ProgramSeconds = 3.2;
+    S.Seed = 0x5e12f004;
+    S.Curve = {LoadCurveKind::Flat, 1.0, 1.0, 0.05, 1};
+    TenantSpec T;
+    T.Name = "analytics";
+    T.Weight = 1.0;
+    T.Mixture = {expClass(0.95, 16.0e3), uniformClass(0.04, 100.0e3, 300.0e3),
+                 immortalClass(0.01)};
+    T.Churn = {262'144, 65'536, 8192, 3};
+    S.Tenants = {std::move(T)};
+    S.TriggerBytes = 16'384;
+    S.TraceMaxBytes = 49'152;
+    S.MemMaxBytes = 786'432;
+    Catalog.push_back(std::move(S));
+  }
+
+  {
+    ServerScenario S;
+    S.Name = "multitenant";
+    S.DisplayName = "MULTITENANT";
+    S.Description = "three tenants (api/batch/cache) under a 2x diurnal swing";
+    S.TotalAllocationBytes = 4'000'000;
+    S.ProgramSeconds = 3.2;
+    S.Seed = 0x5e12f005;
+    S.Curve = {LoadCurveKind::Diurnal, 2.0, 1.0, 0.05, 1};
+
+    TenantSpec Api;
+    Api.Name = "api";
+    Api.Weight = 0.5;
+    Api.Mixture = {expClass(0.915, 12.0e3), uniformClass(0.08, 200.0e3, 600.0e3),
+                   immortalClass(0.005)};
+
+    TenantSpec Batch;
+    Batch.Name = "batch";
+    Batch.Weight = 0.3;
+    Batch.Sizes.LogMean = 4.5; // Larger buffers than the request tenants.
+    Batch.Mixture = {expClass(0.3, 30.0e3), uniformClass(0.7, 50.0e3, 150.0e3)};
+
+    TenantSpec Cache;
+    Cache.Name = "cache";
+    Cache.Weight = 0.2;
+    Cache.Mixture = {expClass(0.48, 8.0e3),
+                     uniformClass(0.5, 400.0e3, 1'200.0e3),
+                     immortalClass(0.02)};
+
+    S.Tenants = {std::move(Api), std::move(Batch), std::move(Cache)};
+    S.TriggerBytes = 16'384;
+    S.TraceMaxBytes = 49'152;
+    S.MemMaxBytes = 1'048'576;
+    Catalog.push_back(std::move(S));
+  }
+
+  return Catalog;
+}
+
+} // namespace
+
+const std::vector<ServerScenario> &dtb::serverload::serverScenarios() {
+  static const std::vector<ServerScenario> Catalog = buildCatalog();
+  return Catalog;
+}
+
+const ServerScenario *
+dtb::serverload::findServerScenario(const std::string &Name) {
+  for (const ServerScenario &S : serverScenarios())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+ServerScenario dtb::serverload::scaledScenario(const ServerScenario &S,
+                                               uint64_t TotalBytes) {
+  assert(S.TotalAllocationBytes != 0 && "cannot scale an empty scenario");
+  ServerScenario Out = S;
+  double Ratio = static_cast<double>(TotalBytes) /
+                 static_cast<double>(S.TotalAllocationBytes);
+  Out.TotalAllocationBytes = TotalBytes;
+  Out.ProgramSeconds = S.ProgramSeconds * Ratio;
+  for (TenantSpec &T : Out.Tenants) {
+    for (LifetimeClass &C : T.Mixture) {
+      C.ParamA *= Ratio;
+      C.ParamB *= Ratio;
+    }
+    if (T.Churn.BatchPeriodBytes != 0) {
+      T.Churn.BatchPeriodBytes = std::max<uint64_t>(
+          1024, static_cast<uint64_t>(
+                    static_cast<double>(T.Churn.BatchPeriodBytes) * Ratio));
+      T.Churn.BatchBytes = std::max<uint64_t>(
+          256, static_cast<uint64_t>(
+                   static_cast<double>(T.Churn.BatchBytes) * Ratio));
+      T.Churn.ObjectSize = std::max<uint32_t>(
+          16, static_cast<uint32_t>(
+                  static_cast<double>(T.Churn.ObjectSize) * Ratio));
+    }
+  }
+  // Harness constraints shrink with the trace but keep workable floors.
+  Out.TriggerBytes = std::max<uint64_t>(
+      4096,
+      static_cast<uint64_t>(static_cast<double>(S.TriggerBytes) * Ratio));
+  Out.TraceMaxBytes = std::max<uint64_t>(
+      4096,
+      static_cast<uint64_t>(static_cast<double>(S.TraceMaxBytes) * Ratio));
+  Out.MemMaxBytes = std::max<uint64_t>(
+      16'384,
+      static_cast<uint64_t>(static_cast<double>(S.MemMaxBytes) * Ratio));
+  return Out;
+}

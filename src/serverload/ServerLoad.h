@@ -1,0 +1,141 @@
+//===- serverload/ServerLoad.h - Server-shaped workloads -------*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Server-scale synthetic workload generators. The paper's traces are four
+/// 1993 batch programs; this module generates the allocation shapes a
+/// modern server heap sees, so the threatening-boundary policies can be
+/// stress-tested for *tail* behaviour (pause p99/p99.9, memory overshoot)
+/// rather than means:
+///
+///  - request/session bimodality: most objects die within a request, a
+///    session-cache tail lives orders of magnitude longer;
+///  - diurnal and flash-crowd load curves: the allocation rate swings over
+///    the run, stretching object byte-lifetimes during peaks (an object
+///    that lives a fixed wall time spans more allocated bytes when the
+///    heap allocates faster);
+///  - NG2C-style big-data churn: periodic large, long-lived batches rotate
+///    above the request working set;
+///  - multi-tenancy: K tenant streams with per-tenant byte budgets
+///    interleaved deficit-round-robin on the shared allocation clock.
+///
+/// Scenarios reuse the mixture-of-lifetime-classes core from
+/// workload/Workload.h and are fully deterministic in (scenario, seed).
+/// The catalog is enumerated by bench_driver --suite server,
+/// conformance_runner, and examples/simulate_trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_SERVERLOAD_SERVERLOAD_H
+#define DTB_SERVERLOAD_SERVERLOAD_H
+
+#include "trace/Trace.h"
+#include "workload/Workload.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtb {
+namespace serverload {
+
+/// Shape of the load curve over the run.
+enum class LoadCurveKind {
+  /// Constant allocation rate.
+  Flat,
+  /// Smooth day/night cosine swing between 1x and PeakMultiplier.
+  Diurnal,
+  /// Baseline 1x with NumSpikes evenly spaced flash crowds at
+  /// PeakMultiplier, each covering SpikeFraction of the run.
+  Spiky,
+};
+
+/// Allocation-rate modulation over the run. In an allocation-clock trace
+/// the clock *is* bytes allocated, so rate modulation manifests as
+/// byte-lifetime stretching: at clock fraction f, sampled lifetimes are
+/// multiplied by multiplierAt(f).
+struct LoadCurve {
+  LoadCurveKind Kind = LoadCurveKind::Flat;
+  /// Peak allocation-rate multiplier (>= 1).
+  double PeakMultiplier = 1.0;
+  /// Diurnal: number of full day cycles over the run.
+  double Cycles = 1.0;
+  /// Spiky: fraction of the run covered by each spike.
+  double SpikeFraction = 0.05;
+  /// Spiky: number of evenly spaced spikes.
+  unsigned NumSpikes = 1;
+
+  /// Rate multiplier at run fraction \p Fraction (clamped into [0, 1]).
+  double multiplierAt(double Fraction) const;
+};
+
+/// NG2C-style big-data churn rider: every BatchPeriodBytes of
+/// allocation-clock advance, a batch of BatchBytes in ObjectSize chunks is
+/// allocated and retained for BatchesRetained periods (unstretched by the
+/// load curve), so BatchesRetained batches rotate live above the request
+/// working set. BatchPeriodBytes == 0 disables.
+struct BigDataChurn {
+  uint64_t BatchPeriodBytes = 0;
+  uint64_t BatchBytes = 0;
+  uint32_t ObjectSize = 8192;
+  unsigned BatchesRetained = 2;
+};
+
+/// One tenant's allocation stream.
+struct TenantSpec {
+  std::string Name;
+  /// Share of the scenario's total bytes (relative; need not sum to 1).
+  double Weight = 1.0;
+  workload::SizeModel Sizes;
+  /// Lifetime mixture (bytes of subsequent allocation); bimodal
+  /// request/session shapes are expressed here.
+  std::vector<workload::LifetimeClass> Mixture;
+  BigDataChurn Churn;
+};
+
+/// A named, composable server scenario: tenants x load curve, plus the
+/// simulation constraints the bench/conformance harnesses should use.
+struct ServerScenario {
+  std::string Name;
+  std::string DisplayName;
+  std::string Description;
+  uint64_t TotalAllocationBytes = 0;
+  /// Mutator seconds at the paper's machine model (for pause accounting).
+  double ProgramSeconds = 0.0;
+  uint64_t Seed = 1;
+  LoadCurve Curve;
+  std::vector<TenantSpec> Tenants;
+
+  /// Suggested harness constraints, pre-scaled to the scenario's live set.
+  uint64_t TriggerBytes = 32'768;
+  uint64_t TraceMaxBytes = 49'152;
+  uint64_t MemMaxBytes = 1'048'576;
+};
+
+/// Generates the allocation trace for \p S. Deterministic in the scenario
+/// (including its seed) — byte-identical on every platform and thread
+/// count. If \p TenantOf is non-null it receives, per record, the index
+/// into S.Tenants of the tenant that allocated it.
+trace::Trace generateServerTrace(const ServerScenario &S,
+                                 std::vector<uint32_t> *TenantOf = nullptr);
+
+/// The scenario catalog, in bench-suite order: frontend, diurnal,
+/// flashcrowd, bigdata, multitenant.
+const std::vector<ServerScenario> &serverScenarios();
+
+/// Finds a catalog scenario by name; returns nullptr if unknown.
+const ServerScenario *findServerScenario(const std::string &Name);
+
+/// Returns \p S rescaled so the trace totals \p TotalBytes: lifetimes,
+/// churn periods, and harness constraints shrink proportionally (with
+/// small floors), preserving the scenario's shape. Used to downscale
+/// catalog scenarios for the conformance --quick grid.
+ServerScenario scaledScenario(const ServerScenario &S, uint64_t TotalBytes);
+
+} // namespace serverload
+} // namespace dtb
+
+#endif // DTB_SERVERLOAD_SERVERLOAD_H

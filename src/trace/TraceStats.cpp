@@ -153,3 +153,27 @@ std::vector<uint64_t> dtb::trace::sampleLiveProfile(const Trace &T,
     Points[NextPoint++] = PrevLive;
   return Points;
 }
+
+std::vector<uint64_t>
+dtb::trace::liveBytesAt(const Trace &T,
+                        const std::vector<AllocClock> &Clocks) {
+  assert(std::is_sorted(Clocks.begin(), Clocks.end()) &&
+         "query clocks must be non-decreasing");
+  std::vector<uint64_t> Levels(Clocks.size(), 0);
+  if (T.empty() || Clocks.empty())
+    return Levels;
+  size_t Next = 0;
+  uint64_t PrevLive = 0;
+  sweepLiveBytes(T, [&](AllocClock Clock, uint64_t Live) {
+    // Queries strictly before this step keep the previous level; a query at
+    // exactly this clock sees the post-step level (Birth <= C < Death).
+    while (Next != Clocks.size() && Clocks[Next] <= Clock) {
+      Levels[Next] = Clocks[Next] == Clock ? Live : PrevLive;
+      ++Next;
+    }
+    PrevLive = Live;
+  });
+  while (Next != Clocks.size())
+    Levels[Next++] = PrevLive;
+  return Levels;
+}

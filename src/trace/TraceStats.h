@@ -57,6 +57,15 @@ TraceStats computeTraceStats(const Trace &T);
 /// (i+1) * total/NumPoints.
 std::vector<uint64_t> sampleLiveProfile(const Trace &T, size_t NumPoints);
 
+/// Oracle live bytes at each clock in \p Clocks (objects with
+/// Birth <= C < Death, deaths past the end of the trace counting as
+/// immortal — the same convention as computeTraceStats). \p Clocks must be
+/// non-decreasing. One chronological sweep: O(n log n + |Clocks|). The
+/// bench driver subtracts this from per-scavenge resident bytes to get the
+/// collector's memory overshoot (floating-garbage) profile.
+std::vector<uint64_t> liveBytesAt(const Trace &T,
+                                  const std::vector<AllocClock> &Clocks);
+
 } // namespace trace
 } // namespace dtb
 

@@ -19,30 +19,34 @@ using trace::NeverDies;
 // Generator
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-uint32_t sampleSize(Rng &R, const SizeModel &Model) {
+uint32_t dtb::workload::sampleObjectSize(Rng &R, const SizeModel &Model) {
   double Size = R.nextLogNormal(Model.LogMean, Model.LogSigma);
   Size = std::clamp(Size, static_cast<double>(Model.MinSize),
                     static_cast<double>(Model.MaxSize));
   return static_cast<uint32_t>(Size);
 }
 
-/// Picks a class index by weight.
-size_t sampleClass(Rng &R, const std::vector<LifetimeClass> &Classes,
-                   double TotalWeight) {
-  double Pick = R.nextDouble() * TotalWeight;
-  for (size_t I = 0; I != Classes.size(); ++I) {
-    Pick -= Classes[I].Weight;
-    if (Pick < 0.0)
-      return I;
-  }
-  return Classes.size() - 1; // Rounding fell off the end.
+MixtureSampler::MixtureSampler(std::vector<LifetimeClass> InClasses)
+    : Classes(std::move(InClasses)) {
+  assert(!Classes.empty() && "mixture without lifetime classes");
+  for (const LifetimeClass &C : Classes)
+    TotalWeight += C.Weight;
+  assert(TotalWeight > 0.0 && "mixture weights must be positive");
 }
 
-/// Samples a lifetime in bytes; NeverDies-like lifetimes return no value.
-AllocClock sampleLifetime(Rng &R, const LifetimeClass &Class,
-                          bool *Immortal) {
+AllocClock MixtureSampler::sampleLifetime(Rng &R, bool *Immortal) const {
+  // Class pick by weight: one uniform draw.
+  double Pick = R.nextDouble() * TotalWeight;
+  size_t Index = Classes.size() - 1; // Rounding fell off the end.
+  for (size_t I = 0; I != Classes.size(); ++I) {
+    Pick -= Classes[I].Weight;
+    if (Pick < 0.0) {
+      Index = I;
+      break;
+    }
+  }
+
+  const LifetimeClass &Class = Classes[Index];
   *Immortal = false;
   switch (Class.Kind) {
   case LifetimeKind::Exponential:
@@ -57,8 +61,6 @@ AllocClock sampleLifetime(Rng &R, const LifetimeClass &Class,
   }
   unreachable("covered switch");
 }
-
-} // namespace
 
 trace::Trace dtb::workload::generateTrace(const WorkloadSpec &Spec) {
   if (Spec.TotalAllocationBytes == 0)
@@ -75,22 +77,15 @@ trace::Trace dtb::workload::generateTrace(const WorkloadSpec &Spec) {
   AllocClock Clock = 0;
   double FractionDone = 0.0;
   for (const Phase &P : Spec.Phases) {
-    assert(!P.Classes.empty() && "phase without lifetime classes");
-    double TotalWeight = 0.0;
-    for (const LifetimeClass &C : P.Classes)
-      TotalWeight += C.Weight;
-    assert(TotalWeight > 0.0 && "phase weights must be positive");
-
+    MixtureSampler Mixture(P.Classes);
     FractionDone += P.AllocFraction;
     auto PhaseEnd = static_cast<AllocClock>(
         FractionDone * static_cast<double>(Spec.TotalAllocationBytes));
     while (Clock < PhaseEnd) {
-      uint32_t Size = sampleSize(R, Spec.Sizes);
+      uint32_t Size = sampleObjectSize(R, Spec.Sizes);
       Clock += Size;
-      const LifetimeClass &Class =
-          P.Classes[sampleClass(R, P.Classes, TotalWeight)];
       bool Immortal = false;
-      AllocClock Lifetime = sampleLifetime(R, Class, &Immortal);
+      AllocClock Lifetime = Mixture.sampleLifetime(R, &Immortal);
       AllocationRecord Rec;
       Rec.Birth = Clock;
       Rec.Size = Size;

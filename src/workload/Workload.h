@@ -23,6 +23,7 @@
 #ifndef DTB_WORKLOAD_WORKLOAD_H
 #define DTB_WORKLOAD_WORKLOAD_H
 
+#include "support/Random.h"
 #include "trace/Trace.h"
 
 #include <cstdint>
@@ -67,6 +68,34 @@ struct SizeModel {
   double LogSigma = 0.8;
   uint32_t MinSize = 16;
   uint32_t MaxSize = 4096;
+};
+
+/// Samples one object size from \p Model (lognormal, clamped into
+/// [MinSize, MaxSize]). One size costs a fixed number of RNG draws, so
+/// generated traces are reproducible across platforms.
+uint32_t sampleObjectSize(Rng &R, const SizeModel &Model);
+
+/// The mixture-of-lifetime-classes core shared by the paper workloads and
+/// the serverload generator family (serverload/ServerLoad.h): picks a class
+/// by byte weight, then samples a lifetime from it. Draw order (one uniform
+/// for the class pick, then the class's own draws) matches the historical
+/// generator exactly, so refactoring callers onto this sampler leaves every
+/// seeded trace byte-identical.
+class MixtureSampler {
+public:
+  /// \p Classes must be nonempty with positive total weight.
+  explicit MixtureSampler(std::vector<LifetimeClass> Classes);
+
+  /// Samples a lifetime in bytes of subsequent allocation. Immortal
+  /// classes set \p *Immortal and return 0.
+  trace::AllocClock sampleLifetime(Rng &R, bool *Immortal) const;
+
+  const std::vector<LifetimeClass> &classes() const { return Classes; }
+  double totalWeight() const { return TotalWeight; }
+
+private:
+  std::vector<LifetimeClass> Classes;
+  double TotalWeight = 0.0;
 };
 
 /// A complete synthetic program description.

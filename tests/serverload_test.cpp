@@ -1,0 +1,231 @@
+//===- tests/serverload_test.cpp - Server workload generator tests -------===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+// Covers the serverload subsystem: catalog integrity, generator
+// determinism and well-formedness, the bimodal/churn/multi-tenant shapes
+// each scenario promises, load-curve math, downscaling, and the
+// acceptance-criterion lockstep run — a server scenario must agree between
+// the simulator and the managed runtime under BOTH collector backends.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serverload/ServerLoad.h"
+
+#include "conformance/Conformance.h"
+#include "trace/TraceStats.h"
+
+#include "TestSeeds.h"
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace dtb;
+using namespace dtb::serverload;
+
+namespace {
+
+TEST(ServerLoadCatalog, HasAtLeastFourNamedScenarios) {
+  const std::vector<ServerScenario> &Catalog = serverScenarios();
+  ASSERT_GE(Catalog.size(), 4u);
+  std::map<std::string, unsigned> Names;
+  for (const ServerScenario &S : Catalog) {
+    EXPECT_FALSE(S.Name.empty());
+    EXPECT_GT(S.TotalAllocationBytes, 0u);
+    EXPECT_FALSE(S.Tenants.empty());
+    Names[S.Name]++;
+    EXPECT_EQ(findServerScenario(S.Name), &S);
+  }
+  for (const auto &[Name, Count] : Names)
+    EXPECT_EQ(Count, 1u) << "duplicate scenario name " << Name;
+  EXPECT_EQ(findServerScenario("no-such-scenario"), nullptr);
+}
+
+TEST(ServerLoadCurve, FlatIsUnity) {
+  LoadCurve Flat;
+  for (double F : {0.0, 0.25, 0.5, 1.0})
+    EXPECT_DOUBLE_EQ(Flat.multiplierAt(F), 1.0);
+}
+
+TEST(ServerLoadCurve, DiurnalSwingsBetweenTroughAndPeak) {
+  LoadCurve Curve{LoadCurveKind::Diurnal, 3.0, 1.0, 0.05, 1};
+  EXPECT_NEAR(Curve.multiplierAt(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Curve.multiplierAt(0.5), 3.0, 1e-12); // Mid-cycle peak.
+  EXPECT_NEAR(Curve.multiplierAt(1.0), 1.0, 1e-9);
+  for (double F = 0.0; F <= 1.0; F += 0.01) {
+    double M = Curve.multiplierAt(F);
+    EXPECT_GE(M, 1.0 - 1e-12);
+    EXPECT_LE(M, 3.0 + 1e-12);
+  }
+  // Out-of-range fractions clamp rather than extrapolate.
+  EXPECT_DOUBLE_EQ(Curve.multiplierAt(-0.5), Curve.multiplierAt(0.0));
+  EXPECT_DOUBLE_EQ(Curve.multiplierAt(1.5), Curve.multiplierAt(1.0));
+}
+
+TEST(ServerLoadCurve, SpikyHitsPeakOnlyInsideSpikes) {
+  LoadCurve Curve{LoadCurveKind::Spiky, 6.0, 1.0, 0.1, 2};
+  // Spikes centered at 0.25 and 0.75, each 0.1 wide.
+  EXPECT_DOUBLE_EQ(Curve.multiplierAt(0.25), 6.0);
+  EXPECT_DOUBLE_EQ(Curve.multiplierAt(0.75), 6.0);
+  EXPECT_DOUBLE_EQ(Curve.multiplierAt(0.29), 6.0);
+  EXPECT_DOUBLE_EQ(Curve.multiplierAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Curve.multiplierAt(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Curve.multiplierAt(1.0), 1.0);
+}
+
+TEST(ServerLoadGenerator, TracesAreWellFormed) {
+  for (const ServerScenario &S : serverScenarios()) {
+    trace::Trace T = generateServerTrace(S);
+    std::string Error;
+    EXPECT_TRUE(T.verify(&Error)) << S.Name << ": " << Error;
+    // The generator stops at the first object reaching the target, so the
+    // total overshoots by at most one (clamped) object.
+    EXPECT_GE(T.totalAllocated(), S.TotalAllocationBytes) << S.Name;
+    EXPECT_LT(T.totalAllocated() - S.TotalAllocationBytes, 65'536u)
+        << S.Name;
+  }
+}
+
+TEST(ServerLoadGenerator, DeterministicAndSeedSensitive) {
+  const ServerScenario *S = findServerScenario("multitenant");
+  ASSERT_NE(S, nullptr);
+  DTB_SCOPED_SEED_TRACE(S->Seed);
+  std::vector<uint32_t> TenantsA, TenantsB;
+  trace::Trace A = generateServerTrace(*S, &TenantsA);
+  trace::Trace B = generateServerTrace(*S, &TenantsB);
+  ASSERT_EQ(A.records().size(), B.records().size());
+  EXPECT_EQ(A.records(), B.records());
+  EXPECT_EQ(TenantsA, TenantsB);
+
+  ServerScenario Reseeded = *S;
+  Reseeded.Seed ^= 0x9e3779b9;
+  trace::Trace C = generateServerTrace(Reseeded);
+  EXPECT_NE(A.records(), C.records());
+}
+
+TEST(ServerLoadGenerator, FrontendLifetimesAreBimodal) {
+  const ServerScenario *S = findServerScenario("frontend");
+  ASSERT_NE(S, nullptr);
+  trace::Trace T = generateServerTrace(*S);
+  uint64_t ShortBytes = 0, SessionBytes = 0, ImmortalBytes = 0, Total = 0;
+  for (const trace::AllocationRecord &R : T.records()) {
+    Total += R.Size;
+    if (R.Death == trace::NeverDies)
+      ImmortalBytes += R.Size;
+    else if (R.lifetime() < 100'000)
+      ShortBytes += R.Size;
+    else if (R.lifetime() >= 200'000)
+      SessionBytes += R.Size;
+  }
+  double ShortFrac = static_cast<double>(ShortBytes) / Total;
+  double SessionFrac = static_cast<double>(SessionBytes) / Total;
+  // The two modes: a dominant request-scoped mass and a clearly separated
+  // session-cache tail, plus a small immortal trickle.
+  EXPECT_GT(ShortFrac, 0.70);
+  EXPECT_GT(SessionFrac, 0.04);
+  EXPECT_GT(ImmortalBytes, 0u);
+  EXPECT_LT(static_cast<double>(ImmortalBytes) / Total, 0.05);
+}
+
+TEST(ServerLoadGenerator, MultitenantSharesFollowWeights) {
+  const ServerScenario *S = findServerScenario("multitenant");
+  ASSERT_NE(S, nullptr);
+  std::vector<uint32_t> TenantOf;
+  trace::Trace T = generateServerTrace(*S, &TenantOf);
+  ASSERT_EQ(TenantOf.size(), T.records().size());
+
+  std::vector<uint64_t> Bytes(S->Tenants.size(), 0);
+  for (size_t I = 0; I != TenantOf.size(); ++I) {
+    ASSERT_LT(TenantOf[I], S->Tenants.size());
+    Bytes[TenantOf[I]] += T.records()[I].Size;
+  }
+  double TotalWeight = 0.0;
+  for (const TenantSpec &Tenant : S->Tenants)
+    TotalWeight += Tenant.Weight;
+  for (size_t I = 0; I != S->Tenants.size(); ++I) {
+    double Target = S->Tenants[I].Weight / TotalWeight;
+    double Actual = static_cast<double>(Bytes[I]) /
+                    static_cast<double>(T.totalAllocated());
+    // Deficit round-robin tracks the byte budgets tightly.
+    EXPECT_NEAR(Actual, Target, 0.02) << S->Tenants[I].Name;
+  }
+}
+
+TEST(ServerLoadGenerator, BigDataChurnRotatesBatches) {
+  const ServerScenario *S = findServerScenario("bigdata");
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->Tenants.size(), 1u);
+  const BigDataChurn &Churn = S->Tenants[0].Churn;
+  ASSERT_GT(Churn.BatchPeriodBytes, 0u);
+
+  trace::Trace T = generateServerTrace(*S);
+  trace::AllocClock BatchLife =
+      static_cast<trace::AllocClock>(Churn.BatchesRetained) *
+      Churn.BatchPeriodBytes;
+  uint64_t BatchObjects = 0, BatchBytes = 0;
+  for (const trace::AllocationRecord &R : T.records())
+    if (R.Death != trace::NeverDies && R.lifetime() == BatchLife) {
+      ++BatchObjects;
+      BatchBytes += R.Size;
+      EXPECT_EQ(R.Size, Churn.ObjectSize);
+    }
+  uint64_t ExpectedBatches =
+      S->TotalAllocationBytes / Churn.BatchPeriodBytes - 1;
+  EXPECT_GE(BatchObjects,
+            ExpectedBatches * (Churn.BatchBytes / Churn.ObjectSize) / 2);
+  // The batches are a visible but not dominant slice of the allocation.
+  double BatchFrac =
+      static_cast<double>(BatchBytes) / static_cast<double>(T.totalAllocated());
+  EXPECT_GT(BatchFrac, 0.05);
+  EXPECT_LT(BatchFrac, 0.50);
+}
+
+TEST(ServerLoadGenerator, ScaledScenarioPreservesShape) {
+  const ServerScenario *S = findServerScenario("frontend");
+  ASSERT_NE(S, nullptr);
+  ServerScenario Small = scaledScenario(*S, 192 * 1024);
+  EXPECT_EQ(Small.TotalAllocationBytes, 192u * 1024);
+  trace::Trace T = generateServerTrace(Small);
+  std::string Error;
+  EXPECT_TRUE(T.verify(&Error)) << Error;
+  EXPECT_GE(T.totalAllocated(), Small.TotalAllocationBytes);
+
+  // The live level scales roughly with the total, so the suggested
+  // constraints stay feasible after scaling.
+  trace::TraceStats Stats = trace::computeTraceStats(T);
+  EXPECT_LT(Stats.LiveMaxBytes, Small.MemMaxBytes);
+  EXPECT_GE(Small.TriggerBytes, 4096u);
+  EXPECT_GE(Small.TraceMaxBytes, 4096u);
+}
+
+/// The acceptance criterion: a server scenario holds sim-vs-runtime
+/// lockstep under both collector backends (the same configuration the
+/// conformance_runner --quick grid uses).
+TEST(ServerLoadConformance, FrontendLockstepBothCollectors) {
+  const ServerScenario *S = findServerScenario("frontend");
+  ASSERT_NE(S, nullptr);
+  trace::Trace Raw = generateServerTrace(scaledScenario(*S, 160 * 1024));
+
+  for (runtime::CollectorKind Collector :
+       {runtime::CollectorKind::MarkSweep, runtime::CollectorKind::Copying}) {
+    for (const char *Policy : {"dtbfm", "dtbmem"}) {
+      conformance::LockstepConfig Config;
+      Config.PolicyName = Policy;
+      Config.TriggerBytes = 8 * 1024;
+      Config.Policy.TraceMaxBytes = 4 * 1024;
+      Config.Policy.MemMaxBytes = 24 * 1024;
+      Config.Links = conformance::LinkMode::Forward;
+      Config.Collector = Collector;
+      trace::Trace T = conformance::normalizeForReplay(Raw, Config.Links);
+      conformance::LockstepResult Result =
+          conformance::runLockstep(T, Config);
+      EXPECT_TRUE(Result.agreed())
+          << Policy << "/"
+          << (Collector == runtime::CollectorKind::Copying ? "copying"
+                                                           : "marksweep")
+          << ": " << Result.Divergences.size() << " divergences";
+    }
+  }
+}
+
+} // namespace

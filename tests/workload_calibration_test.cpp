@@ -13,12 +13,24 @@
 #include "report/PaperReference.h"
 #include "trace/TraceStats.h"
 
+#include "TestSeeds.h"
 #include <gtest/gtest.h>
 
 using namespace dtb;
 using namespace dtb::workload;
 
 namespace {
+
+/// The workload with its generator seed swapped for the DTB_TEST_SEED
+/// override (when set), and the effective seed attached to any failure —
+/// same replay plumbing as the chaos/parallel tests. The bands must hold
+/// for any seed, not just the calibrated default, so a sweep is just
+/// DTB_TEST_SEED=N ctest -R Calibration.
+WorkloadSpec seededSpec(const WorkloadSpec &Spec) {
+  WorkloadSpec Out = Spec;
+  Out.Seed = test::effectiveSeed(Spec.Seed);
+  return Out;
+}
 
 struct Band {
   const char *Name;
@@ -42,12 +54,14 @@ class CalibrationTest : public testing::TestWithParam<Band> {};
 
 TEST_P(CalibrationTest, LiveProfileWithinBand) {
   const Band &B = GetParam();
-  const WorkloadSpec *Spec = findWorkload(B.Name);
-  ASSERT_NE(Spec, nullptr);
+  const WorkloadSpec *Found = findWorkload(B.Name);
+  ASSERT_NE(Found, nullptr);
+  WorkloadSpec Spec = seededSpec(*Found);
+  DTB_SCOPED_SEED_TRACE(Spec.Seed);
   auto Paper = report::paperBaseline(B.Name);
   ASSERT_TRUE(Paper.has_value());
 
-  trace::TraceStats S = trace::computeTraceStats(generateTrace(*Spec));
+  trace::TraceStats S = trace::computeTraceStats(generateTrace(Spec));
   double LiveMeanKB = S.LiveMeanBytes / 1000.0;
   double LiveMaxKB = static_cast<double>(S.LiveMaxBytes) / 1000.0;
 
@@ -61,10 +75,12 @@ TEST_P(CalibrationTest, LiveProfileWithinBand) {
 
 TEST_P(CalibrationTest, TotalAllocationMatchesNoGcMax) {
   const Band &B = GetParam();
-  const WorkloadSpec *Spec = findWorkload(B.Name);
-  ASSERT_NE(Spec, nullptr);
+  const WorkloadSpec *Found = findWorkload(B.Name);
+  ASSERT_NE(Found, nullptr);
+  WorkloadSpec Spec = seededSpec(*Found);
+  DTB_SCOPED_SEED_TRACE(Spec.Seed);
   auto Paper = report::paperBaseline(B.Name);
-  trace::TraceStats S = trace::computeTraceStats(generateTrace(*Spec));
+  trace::TraceStats S = trace::computeTraceStats(generateTrace(Spec));
   // The No-GC maximum is the total allocation; within 3%.
   double TotalKB = static_cast<double>(S.TotalAllocatedBytes) / 1000.0;
   EXPECT_NEAR(TotalKB, Paper->NoGcMaxKB, Paper->NoGcMaxKB * 0.03) << B.Name;
