@@ -149,6 +149,7 @@ int main(int Argc, char **Argv) {
   std::string CollectorOpt = "marksweep";
   uint64_t TraceLanes = 1;
   uint64_t ScavengeBudget = 0;
+  uint64_t Mutators = 0;
   bool AbortProbe = false;
   uint64_t Threads = 0;
   uint64_t TriggerBytes = 0; // 0 = mode default
@@ -186,6 +187,11 @@ int main(int Argc, char **Argv) {
                  "Runtime trace quantum budget in bytes (0 = monolithic); "
                  "any value must leave every comparison unchanged",
                  &ScavengeBudget);
+  Parser.addUInt("mutators",
+                 "Replay through N registered mutator contexts driven "
+                 "round-robin (0 = direct heap API); any value must leave "
+                 "every comparison unchanged",
+                 &Mutators);
   Parser.addFlag("abort-probe",
                  "Open, step, and abort an incremental cycle before every "
                  "runtime collection (mark-sweep cases); an aborted cycle "
@@ -283,6 +289,7 @@ int main(int Argc, char **Argv) {
           C.Config.Collector = Collector;
           C.Config.TraceThreads = static_cast<unsigned>(TraceLanes);
           C.Config.ScavengeBudgetBytes = ScavengeBudget;
+          C.Config.Mutators = static_cast<unsigned>(Mutators);
           C.Config.AbortProbe = AbortProbe;
           Cases.push_back(std::move(C));
         }

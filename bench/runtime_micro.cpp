@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Heap.h"
+#include "runtime/Mutator.h"
 
 #include "core/Policies.h"
 #include "support/Random.h"
@@ -49,6 +50,29 @@ void BM_Allocate(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_Allocate);
+
+void BM_AllocateTLAB(benchmark::State &State) {
+  // The mutator-context fast path: bump the thread-local buffer, stamp
+  // the birth with one relaxed fetch_add, count the op in and out. The
+  // comparison against BM_Allocate is the per-thread allocation tax the
+  // multi-mutator runtime adds over the direct path.
+  auto H = std::make_unique<Heap>(manualConfig());
+  auto Ctx = std::make_unique<MutatorContext>(*H);
+  size_t Created = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Ctx->allocate(2, 16));
+    if (++Created == 100'000) { // Reset before the heap gets huge.
+      State.PauseTiming();
+      Ctx.reset();
+      H = std::make_unique<Heap>(manualConfig());
+      Ctx = std::make_unique<MutatorContext>(*H);
+      Created = 0;
+      State.ResumeTiming();
+    }
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_AllocateTLAB);
 
 void BM_AllocateTelemetryEnabled(benchmark::State &State) {
   // Same loop with the recorder live: the difference from BM_Allocate is

@@ -118,6 +118,15 @@ struct LockstepConfig {
   /// (HeapConfig::ScavengeBudgetBytes): 0 = monolithic trace. Like lanes,
   /// any value must leave the lockstep comparison unchanged.
   uint64_t ScavengeBudgetBytes = 0;
+  /// Replay through N registered MutatorContexts instead of the direct
+  /// Heap API: the driver thread round-robins allocations across the
+  /// contexts (record I goes through context I mod N) and routes each
+  /// pointer store through the context that allocated the source object.
+  /// 0 = direct path. Contexts driven single-threaded reproduce the
+  /// direct path's clock, remembered set, and scavenge records exactly,
+  /// so every lockstep comparison must agree for any N — that is the
+  /// determinism contract of the multi-mutator runtime.
+  unsigned Mutators = 0;
   ToleranceModel Tolerance;
   /// Abort-equivalence probe (mark-sweep only): before every runtime-side
   /// collection the harness opens an incremental cycle, runs a few

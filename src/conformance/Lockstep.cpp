@@ -11,6 +11,7 @@
 #include "conformance/Conformance.h"
 
 #include "core/MachineModel.h"
+#include "runtime/Mutator.h"
 #include "sim/HeapModel.h"
 #include "sim/Simulator.h"
 #include "support/Error.h"
@@ -20,6 +21,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 using namespace dtb;
 using namespace dtb::conformance;
@@ -161,9 +163,10 @@ private:
 constexpr uint32_t NoIndex = std::numeric_limits<uint32_t>::max();
 
 /// The trace-driven mutator over the runtime heap. Every object is held
-/// live by exactly one handle-scope root until its oracle death, at which
-/// point the root and every pointer link touching the object are cleared —
-/// so runtime reachability coincides with the trace's oracle liveness at
+/// live by exactly one root (a handle-scope slot, or a mutator-context
+/// root slot in --mutators mode) until its oracle death, at which point
+/// the root and every pointer link touching the object are cleared — so
+/// runtime reachability coincides with the trace's oracle liveness at
 /// every scavenge.
 class ReplayMutator {
 public:
@@ -174,6 +177,8 @@ public:
     size_t N = Records.size();
     if (N >= NoIndex)
       fatalError("trace too large for the replay mutator");
+    for (unsigned I = 0; I != Config.Mutators; ++I)
+      Contexts.push_back(std::make_unique<runtime::MutatorContext>(H));
     Roots.resize(N, nullptr);
     OutgoingTarget.assign(N, NoIndex);
     IncomingHead.assign(N, NoIndex);
@@ -211,12 +216,22 @@ private:
     if (R.Size < Fixed)
       fatalError("trace record below the replayable minimum; "
                  "normalizeForReplay the trace first");
-    runtime::Object *&Slot = Scope.slot(nullptr);
-    Slot = H.allocate(NumSlots, R.Size - Fixed);
-    if (Slot->grossBytes() != R.Size || H.now() != R.Birth)
+    uint32_t Index = static_cast<uint32_t>(Next);
+    runtime::Object **RootSlot;
+    if (Contexts.empty()) {
+      runtime::Object *&Slot = Scope.slot(nullptr);
+      Slot = H.allocate(NumSlots, R.Size - Fixed);
+      RootSlot = &Slot;
+    } else {
+      runtime::MutatorContext &Ctx = contextFor(Index);
+      runtime::Object *&Slot = Ctx.root(Ctx.addRoot(nullptr));
+      Slot = Ctx.allocate(NumSlots, R.Size - Fixed);
+      RootSlot = &Slot;
+    }
+    if ((*RootSlot)->grossBytes() != R.Size || H.now() != R.Birth)
       fatalError("replay allocation clock diverged from the trace");
-    uint32_t Index = Next++;
-    Roots[Index] = &Slot;
+    ++Next;
+    Roots[Index] = RootSlot;
     maybeLink(Index);
     Window.push_back(Index);
     if (Window.size() > 2 * WindowTarget)
@@ -224,6 +239,19 @@ private:
   }
 
   bool alive(uint32_t Index) const { return *Roots[Index] != nullptr; }
+
+  runtime::MutatorContext &contextFor(uint32_t Index) {
+    return *Contexts[Index % Contexts.size()];
+  }
+
+  /// Stores into record \p Source's single slot, through the context that
+  /// allocated the source in --mutators mode (direct heap API otherwise).
+  void storeSlot(uint32_t Source, runtime::Object *Value) {
+    if (Contexts.empty())
+      H.writeSlot(*Roots[Source], 0, Value);
+    else
+      contextFor(Source).writeSlot(*Roots[Source], 0, Value);
+  }
 
   void maybeLink(uint32_t Index) {
     if (Links == LinkMode::None || Window.empty())
@@ -241,7 +269,7 @@ private:
     // chain surgery and adds no coverage.
     if (OutgoingTarget[Source] != NoIndex)
       return;
-    H.writeSlot(*Roots[Source], 0, *Roots[Target]);
+    storeSlot(Source, *Roots[Target]);
     OutgoingTarget[Source] = Target;
     IncomingNext[Source] = IncomingHead[Target];
     IncomingHead[Target] = Source;
@@ -253,7 +281,7 @@ private:
       uint32_t Index = Deaths[DeathCursor++];
       // Sever the object's outgoing link...
       if (OutgoingTarget[Index] != NoIndex) {
-        H.writeSlot(*Roots[Index], 0, nullptr);
+        storeSlot(Index, nullptr);
         OutgoingTarget[Index] = NoIndex;
       }
       // ...and every incoming link whose source still points here. A dead
@@ -264,7 +292,7 @@ private:
       for (uint32_t S = IncomingHead[Index]; S != NoIndex;
            S = IncomingNext[S]) {
         if (alive(S) && OutgoingTarget[S] == Index) {
-          H.writeSlot(*Roots[S], 0, nullptr);
+          storeSlot(S, nullptr);
           OutgoingTarget[S] = NoIndex;
         }
       }
@@ -290,6 +318,9 @@ private:
   runtime::Heap &H;
   const std::vector<trace::AllocationRecord> &Records;
   runtime::HandleScope Scope;
+  /// --mutators mode: the registered contexts the driver round-robins
+  /// (empty = direct heap API). Destroyed before the heap, as required.
+  std::vector<std::unique_ptr<runtime::MutatorContext>> Contexts;
   LinkMode Links;
   double LinkProbability;
   Rng LinkRng;

@@ -21,6 +21,7 @@
 #include "runtime/Heap.h"
 
 #include "core/MachineModel.h"
+#include "runtime/Mutator.h"
 #include "runtime/TraceLanes.h"
 #include "support/Error.h"
 #include "telemetry/Telemetry.h"
@@ -34,6 +35,11 @@ using namespace dtb::runtime;
 using core::AllocClock;
 
 core::ScavengeRecord Heap::collectAtBoundary(AllocClock Boundary) {
+  // Rendezvous with every registered mutator context (publishing pending
+  // allocations and flushing barrier buffers) before anything reads heap
+  // state; reentrant when collect() or the pressure ladder already owns
+  // the stopped world.
+  WorldPause Pause(*this);
   // A full collection subsumes any incremental cycle in flight; finish it
   // first so its record lands in the history before this one.
   if (Inc.Active)
@@ -72,6 +78,8 @@ core::ScavengeRecord Heap::completeCollection(AllocClock Boundary,
                                               const ScavengeWork &Work,
                                               uint64_t MemBeforeBytes,
                                               bool RebuildRemSet) {
+  // The trace is done; everything from here is post-trace bookkeeping.
+  Phase.store(GcPhase::Restoring, std::memory_order_relaxed);
   core::ScavengeRecord Record;
   Record.Index = History.size() + 1;
   Record.Time = Clock;
@@ -226,7 +234,7 @@ void Heap::emitScavengeTelemetry(const core::ScavengeRecord &Record) {
   Resident.Name = "resident_bytes";
   Resident.ScavengeIndex = Record.Index;
   Resident.TsClock = Record.Time;
-  Resident.Args = {tm::arg("resident_bytes", ResidentBytes)};
+  Resident.Args = {tm::arg("resident_bytes", residentBytes())};
   tm::recorder().emit(std::move(Resident));
 
   tm::MetricsRegistry &Registry = tm::MetricsRegistry::global();
@@ -274,6 +282,11 @@ void Heap::seedMarkSweepRoots(AllocClock Boundary, AllocClock BlackClock,
     // other immune object's.
     for (Object *PinnedObject : Pinned)
       markThreatened(PinnedObject, Boundary, BlackClock, Gray, Work);
+    // Per-context root slots, in registration order (the world is
+    // stopped, so the slots are stable).
+    for (MutatorContext *Ctx : Mutators)
+      for (Object *Root : Ctx->Roots)
+        markThreatened(Root, Boundary, BlackClock, Gray, Work);
     Phase.addCost(Work.TracedBytes - Before);
   }
 
@@ -513,6 +526,7 @@ Heap::ScavengeWork Heap::runMarkSweep(AllocClock Boundary) {
 }
 
 void Heap::beginIncrementalScavenge(AllocClock Boundary) {
+  WorldPause Pause(*this);
   if (Config.Collector != CollectorKind::MarkSweep)
     fatalError("incremental scavenging requires the mark-sweep collector");
   if (Inc.Active)
@@ -545,11 +559,15 @@ void Heap::beginIncrementalScavenge(AllocClock Boundary) {
   WatchdogSerial = false;
   EffectiveBudgetBytes = 0;
   Demographics.beginScavenge(Boundary);
+  syncIncMirror();
   seedMarkSweepRoots(Boundary, Inc.BlackClock, Inc.Gray, Inc.Work);
   InCollection = false;
 }
 
 bool Heap::incrementalScavengeStep() {
+  // Every quantum is its own stop-the-world window: contexts publish and
+  // flush at its rendezvous, then run free again between quanta.
+  WorldPause Pause(*this);
   if (!Inc.Active)
     fatalError("no incremental scavenge is active");
   if (InCollection)
@@ -579,6 +597,10 @@ bool Heap::incrementalScavengeStep() {
     for (Object *PinnedObject : Pinned)
       markThreatened(PinnedObject, Inc.Boundary, Inc.BlackClock, Inc.Gray,
                      Inc.Work);
+    for (MutatorContext *Ctx : Mutators)
+      for (Object *Root : Ctx->Roots)
+        markThreatened(Root, Inc.Boundary, Inc.BlackClock, Inc.Gray,
+                       Inc.Work);
     Phase.addCost(Inc.Work.TracedBytes - Before);
   }
 
@@ -591,6 +613,7 @@ bool Heap::incrementalScavengeStep() {
     bool RebuildRemSet = Inc.RebuildRemSet;
     ScavengeWork Work = Inc.Work;
     Inc = IncrementalState();
+    syncIncMirror();
     finishMarkSweepCycle(Boundary, BlackClock, Work);
     completeCollection(Boundary, Work, ResidentBytes, RebuildRemSet);
     return true;
@@ -608,6 +631,7 @@ bool Heap::incrementalScavengeStep() {
 }
 
 core::ScavengeRecord Heap::finishIncrementalScavenge() {
+  WorldPause Pause(*this);
   if (!Inc.Active)
     fatalError("no incremental scavenge is active");
   size_t RecordsBefore = History.size();
@@ -621,6 +645,7 @@ core::ScavengeRecord Heap::finishIncrementalScavenge() {
 }
 
 void Heap::abortIncrementalScavenge() {
+  WorldPause Pause(*this);
   if (!Inc.Active)
     fatalError("no incremental scavenge is active");
   if (InCollection)
@@ -654,6 +679,7 @@ void Heap::abortIncrementalCycle(const char *Why) {
   Demographics.restoreLiveEstimates(std::move(Inc.DemoSnapshot));
   LastStats = Inc.PrevStats;
   Inc = IncrementalState();
+  syncIncMirror();
   WatchdogConsecutive = 0;
   WatchdogSerial = false;
   EffectiveBudgetBytes = 0;

@@ -30,6 +30,7 @@
 
 #include "runtime/Heap.h"
 
+#include "runtime/Mutator.h"
 #include "runtime/TraceLanes.h"
 #include "support/Error.h"
 
@@ -102,7 +103,9 @@ Heap::ScavengeWork Heap::runCopying(AllocClock Boundary) {
     Object *Copy = reinterpret_cast<Object *>(Memory);
     Copy->Magic = Object::MagicAlive;
     Copy->Flags = 0;
-    Copy->Padding = 0;
+    // Copies always get dedicated storage, even when the original lived
+    // inside a TLAB block.
+    Copy->Storage = Object::StorageOwn;
     Copy->NumSlots = O->NumSlots;
     Copy->RawBytes = O->RawBytes;
     Copy->GrossBytes = O->GrossBytes;
@@ -159,6 +162,12 @@ Heap::ScavengeWork Heap::runCopying(AllocClock Boundary) {
     for (Object *PinnedObject : Pinned)
       if (isThreatened(PinnedObject))
         relocate(PinnedObject, Lanes.serialLane()); // In place; no move.
+    // Per-context root slots are updated in place, exactly like handles
+    // (the world is stopped, so the slots are stable).
+    for (MutatorContext *Ctx : Mutators)
+      for (Object *&Root : Ctx->Roots)
+        if (isThreatened(Root))
+          Root = relocate(Root, Lanes.serialLane());
     drainTraceLanes(Lanes, Gray, Work);
     Phase.addCost(Work.TracedBytes - Before);
   }
@@ -274,10 +283,25 @@ Heap::ScavengeWork Heap::runCopying(AllocClock Boundary) {
 void Heap::releaseStorage(Object *O) {
   O->Magic = Object::MagicDead;
   if (Config.QuarantineFreedObjects) {
+    // TLAB-interior objects quarantine like any other (their block then
+    // simply never drains to zero, so it stays resident — quarantine mode
+    // is monotonic either way).
     std::memset(O->rawData(), 0xDB, O->rawBytes());
     for (uint32_t I = 0; I != O->numSlots(); ++I)
       O->setSlotRaw(I, nullptr);
     Quarantine.push_back(O);
+    return;
+  }
+  if (O->storageKind() == Object::StorageTlab) {
+    // The object shares its TLAB block's storage: the block is freed only
+    // when its last object dies after the owning context retired it.
+    // Sweeps run world-stopped, so the block table is stable here.
+    TlabBlock *Block = tlabBlockFor(O);
+    DTB_CHECK(Block, "TLAB-interior object outside every block");
+    DTB_CHECK(Block->LiveObjects != 0, "TLAB block live-count underflow");
+    Block->LiveObjects -= 1;
+    if (Block->Retired && Block->LiveObjects == 0)
+      freeTlabBlock(Block);
     return;
   }
   ::operator delete(static_cast<void *>(O));

@@ -26,10 +26,19 @@ Heap::Heap(HeapConfig Config) : Config(Config) {
 }
 
 Heap::~Heap() {
+  DTB_CHECK(Mutators.empty(),
+            "destroying a heap with registered mutator contexts; destroy "
+            "every MutatorContext first");
+  // TLAB-interior objects share their block's storage; only dedicated
+  // allocations are released individually.
   for (Object *O : Objects)
-    ::operator delete(static_cast<void *>(O));
+    if (O->storageKind() == Object::StorageOwn)
+      ::operator delete(static_cast<void *>(O));
   for (Object *O : Quarantine)
-    ::operator delete(static_cast<void *>(O));
+    if (O->storageKind() == Object::StorageOwn)
+      ::operator delete(static_cast<void *>(O));
+  for (auto &Block : TlabBlocks)
+    ::operator delete(Block->Begin);
 }
 
 ThreadPool *Heap::tracePoolFor(bool *PoolIsPrivate) {
@@ -100,6 +109,14 @@ bool Heap::ensureHeadroom(uint64_t Gross) {
     return true;
   const char *Why = overLimit() ? "heap limit reached"
                                 : "injected allocation fault";
+  return runPressureLadder(Gross, Why);
+}
+
+bool Heap::runPressureLadder(uint64_t Gross, const char *Why) {
+  auto overLimit = [&] {
+    return Config.HeapLimitBytes != 0 &&
+           ResidentBytes + Gross > Config.HeapLimitBytes;
+  };
 
   // Mid-cycle rungs: while an incremental cycle is open, automatic
   // triggering is suspended, so pressure must be relieved through the
@@ -345,6 +362,10 @@ void Heap::maybeTriggerCollection() {
 core::ScavengeRecord Heap::collect() {
   if (!Policy)
     fatalError("collect() without a policy; use collectAtBoundary()");
+  // Own the stopped world for the whole decision + collection so the
+  // policy's inputs (clock, residency, demographics) are a consistent
+  // snapshot even with mutator contexts running.
+  WorldPause Pause(*this);
   // Close out any incremental cycle first so the policy decides against a
   // history that includes it.
   if (Inc.Active)

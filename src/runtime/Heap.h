@@ -46,13 +46,20 @@
 #include "runtime/EpochDemographics.h"
 #include "runtime/Object.h"
 #include "runtime/RememberedSet.h"
+#include "runtime/Safepoint.h"
 #include "runtime/WeakRef.h"
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace dtb {
@@ -61,6 +68,7 @@ class ThreadPool;
 
 namespace runtime {
 
+class MutatorContext;
 struct TraceLane;
 class TraceLaneSet;
 
@@ -142,6 +150,11 @@ struct HeapConfig {
   /// tryAllocate runs on an open cycle before escalating to
   /// complete-now/abort.
   unsigned PressureAccelerateQuanta = 4;
+  /// Size of the bump-pointer blocks MutatorContext carves under the
+  /// refill lock (runtime/Mutator.h). Objects whose gross size exceeds a
+  /// quarter of this get dedicated storage instead of a TLAB slice. Does
+  /// not affect the direct (context-free) allocation path.
+  uint32_t TlabBytes = 32 * 1024;
 };
 
 /// Counters describing one runtime collection beyond the policy-visible
@@ -197,8 +210,15 @@ struct IncrementalCycleInfo {
   uint64_t WatchdogViolations = 0;
 };
 
-/// The managed heap. Not thread-safe (the paper's collector is
-/// stop-the-world within a single mutator).
+/// The managed heap. The direct API (allocate/writeSlot/collect) is
+/// single-mutator, exactly as the paper's collector assumes; N concurrent
+/// mutator threads go through registered MutatorContext instances
+/// (runtime/Mutator.h), which layer per-thread TLABs, buffered write
+/// barriers, and safepoint count-in/count-out handshakes on top of this
+/// heap. With no contexts registered, behavior is bit-identical to the
+/// historical single-mutator heap. Mixing direct allocate/writeSlot calls
+/// with concurrently running contexts is not supported; drive everything
+/// through contexts (or from one thread) instead.
 class Heap {
 public:
   explicit Heap(HeapConfig Config = HeapConfig());
@@ -312,11 +332,46 @@ public:
   /// Introspection snapshot of the open cycle (all-zero when none).
   IncrementalCycleInfo incrementalCycleInfo() const;
 
+  /// Stops the world (rendezvous with every registered mutator context,
+  /// publication of their pending allocations, barrier-buffer flush into
+  /// the remembered set), runs \p AtCollect in the COLLECTING phase and
+  /// then \p AtRestore (when non-null) in the RESTORING phase, and
+  /// releases the world. With no contexts registered this is just the two
+  /// callbacks around the phase transitions. Reentrant from the thread
+  /// that already owns the stopped world. Verification, tests, and any
+  /// embedder logic that must see a consistent multi-mutator heap go
+  /// through here.
+  void runAtSafepoint(const std::function<void(Heap &)> &AtCollect,
+                      const std::function<void(Heap &)> &AtRestore = nullptr);
+
+  /// The current collection phase (see runtime/Safepoint.h).
+  GcPhase phase() const { return Phase.load(std::memory_order_relaxed); }
+
+  /// Registered mutator contexts, in registration order (the order every
+  /// root scan and barrier flush visits them — deterministic under
+  /// single-threaded driving).
+  const std::vector<MutatorContext *> &mutatorContexts() const {
+    return Mutators;
+  }
+
+  /// Counters for the mutator runtime (rendezvous, TLAB carving, barrier
+  /// flushes). Call from the owning thread or at a safepoint.
+  MutatorRuntimeStats mutatorStats() const;
+
+  /// [begin, end) storage ranges of every resident TLAB block, sorted by
+  /// address (tests assert the ranges are disjoint — no byte double-
+  /// carved). Call at a safepoint.
+  std::vector<std::pair<const void *, const void *>> tlabBlockRanges() const;
+
   /// Current allocation clock (bytes allocated so far, gross).
-  core::AllocClock now() const { return Clock; }
+  core::AllocClock now() const {
+    return Clock.load(std::memory_order_relaxed);
+  }
 
   /// Resident bytes (live + not-yet-reclaimed garbage), gross.
-  uint64_t residentBytes() const { return ResidentBytes; }
+  uint64_t residentBytes() const {
+    return ResidentBytes.load(std::memory_order_relaxed);
+  }
   size_t residentObjects() const { return Objects.size(); }
 
   /// Substitutes \p Demo for the survivor-table estimates in the
@@ -403,9 +458,59 @@ public:
 private:
   friend class HandleScope;
   friend class WeakRef;
+  friend class MutatorContext;
 
   void registerWeakRef(WeakRef *Ref);
   void unregisterWeakRef(WeakRef *Ref);
+
+  /// One bump-pointer block carved for a MutatorContext. The cursor is
+  /// owner-exclusive until the block is retired; LiveObjects is bumped by
+  /// the owner at allocation and decremented only inside stop-the-world
+  /// sweeps, so neither field needs atomics.
+  struct TlabBlock {
+    char *Begin = nullptr;
+    char *End = nullptr;
+    char *Cursor = nullptr;
+    uint32_t LiveObjects = 0;
+    bool Retired = false;
+  };
+
+  // --- Multi-mutator machinery (implemented in Mutator.cpp) -------------
+  /// Acquires exclusive ownership of the stopped world: serializes against
+  /// competing collectors, rendezvouses with every registered context
+  /// (waits until none is Mutating), publishes pending allocations, and
+  /// flushes barrier buffers. Reentrant from the owning thread. A no-op
+  /// rendezvous when no contexts are registered (the legacy single-mutator
+  /// path pays one uncontended mutex lock).
+  void stopWorld();
+  /// Releases the world: resets the phase, clears the safepoint request,
+  /// and wakes blocked contexts. Balances stopWorld.
+  void resumeWorld();
+  /// True when the calling thread currently owns the stopped world.
+  bool worldOwnedByThisThread() const {
+    return WorldOwner.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+  /// World-stopped: merges every context's pending allocations into the
+  /// birth-ordered list, flushes barrier and grey buffers, and refreshes
+  /// the demographics' since-allocation counter.
+  void publishMutatorState();
+  /// Carves a fresh TLAB block of at least \p Bytes under the refill lock.
+  TlabBlock *carveTlab(uint64_t Bytes);
+  /// Retires \p Block (no further bumping; accounts the unused tail as
+  /// waste). Caller holds the refill lock or the stopped world.
+  void retireTlab(TlabBlock *Block);
+  /// The block containing \p O (binary search over the sorted block
+  /// table). World-stopped callers only.
+  TlabBlock *tlabBlockFor(const Object *O);
+  /// Returns \p Block's storage to the OS and drops it from the block
+  /// table. Caller holds the refill lock or the stopped world.
+  void freeTlabBlock(TlabBlock *Block);
+  /// Barrier-sink failure (injected BarrierSink fault): the buffered
+  /// entries cannot be trusted to have landed — same response as a
+  /// remembered-set overflow. \p Locked says whether the caller already
+  /// holds SinkMu.
+  void barrierSinkFailed(bool Locked);
 
   /// Index of the first object born strictly after \p Boundary.
   size_t firstBornAfter(core::AllocClock Boundary) const;
@@ -492,6 +597,26 @@ private:
   /// limit (or no limit/pressure applies). Returns false when the ladder
   /// is exhausted.
   bool ensureHeadroom(uint64_t Gross);
+  /// The ladder proper (rungs + events), entered once pressure is real;
+  /// \p Why heads the first event's detail. Split out so MutatorContext
+  /// can pre-check pressure lock-free and enter with the world stopped.
+  bool runPressureLadder(uint64_t Gross, const char *Why);
+  /// Refreshes the atomic mirrors of Inc.{Active,Boundary,BlackClock};
+  /// call after every mutation of those fields.
+  void syncIncMirror() {
+    IncActiveFlag.store(Inc.Active, std::memory_order_relaxed);
+    IncBoundaryAtomic.store(Inc.Boundary, std::memory_order_relaxed);
+    IncBlackClockAtomic.store(Inc.BlackClock, std::memory_order_relaxed);
+  }
+
+  /// Scoped stopWorld/resumeWorld pair for the collection entry points.
+  struct WorldPause {
+    explicit WorldPause(Heap &H) : H(H) { H.stopWorld(); }
+    ~WorldPause() { H.resumeWorld(); }
+    WorldPause(const WorldPause &) = delete;
+    WorldPause &operator=(const WorldPause &) = delete;
+    Heap &H;
+  };
   /// Drops the remembered set and schedules a pessimized rebuild.
   void handleRemSetOverflow(const char *Why);
   /// Re-derives the remembered set from the live heap (after a full
@@ -536,10 +661,55 @@ private:
   /// the pending rule/decision describe this scavenge.
   bool PendingDecisionValid = false;
 
-  core::AllocClock Clock = 0;
-  uint64_t ResidentBytes = 0;
-  uint64_t BytesSinceCollect = 0;
-  bool InCollection = false;
+  /// The allocation clock and byte counters are atomics so registered
+  /// mutator contexts can advance them lock-free from their allocation
+  /// fast paths (relaxed fetch_add; births stay unique and monotone
+  /// because each allocation claims its own disjoint clock interval). The
+  /// direct single-mutator path uses them exactly as before — with one
+  /// thread the sequence of values is unchanged, keeping every trace,
+  /// BENCH record, and conformance grid byte-identical.
+  std::atomic<core::AllocClock> Clock{0};
+  std::atomic<uint64_t> ResidentBytes{0};
+  std::atomic<uint64_t> BytesSinceCollect{0};
+  std::atomic<bool> InCollection{false};
+
+  // --- Multi-mutator runtime state (runtime/Mutator.cpp) ----------------
+  /// Registered contexts, registration order (the deterministic visit
+  /// order for root scans, publication, and barrier flushes).
+  std::vector<MutatorContext *> Mutators;
+  /// Resident TLAB blocks, sorted by Begin address; guarded by RefillMu
+  /// for growth, world-stopped for lookup/free.
+  std::vector<std::unique_ptr<TlabBlock>> TlabBlocks;
+  /// Serializes TLAB carving (the only lock on the allocation slow path).
+  std::mutex RefillMu;
+  /// Guards mid-mutation barrier-buffer flushes into the remembered set
+  /// (the shared sink) while the world is running. Never taken by
+  /// world-stopped code.
+  std::mutex SinkMu;
+  /// Collector-ownership lock: held from stopWorld to resumeWorld, so at
+  /// most one thread drives a collection at a time.
+  std::mutex WorldMu;
+  /// Guards the safepoint condition variable below.
+  std::mutex SafepointMu;
+  /// Contexts blocked counting in during an open rendezvous wait here.
+  std::condition_variable SafepointCv;
+  /// Set while a rendezvous is open; every context count-in checks it.
+  std::atomic<bool> SafepointRequested{false};
+  /// The thread owning the stopped world (default id when none).
+  std::atomic<std::thread::id> WorldOwner{};
+  /// Reentrancy depth of stopWorld from the owning thread.
+  unsigned StopDepth = 0;
+  /// The phase machine (see runtime/Safepoint.h).
+  std::atomic<GcPhase> Phase{GcPhase::NotCollecting};
+  /// Mirrors of the incremental-cycle fields mutator barriers must read
+  /// between quanta without stopping the world (Inc.* stays the source of
+  /// truth; these are updated wherever it changes).
+  std::atomic<bool> IncActiveFlag{false};
+  std::atomic<core::AllocClock> IncBoundaryAtomic{0};
+  std::atomic<core::AllocClock> IncBlackClockAtomic{0};
+  /// Counters behind mutatorStats(). Rendezvous/publish/flush counts are
+  /// world-owner-exclusive; TLAB counters are guarded by RefillMu.
+  MutatorRuntimeStats MutStats;
 
   /// Pause-deadline watchdog state, reset at the start of every
   /// collection (and by abortIncrementalScavenge). EffectiveBudgetBytes

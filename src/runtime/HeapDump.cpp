@@ -3,6 +3,7 @@
 #include "runtime/HeapDump.h"
 
 #include "runtime/Heap.h"
+#include "runtime/Mutator.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -28,6 +29,9 @@ std::unordered_set<const Object *> reachableSet(const Heap &H) {
     Visit(Handle);
   for (const Object *PinnedObject : H.pinnedObjects())
     Visit(PinnedObject);
+  for (const MutatorContext *Ctx : H.mutatorContexts())
+    for (const Object *Root : Ctx->roots())
+      Visit(Root);
   while (!Worklist.empty()) {
     const Object *O = Worklist.back();
     Worklist.pop_back();
@@ -106,6 +110,16 @@ dtb::runtime::collectDemographics(const Heap &H, AllocClock BaseAgeBytes) {
   Demo.CycleQuanta = Cycle.Quanta;
   Demo.CycleBudgetBytes = Cycle.BudgetBytes;
   Demo.CycleSerialDegraded = Cycle.SerialDegraded;
+
+  Demo.Phase = gcPhaseName(H.phase());
+  Demo.MutatorContexts = H.mutatorContexts().size();
+  MutatorRuntimeStats Mut = H.mutatorStats();
+  Demo.SafepointRendezvous = Mut.SafepointRendezvous;
+  Demo.TlabBlocksResident = Mut.TlabBlocksResident;
+  Demo.TlabCarvedBytes = Mut.TlabCarvedBytes;
+  Demo.TlabWastedBytes = Mut.TlabWastedBytes;
+  Demo.PublishedObjects = Mut.PublishedObjects;
+  Demo.BarrierFlushes = Mut.BarrierFlushes;
   return Demo;
 }
 
@@ -164,6 +178,21 @@ void dtb::runtime::printDemographics(const HeapDemographics &Demo,
                  static_cast<unsigned long long>(Demo.CycleBudgetBytes),
                  Demo.CycleSerialDegraded ? " [watchdog: serial-degraded]"
                                           : "");
+  }
+
+  if (Demo.MutatorContexts != 0) {
+    std::fprintf(Out,
+                 "mutators: %llu context%s, phase %s, %llu rendezvous; tlab "
+                 "%llu blocks resident (%llu carved, %llu wasted bytes), "
+                 "%llu published, %llu barrier flushes\n",
+                 static_cast<unsigned long long>(Demo.MutatorContexts),
+                 Demo.MutatorContexts == 1 ? "" : "s", Demo.Phase.c_str(),
+                 static_cast<unsigned long long>(Demo.SafepointRendezvous),
+                 static_cast<unsigned long long>(Demo.TlabBlocksResident),
+                 static_cast<unsigned long long>(Demo.TlabCarvedBytes),
+                 static_cast<unsigned long long>(Demo.TlabWastedBytes),
+                 static_cast<unsigned long long>(Demo.PublishedObjects),
+                 static_cast<unsigned long long>(Demo.BarrierFlushes));
   }
 
   if (Demo.DegradationEventsTotal != 0) {

@@ -69,6 +69,17 @@ struct HeapDemographics {
   uint64_t CycleQuanta = 0;
   uint64_t CycleBudgetBytes = 0;
   bool CycleSerialDegraded = false;
+  /// Multi-mutator runtime state (all-zero / "not-collecting" for a heap
+  /// with no registered contexts): the phase machine, registered context
+  /// count, and the TLAB/safepoint counters from Heap::mutatorStats().
+  std::string Phase = "not-collecting";
+  uint64_t MutatorContexts = 0;
+  uint64_t SafepointRendezvous = 0;
+  uint64_t TlabBlocksResident = 0;
+  uint64_t TlabCarvedBytes = 0;
+  uint64_t TlabWastedBytes = 0;
+  uint64_t PublishedObjects = 0;
+  uint64_t BarrierFlushes = 0;
 };
 
 /// Collects a demographics snapshot of \p H. \p BaseAgeBytes is the width

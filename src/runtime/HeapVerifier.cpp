@@ -3,6 +3,7 @@
 #include "runtime/HeapVerifier.h"
 
 #include "runtime/Heap.h"
+#include "runtime/Mutator.h"
 
 #include <cstdio>
 #include <unordered_set>
@@ -48,6 +49,13 @@ std::unordered_set<const Object *> computeReachable(const Heap &H,
     visitRoot(Handle, "handle");
   for (const Object *PinnedObject : H.pinnedObjects())
     visitRoot(PinnedObject, "pinned");
+  // Per-context root slots. The verifier runs at safepoints (e.g. inside
+  // Heap::runAtSafepoint), where pending allocations are already
+  // published and barrier buffers flushed, so contexts contribute only
+  // their roots here.
+  for (const MutatorContext *Ctx : H.mutatorContexts())
+    for (const Object *Root : Ctx->roots())
+      visitRoot(Root, "mutator-context");
 
   while (!Worklist.empty()) {
     const Object *O = Worklist.back();

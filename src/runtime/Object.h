@@ -45,6 +45,20 @@ public:
     FlagClaimed = 1u << 1,
   };
 
+  /// Where the object's storage came from — decides how releaseStorage
+  /// returns it. (Fits the header's former padding byte.)
+  enum : uint8_t {
+    /// A dedicated ::operator new block; released individually.
+    StorageOwn = 0,
+    /// Interior to a thread-local allocation buffer (TLAB) carved by a
+    /// MutatorContext; the block is released when its last object dies
+    /// (runtime/Mutator.cpp), never per-object.
+    StorageTlab = 1,
+  };
+
+  /// The storage kind (StorageOwn / StorageTlab).
+  uint8_t storageKind() const { return Storage; }
+
   uint32_t numSlots() const { return NumSlots; }
   uint32_t rawBytes() const { return RawBytes; }
   /// Total footprint (header + slots + raw data) — the "size" the
@@ -78,6 +92,7 @@ public:
 
 private:
   friend class Heap;
+  friend class MutatorContext;
 
   Object() = default;
 
@@ -119,7 +134,7 @@ private:
 
   uint16_t Magic = MagicAlive;
   uint8_t Flags = 0;
-  uint8_t Padding = 0;
+  uint8_t Storage = StorageOwn;
   uint32_t NumSlots = 0;
   uint32_t RawBytes = 0;
   uint32_t GrossBytes = 0;

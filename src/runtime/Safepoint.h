@@ -1,0 +1,117 @@
+//===- runtime/Safepoint.h - GC phase machine and rendezvous ---*- C++ -*-===//
+//
+// Part of the dtbgc project (Barrett & Zorn DTB reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collector/mutator handshake vocabulary for the multi-threaded
+/// mutator runtime (runtime/Mutator.h): the heap-global *phase machine*
+/// and the states a registered MutatorContext moves through.
+///
+/// Phase machine (per Heap, driven by whichever thread owns the stopped
+/// world):
+///
+///           store buffered                   store -> sink directly
+///   +----------------+   rendezvous   +------------+   trace done
+///   | NOT_COLLECTING | -------------> | COLLECTING | -------------+
+///   +----------------+                +------------+              |
+///           ^                                                     v
+///           |            world released              +-----------+
+///           +------------------------------------- --| RESTORING |
+///                                                    +-----------+
+///                                                store -> sink directly
+///
+///  * NOT_COLLECTING — mutators run freely. Per-context write barriers
+///    *buffer* forward-in-time stores locally (lock-free) and flush them
+///    into the shared RememberedSet sink at capacity or at the next
+///    safepoint, so the allocation/store fast paths take no lock.
+///  * COLLECTING — the world is stopped (every context counted out or
+///    parked) and the trace runs; any store issued now (by the collector
+///    or a safepoint callback driving a context) goes to the sink
+///    immediately, because the trace consumes the set in this phase.
+///  * RESTORING — post-trace bookkeeping (sweep accounting, remembered-
+///    set rebuild, publication); stores still go straight to the sink.
+///
+/// Count-in / count-out: a context *counts in* (enters the Mutating
+/// state) at every heap-API call and *counts out* (back to AtSafepoint)
+/// when the call returns, so between calls a context is always at a
+/// safepoint. A rendezvous therefore waits only on contexts that are
+/// mid-operation; long-running mutator loops should still poll
+/// MutatorContext::safepoint() so a count-in blocked on an open
+/// rendezvous is reached promptly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DTB_RUNTIME_SAFEPOINT_H
+#define DTB_RUNTIME_SAFEPOINT_H
+
+#include <cstdint>
+
+namespace dtb {
+namespace runtime {
+
+/// The heap-global collection phase (see the file comment's diagram).
+enum class GcPhase : uint8_t {
+  NotCollecting,
+  Collecting,
+  Restoring,
+};
+
+/// Stable lowercase identifier ("not-collecting", "collecting",
+/// "restoring").
+inline const char *gcPhaseName(GcPhase Phase) {
+  switch (Phase) {
+  case GcPhase::NotCollecting:
+    return "not-collecting";
+  case GcPhase::Collecting:
+    return "collecting";
+  case GcPhase::Restoring:
+    return "restoring";
+  }
+  return "unknown";
+}
+
+/// Where a registered MutatorContext stands relative to the rendezvous
+/// protocol.
+enum class MutatorState : uint8_t {
+  /// Inside a heap-API call (counted in); a rendezvous must wait for the
+  /// call to finish.
+  Mutating,
+  /// Between calls (counted out); the collector never waits on it.
+  AtSafepoint,
+  /// Explicitly parked (MutatorContext::park): like AtSafepoint, but the
+  /// context promises not to count in until unpark(), which blocks while
+  /// a rendezvous is open.
+  Parked,
+};
+
+/// Heap-level counters for the mutator runtime, snapshot via
+/// Heap::mutatorStats(). Deterministic under single-threaded driving.
+struct MutatorRuntimeStats {
+  /// Rendezvous the heap completed (collections, safepoint callbacks).
+  uint64_t SafepointRendezvous = 0;
+  /// TLAB blocks carved from the refill lock.
+  uint64_t TlabRefills = 0;
+  /// Gross bytes of all blocks ever carved.
+  uint64_t TlabCarvedBytes = 0;
+  /// Bytes left unused in retired blocks (carve granularity waste).
+  uint64_t TlabWastedBytes = 0;
+  /// Blocks whose storage was returned to the OS (last object died after
+  /// retirement; never in quarantine mode).
+  uint64_t TlabBlocksFreed = 0;
+  /// TLAB blocks currently resident (carved minus freed).
+  uint64_t TlabBlocksResident = 0;
+  /// Objects moved from per-context pending lists into the heap's
+  /// birth-ordered allocation list at safepoints.
+  uint64_t PublishedObjects = 0;
+  /// Barrier-buffer flushes into the shared remembered-set sink.
+  uint64_t BarrierFlushes = 0;
+  /// Entries those flushes delivered.
+  uint64_t BarrierFlushedEntries = 0;
+};
+
+} // namespace runtime
+} // namespace dtb
+
+#endif // DTB_RUNTIME_SAFEPOINT_H

@@ -26,6 +26,10 @@ const char *dtb::faultSiteName(FaultSite Site) {
     return "cycle-abort";
   case FaultSite::WatchdogDeadline:
     return "watchdog-deadline";
+  case FaultSite::BarrierSink:
+    return "barrier-sink";
+  case FaultSite::SafepointHandshake:
+    return "safepoint-handshake";
   }
   unreachable("covered switch");
 }

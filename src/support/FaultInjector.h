@@ -78,13 +78,26 @@ enum class FaultSite : unsigned {
   /// is configured, driving the retry-halving budget backoff and (after K
   /// consecutive violations) serial-degraded tracing.
   WatchdogDeadline,
+  /// MutatorContext barrier-buffer flush into the shared remembered set —
+  /// the sink's storage "fails" mid-flush, so the buffered entries cannot
+  /// be trusted to have landed; the heap responds like a remembered-set
+  /// overflow (drop the set, pessimize the next collection to a full one,
+  /// rebuild exactly during that trace).
+  BarrierSink,
+  /// Safepoint rendezvous, consulted once per registered mutator context
+  /// as the collector counts it in — the context's handshake
+  /// acknowledgment is distrusted (lost wakeup, torn state handoff), so
+  /// its barrier bookkeeping cannot be relied on either; the heap stays
+  /// safe by pessimizing the next collection to a full trace.
+  SafepointHandshake,
 };
 
-inline constexpr unsigned NumFaultSites = 9;
+inline constexpr unsigned NumFaultSites = 11;
 
 /// Stable lowercase identifier for a site ("allocation", "write-barrier",
 /// "remset-insert", "policy-evaluation", "trace-io", "parallel-trace",
-/// "incremental-step", "cycle-abort", "watchdog-deadline").
+/// "incremental-step", "cycle-abort", "watchdog-deadline", "barrier-sink",
+/// "safepoint-handshake").
 const char *faultSiteName(FaultSite Site);
 
 /// Deterministic fault source. Not thread-safe; install one per thread

@@ -11,6 +11,7 @@
 
 #include "conformance/Conformance.h"
 
+#include "serverload/ServerLoad.h"
 #include "support/FaultInjector.h"
 #include "workload/Workload.h"
 
@@ -117,6 +118,63 @@ TEST(LockstepTest, EndOfRunSummariesMirrorEachOther) {
               1e-6 * Result.SimMemMeanBytes);
   EXPECT_DOUBLE_EQ(Result.SimPauseMedianMs, Result.RuntimePauseMedianMs);
   EXPECT_GT(Result.SimMemMaxBytes, 0u);
+}
+
+TEST(LockstepTest, MutatorContextsMatchDirectPath) {
+  // Determinism contract of the multi-mutator runtime: contexts driven
+  // round-robin from one thread reproduce the direct heap API's clock,
+  // remembered set, and scavenge records exactly — so the lockstep must
+  // agree for any N, and the runtime rows must be identical to the direct
+  // path's, field for field.
+  LockstepConfig Direct = smallConfig("dtbmem");
+  trace::Trace T = steadyTrace(256 * 1024, /*Seed=*/29, Direct.Links);
+  LockstepResult Baseline = runLockstep(T, Direct);
+  ASSERT_TRUE(Baseline.agreed()) << divergenceSummary(Baseline);
+  ASSERT_GT(Baseline.Runtime.size(), 2u);
+  for (unsigned Mutators : {1u, 4u}) {
+    LockstepConfig Config = Direct;
+    Config.Mutators = Mutators;
+    LockstepResult Result = runLockstep(T, Config);
+    EXPECT_TRUE(Result.agreed())
+        << "mutators=" << Mutators << "\n"
+        << divergenceSummary(Result);
+    ASSERT_EQ(Result.Runtime.size(), Baseline.Runtime.size());
+    for (size_t I = 0; I != Result.Runtime.size(); ++I) {
+      EXPECT_EQ(Result.Runtime[I].Record.Time,
+                Baseline.Runtime[I].Record.Time);
+      EXPECT_EQ(Result.Runtime[I].Record.Boundary,
+                Baseline.Runtime[I].Record.Boundary);
+      EXPECT_EQ(Result.Runtime[I].Record.TracedBytes,
+                Baseline.Runtime[I].Record.TracedBytes);
+      EXPECT_EQ(Result.Runtime[I].Record.ReclaimedBytes,
+                Baseline.Runtime[I].Record.ReclaimedBytes);
+      EXPECT_EQ(Result.Runtime[I].Rule, Baseline.Runtime[I].Rule);
+    }
+  }
+}
+
+TEST(LockstepTest, MutatorsModeFrontendScenario) {
+  // The bimodal request/session server shape through 4 contexts, under
+  // both collectors: copying exercises context-root updating on moves,
+  // mark-sweep exercises the barrier-buffer flush into the scavenge.
+  for (runtime::CollectorKind Collector :
+       {runtime::CollectorKind::MarkSweep, runtime::CollectorKind::Copying}) {
+    LockstepConfig Config = smallConfig("full");
+    Config.Mutators = 4;
+    Config.Collector = Collector;
+    trace::Trace T = normalizeForReplay(
+        serverload::generateServerTrace(serverload::scaledScenario(
+            *serverload::findServerScenario("frontend"), 192 * 1024)),
+        Config.Links);
+    LockstepResult Result = runLockstep(T, Config);
+    EXPECT_TRUE(Result.agreed())
+        << "collector="
+        << (Collector == runtime::CollectorKind::Copying ? "copying"
+                                                         : "marksweep")
+        << "\n"
+        << divergenceSummary(Result);
+    EXPECT_GT(Result.Sim.size(), 2u) << "scenario too small to scavenge";
+  }
 }
 
 TEST(LockstepTest, SeededPolicyMutationIsCaught) {

@@ -13,12 +13,15 @@
 
 #include "runtime/Heap.h"
 #include "runtime/HeapVerifier.h"
+#include "runtime/Mutator.h"
 
 #include "support/FaultInjector.h"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
 using namespace dtb;
 using namespace dtb::runtime;
@@ -98,6 +101,71 @@ void runScenario(unsigned Lanes) {
   Verify("after final full collection");
 }
 
+/// The mutator-context variant: the same exhaustive approach driven
+/// through N registered contexts from one thread, covering the two sites
+/// the multi-mutator protocol adds. BarrierSink guards every delivery of
+/// buffered barrier entries to the shared remembered set (capacity flush,
+/// safepoint flush, and the world-stopped direct insert);
+/// SafepointHandshake is consulted once per registered context at every
+/// stop-the-world rendezvous. Both degrade by pessimizing the next
+/// collection to a full trace, so the scenario must stay verifier-clean
+/// no matter which consult fails.
+void runMutatorScenario(unsigned Mutators) {
+  HeapConfig Config;
+  Config.TriggerBytes = 0;
+  Config.ScavengeBudgetBytes = 2'000;
+  Heap H(Config);
+  std::vector<std::unique_ptr<MutatorContext>> Contexts;
+  for (unsigned I = 0; I != Mutators; ++I)
+    Contexts.push_back(std::make_unique<MutatorContext>(H));
+
+  auto Verify = [&](const char *Where) {
+    H.runAtSafepoint([&](Heap &Stopped) {
+      VerifyResult Verified = verifyHeap(Stopped);
+      ASSERT_TRUE(Verified.Ok)
+          << Where << ": "
+          << (Verified.Problems.empty() ? "" : Verified.Problems.front());
+    });
+  };
+
+  // Phase 1: a link mill round-robined across the contexts — enough
+  // forward-in-time stores that a single context flushes at capacity and
+  // four contexts flush at the next rendezvous.
+  for (unsigned I = 0; I != 200; ++I) {
+    MutatorContext &Ctx = *Contexts[I % Mutators];
+    size_t Idx = Ctx.allocateRooted(1, (I * 7) % 64);
+    if (Idx != 0)
+      Ctx.writeSlot(Ctx.root(Idx - 1), 0, Ctx.root(Idx));
+  }
+  Verify("after link mill");
+
+  // Phase 2: a forward store from inside a safepoint callback — the
+  // world-stopped path where the entry goes straight to the sink.
+  H.runAtSafepoint([&](Heap &) {
+    MutatorContext &Ctx = *Contexts.front();
+    Ctx.writeSlot(Ctx.root(0), 0, Ctx.root(Ctx.numRoots() - 1));
+  });
+
+  // Phase 3: a budgeted cycle stepped to completion, allocating and
+  // linking between quanta (every step is one more rendezvous).
+  H.beginIncrementalScavenge(H.now() / 2);
+  unsigned Step = 0;
+  while (!H.incrementalScavengeStep()) {
+    MutatorContext &Ctx = *Contexts[Step++ % Mutators];
+    size_t Idx = Ctx.allocateRooted(1, 16);
+    if (Idx != 0)
+      Ctx.writeSlot(Ctx.root(Idx - 1), 0, Ctx.root(Idx));
+  }
+  Verify("after stepped cycle");
+
+  // Phase 4: drop the churn tails and collect everything that died; the
+  // context destructors add one final rendezvous each.
+  for (auto &Ctx : Contexts)
+    Ctx->truncateRoots(1);
+  H.collectAtBoundary(0);
+  Verify("after final full collection");
+}
+
 } // namespace
 
 TEST(FaultMatrixTest, EveryQuantumSurvivesEveryFaultSite) {
@@ -130,6 +198,40 @@ TEST(FaultMatrixTest, EveryQuantumSurvivesEveryFaultSite) {
         Injector.armOneShot(Site, Hit);
         FaultInjectionScope Scope(Injector);
         runScenario(Lanes);
+        if (::testing::Test::HasFatalFailure())
+          return;
+        EXPECT_EQ(Injector.injections(Site), 1u);
+      }
+    }
+  }
+}
+
+TEST(FaultMatrixTest, EveryMutatorConsultSurvivesEveryFaultSite) {
+  const FaultSite Sites[] = {FaultSite::BarrierSink,
+                             FaultSite::SafepointHandshake};
+
+  for (unsigned Mutators : {1u, 4u}) {
+    FaultInjector Reference(/*Seed=*/1);
+    {
+      FaultInjectionScope Scope(Reference);
+      runMutatorScenario(Mutators);
+      if (::testing::Test::HasFatalFailure())
+        return;
+    }
+    ASSERT_EQ(Reference.totalInjections(), 0u);
+
+    for (FaultSite Site : Sites) {
+      uint64_t Hits = Reference.hits(Site);
+      ASSERT_GT(Hits, 0u) << faultSiteName(Site)
+                          << ": scenario never reached the site";
+      for (uint64_t Hit = 1; Hit <= Hits; ++Hit) {
+        SCOPED_TRACE(std::string("site=") + faultSiteName(Site) +
+                     " hit=" + std::to_string(Hit) +
+                     " mutators=" + std::to_string(Mutators));
+        FaultInjector Injector(/*Seed=*/1);
+        Injector.armOneShot(Site, Hit);
+        FaultInjectionScope Scope(Injector);
+        runMutatorScenario(Mutators);
         if (::testing::Test::HasFatalFailure())
           return;
         EXPECT_EQ(Injector.injections(Site), 1u);
