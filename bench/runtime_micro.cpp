@@ -74,6 +74,53 @@ void BM_AllocateTLAB(benchmark::State &State) {
 }
 BENCHMARK(BM_AllocateTLAB);
 
+void BM_AllocateTLABCounters(benchmark::State &State) {
+  // BM_AllocateTLAB with the telemetry recorder live: the difference is
+  // the whole observability tax on the context allocation path — the
+  // per-mutator counters (TLAB carve/waste, polls) are compile-time and
+  // present in both, so what this isolates is the runtime-gated part
+  // (global alloc counters, per-mutator track emission at safepoints).
+  // CI diffs this against BM_AllocateTLAB and fails above ~1%.
+  telemetry::recorder().enable();
+  auto H = std::make_unique<Heap>(manualConfig());
+  auto Ctx = std::make_unique<MutatorContext>(*H);
+  size_t Created = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Ctx->allocate(2, 16));
+    if (++Created == 100'000) { // Reset before the heap gets huge.
+      State.PauseTiming();
+      Ctx.reset();
+      H = std::make_unique<Heap>(manualConfig());
+      Ctx = std::make_unique<MutatorContext>(*H);
+      Created = 0;
+      State.ResumeTiming();
+    }
+  }
+  telemetry::recorder().disable();
+  telemetry::recorder().buffer().clear();
+  State.SetItemsProcessed(State.iterations());
+  State.SetLabel(telemetry::compiledIn() ? "counters-live"
+                                         : "telemetry-compiled-out");
+}
+BENCHMARK(BM_AllocateTLABCounters);
+
+void BM_SafepointRendezvous(benchmark::State &State) {
+  // A full stop-the-world round trip with Arg(0) registered contexts and
+  // nothing to publish: the handshake, arrival scan, TTSP attribution,
+  // rendezvous-record assembly, flight-recorder stamp, and world release.
+  // This is the fixed cost every collection pays before tracing a byte.
+  const auto NumContexts = static_cast<size_t>(State.range(0));
+  Heap H(manualConfig());
+  std::vector<std::unique_ptr<MutatorContext>> Ctxs;
+  for (size_t I = 0; I != NumContexts; ++I)
+    Ctxs.push_back(std::make_unique<MutatorContext>(H));
+  for (auto _ : State)
+    H.runAtSafepoint([](Heap &) {});
+  State.SetItemsProcessed(State.iterations());
+  State.SetLabel(std::to_string(NumContexts) + " contexts");
+}
+BENCHMARK(BM_SafepointRendezvous)->Arg(0)->Arg(1)->Arg(4);
+
 void BM_AllocateTelemetryEnabled(benchmark::State &State) {
   // Same loop with the recorder live: the difference from BM_Allocate is
   // the full telemetry cost on the allocation path (two cached counter

@@ -77,6 +77,19 @@ inline constexpr const char *Promote = "promote";
 inline constexpr const char *WeakRefs = "weak_refs";
 inline constexpr const char *Sweep = "sweep";
 inline constexpr const char *RemSetRebuild = "remset_rebuild";
+/// Stop-the-world pause anatomy (multi-mutator runtime only; heaps with
+/// no registered contexts never enter these). Rendezvous covers the
+/// whole stop — waiting out mid-op contexts plus publication — with
+/// Publication (cost = published pending-allocation bytes) and
+/// BarrierFlush (cost = barrier entries delivered) nested inside it;
+/// WorldRelease (cost = contexts to wake) is recorded by the collection
+/// epilogue for the pending resume, so a pause decomposes end-to-end in
+/// the cost-attribution table. Costs are deterministic counts, never
+/// wall time.
+inline constexpr const char *Rendezvous = "rendezvous";
+inline constexpr const char *Publication = "publication";
+inline constexpr const char *BarrierFlush = "barrier_flush";
+inline constexpr const char *WorldRelease = "world_release";
 /// Per-lane work inside a parallel trace round. Lane profilers are merged
 /// (mergeFrom, fixed lane order) into the heap's lane profile — kept apart
 /// from the deterministic scavenge phases because per-lane attribution

@@ -7,6 +7,7 @@
 #include "report/Experiments.h"
 #include "report/GhostMutator.h"
 #include "runtime/Heap.h"
+#include "runtime/Mutator.h"
 #include "serverload/ServerLoad.h"
 #include "sim/Simulator.h"
 #include "support/Error.h"
@@ -15,9 +16,11 @@
 #include "trace/TraceStats.h"
 #include "workload/Workload.h"
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 
 using namespace dtb;
 using namespace dtb::report;
@@ -408,6 +411,114 @@ void runRuntimePolicies(const RuntimeScale &Scale, unsigned TraceLanes,
 }
 
 //===----------------------------------------------------------------------===//
+// Mutator-observability stage (TTSP + per-mutator counters)
+//===----------------------------------------------------------------------===//
+
+/// Drives four registered MutatorContexts round-robin from ONE thread
+/// with a fixed-seed LCG workload (rooted allocation chains,
+/// forward-in-time stores, parks across a neighbour's bursts, explicit
+/// safepoint polls), so every rendezvous the trigger rule fires — and
+/// with it every TTSP sample, straggler attribution, and per-mutator
+/// counter — is deterministic by construction. The stage never touches
+/// the thread pool: the concurrency machinery (Dekker handshake,
+/// publication, barrier flush) runs for real, but on one thread, so the
+/// exported exact metrics are bit-identical across --threads settings
+/// and machines, and bench_compare gates them against the baseline.
+void runMutatorObservabilityStage(BenchRecord &Record) {
+  constexpr size_t NumContexts = 4;
+  constexpr uint64_t Steps = 6'000;
+
+  runtime::HeapConfig Config;
+  Config.TriggerBytes = 24'000;
+  runtime::Heap H(Config);
+  core::PolicyConfig PolicyConfig;
+  PolicyConfig.TraceMaxBytes = QuickRuntime.TraceMaxBytes;
+  PolicyConfig.MemMaxBytes = QuickRuntime.MemMaxBytes;
+  H.setPolicy(core::createPolicy("dtbfm", PolicyConfig));
+  std::array<std::unique_ptr<runtime::MutatorContext>, NumContexts> Ctxs;
+  for (auto &C : Ctxs)
+    C = std::make_unique<runtime::MutatorContext>(H);
+
+  uint64_t Lcg = 0x0B5E7B111ull;
+  auto Next = [&Lcg] {
+    Lcg = Lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return Lcg >> 33;
+  };
+
+  for (uint64_t Step = 0; Step != Steps; ++Step) {
+    runtime::MutatorContext &Ctx = *Ctxs[Step % NumContexts];
+    uint64_t Roll = Next();
+    if (Roll % 16 == 0) {
+      // Park this context across a neighbour's allocation burst: if the
+      // burst trips the trigger, the rendezvous sees a genuinely parked
+      // context and the straggler tallies exercise that classification.
+      Ctx.park();
+      runtime::MutatorContext &Other = *Ctxs[(Step + 1) % NumContexts];
+      for (int I = 0; I != 4; ++I)
+        Other.allocate(1, 32);
+      Ctx.unpark();
+      continue;
+    }
+    uint32_t Slots = 1 + static_cast<uint32_t>(Roll % 3);
+    uint32_t Raw = static_cast<uint32_t>((Roll >> 8) % 96);
+    size_t RootIndex = Ctx.allocateRooted(Slots, Raw);
+    if (RootIndex != 0)
+      // Forward-in-time store (old root -> the new, younger object):
+      // the buffered write barrier's bread and butter.
+      Ctx.writeSlot(Ctx.root(RootIndex - 1), 0, Ctx.root(RootIndex));
+    Ctx.allocate(0, 8 + static_cast<uint32_t>(Roll % 48)); // Garbage.
+    if (Roll % 7 == 0)
+      Ctx.safepoint();
+    if (Ctx.numRoots() > 256)
+      Ctx.truncateRoots(16);
+  }
+  // Final explicit collection: publishes the tail bursts and leaves the
+  // heap's last-rendezvous record covering a full 4-context stop.
+  H.collectAtBoundary(0);
+
+  Record.addExact("runtime.safepoint.rendezvous", "count",
+                  static_cast<double>(H.lastSafepointRendezvous().Serial));
+#if DTB_TELEMETRY
+  const runtime::SafepointTtspStats &Ttsp = H.safepointTtspStats();
+  Record.addExact("runtime.safepoint.ttsp_p50", "ms",
+                  Ttsp.TtspMillis.quantile(0.5));
+  Record.addExact("runtime.safepoint.ttsp_p99", "ms",
+                  Ttsp.TtspMillis.quantile(0.99));
+  Record.addExact("runtime.safepoint.pending_bytes_p99", "bytes",
+                  Ttsp.PendingBytes.quantile(0.99));
+  Record.addExact("runtime.safepoint.straggler_midop", "count",
+                  static_cast<double>(Ttsp.StragglerMidOp));
+  Record.addExact("runtime.safepoint.straggler_parked", "count",
+                  static_cast<double>(Ttsp.StragglerParked));
+  Record.addExact("runtime.safepoint.straggler_polling", "count",
+                  static_cast<double>(Ttsp.StragglerPolling));
+#endif
+  for (size_t I = 0; I != NumContexts; ++I) {
+    const runtime::MutatorContext::Stats &S = Ctxs[I]->stats();
+    std::string Prefix =
+        "runtime/mutator/" + std::to_string(Ctxs[I]->id()) + "/";
+    Record.addExact(Prefix + "allocations", "count",
+                    static_cast<double>(S.Allocations));
+    Record.addExact(Prefix + "alloc_bytes", "bytes",
+                    static_cast<double>(S.AllocatedBytes));
+    Record.addExact(Prefix + "tlab_refills", "count",
+                    static_cast<double>(S.TlabRefills));
+    Record.addExact(Prefix + "barrier_flushes", "count",
+                    static_cast<double>(S.BarrierFlushes));
+#if DTB_TELEMETRY
+    Record.addExact(Prefix + "tlab_waste_bytes", "bytes",
+                    static_cast<double>(S.Obs.TlabWastedBytes));
+    Record.addExact(Prefix + "barrier_high_water", "count",
+                    static_cast<double>(S.Obs.BarrierHighWater));
+    Record.addExact(Prefix + "safepoint_polls", "count",
+                    static_cast<double>(S.Obs.SafepointPolls));
+    Record.addExact(Prefix + "parks", "count",
+                    static_cast<double>(S.Obs.Parks));
+#endif
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Micro stage (wall-only hot-path loops)
 //===----------------------------------------------------------------------===//
 
@@ -643,6 +754,7 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
     runSimGridStage(quickWorkloads(), quickGridConfig(Options.Threads),
                     Record, Sim);
     runRuntimePolicies(QuickRuntime, TraceLanes, &Record, &Runtime);
+    runMutatorObservabilityStage(Record);
     if (Options.IncludeWall) {
       Record.addWall("wall/quick/sim_grid_seconds", "seconds",
                      measureWall(Options, [&] {
@@ -676,6 +788,7 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
   } else if (Options.Suite == "runtime") {
     profiling::PhaseProfiler &Runtime = Result.Profiles["runtime"];
     runRuntimePolicies(FullRuntime, TraceLanes, &Record, &Runtime);
+    runMutatorObservabilityStage(Record);
     if (Options.IncludeWall) {
       Record.addWall("wall/runtime/policies_seconds", "seconds",
                      measureWall(Options, [&] {
@@ -690,6 +803,7 @@ BenchSuiteResult dtb::report::runBenchSuite(const BenchDriverOptions &Options) {
   } else if (Options.Suite == "server") {
     profiling::PhaseProfiler &Sim = Result.Profiles["sim"];
     runServerGridStage(Options.Threads, &Record, &Sim);
+    runMutatorObservabilityStage(Record);
     if (Options.IncludeWall)
       Record.addWall("wall/server/sim_grid_seconds", "seconds",
                      measureWall(Options, [&] {

@@ -104,12 +104,23 @@ core::ScavengeRecord Heap::completeCollection(AllocClock Boundary,
     Phase.addCost(RemSet.size());
   }
 
+  // The pending world release: resumeWorld runs after this tree closes,
+  // so the epilogue accounts it here (cost = contexts to wake).
+  if (!Mutators.empty()) {
+    profiling::ProfilePhase Release(&Profiler,
+                                    profiling::phase::WorldRelease);
+    Release.addCost(Mutators.size());
+  }
+
   // Close this scavenge's phase tree (the policy-decision phase recorded
   // by collect() is part of it) before telemetry walks it.
   Profiler.finishScavenge();
   if (telemetry::enabled())
     emitScavengeTelemetry(History.last());
   InCollection = false;
+
+  FlightRec.record(FlightEventKind::ScavengeComplete, Record.Time,
+                   Record.Index, Record.TracedBytes, Record.ReclaimedBytes);
 
   if (Config.LogStream) {
     const core::ScavengeRecord &Last = History.last();
@@ -126,6 +137,24 @@ core::ScavengeRecord Heap::completeCollection(AllocClock Boundary,
                  static_cast<unsigned long long>(Last.ReclaimedBytes),
                  static_cast<unsigned long long>(Last.SurvivedBytes),
                  Objects.size(), RemSet.size());
+    // With registered contexts, the collection's rendezvous gets its own
+    // log line (context-free heaps skip it — their stop is a no-op).
+    if (!Mutators.empty()) {
+      const SafepointRendezvousRecord &R = LastRendezvous;
+      std::fprintf(Config.LogStream,
+                   "[gc %llu] safepoint: ttsp %.3f ms, %llu arrival%s, "
+                   "published %llu objects (%llu bytes), flushed %llu, "
+                   "straggler ctx %llu (%s)\n",
+                   static_cast<unsigned long long>(Last.Index),
+                   R.TtspMillis,
+                   static_cast<unsigned long long>(R.Contexts),
+                   R.Contexts == 1 ? "" : "s",
+                   static_cast<unsigned long long>(R.PendingAllocObjects),
+                   static_cast<unsigned long long>(R.PendingAllocBytes),
+                   static_cast<unsigned long long>(R.FlushedBarrierEntries),
+                   static_cast<unsigned long long>(R.StragglerContext),
+                   stragglerKindName(R.Straggler));
+    }
   }
   return History.last();
 }
@@ -560,6 +589,7 @@ void Heap::beginIncrementalScavenge(AllocClock Boundary) {
   EffectiveBudgetBytes = 0;
   Demographics.beginScavenge(Boundary);
   syncIncMirror();
+  FlightRec.record(FlightEventKind::CycleBegin, Clock, Boundary);
   seedMarkSweepRoots(Boundary, Inc.BlackClock, Inc.Gray, Inc.Work);
   InCollection = false;
 }

@@ -74,6 +74,12 @@ Object *Heap::allocate(uint32_t NumSlots, uint32_t RawBytes) {
 void Heap::recordDegradation(DegradationEvent Event) {
   DegradationTotal += 1;
   DegradationKindTotals[static_cast<unsigned>(Event.Kind)] += 1;
+  // The black box sees every rung (ladder entry, watchdog, pessimization)
+  // and the first few trigger a postmortem dump of the retained tail —
+  // the flight recorder works even with telemetry compiled out.
+  FlightRec.record(FlightEventKind::Degradation, Event.Time,
+                   static_cast<uint64_t>(Event.Kind), Event.ResidentBytes);
+  FlightRec.autoDump(flightDumpStream(), degradationKindName(Event.Kind));
   if (telemetry::enabled()) {
     // One consistent story with HeapDump: every ladder rung is also a
     // telemetry instant plus a per-kind counter.

@@ -44,6 +44,7 @@
 #include "profiling/Profiler.h"
 #include "runtime/Degradation.h"
 #include "runtime/EpochDemographics.h"
+#include "runtime/FlightRecorder.h"
 #include "runtime/Object.h"
 #include "runtime/RememberedSet.h"
 #include "runtime/Safepoint.h"
@@ -358,6 +359,29 @@ public:
   /// flushes). Call from the owning thread or at a safepoint.
   MutatorRuntimeStats mutatorStats() const;
 
+  /// Snapshot of the most recent safepoint rendezvous (zeroed before the
+  /// first one). Call from the owning thread or at a safepoint.
+  const SafepointRendezvousRecord &lastSafepointRendezvous() const {
+    return LastRendezvous;
+  }
+
+  /// Cumulative deterministic TTSP attribution across every rendezvous
+  /// (empty type under -DDTB_ENABLE_TELEMETRY=OFF).
+  const SafepointTtspStats &safepointTtspStats() const { return TtspStats; }
+
+  /// The always-on flight recorder: a bounded ring of recent
+  /// GC/safepoint/degradation events, never compiled out (see
+  /// runtime/FlightRecorder.h). Mutable through a const heap — recording
+  /// is lock-free atomics and the verifier (which only sees const heaps)
+  /// must be able to leave a black-box trail.
+  FlightRecorder &flightRecorder() const { return FlightRec; }
+
+  /// Where automatic flight-recorder dumps go: the GC log stream when
+  /// configured, else stderr.
+  std::FILE *flightDumpStream() const {
+    return Config.LogStream ? Config.LogStream : stderr;
+  }
+
   /// [begin, end) storage ranges of every resident TLAB block, sorted by
   /// address (tests assert the ranges are disjoint — no byte double-
   /// carved). Call at a safepoint.
@@ -491,10 +515,17 @@ private:
     return WorldOwner.load(std::memory_order_relaxed) ==
            std::this_thread::get_id();
   }
+  /// What one rendezvous' publication drained (the deterministic TTSP
+  /// attribution inputs).
+  struct PublicationSummary {
+    uint64_t Objects = 0;
+    uint64_t Bytes = 0;
+    uint64_t FlushedBarrierEntries = 0;
+  };
   /// World-stopped: merges every context's pending allocations into the
   /// birth-ordered list, flushes barrier and grey buffers, and refreshes
-  /// the demographics' since-allocation counter.
-  void publishMutatorState();
+  /// the demographics' since-allocation counter. Returns what it drained.
+  PublicationSummary publishMutatorState();
   /// Carves a fresh TLAB block of at least \p Bytes under the refill lock.
   TlabBlock *carveTlab(uint64_t Bytes);
   /// Retires \p Block (no further bumping; accounts the unused tail as
@@ -710,6 +741,16 @@ private:
   /// Counters behind mutatorStats(). Rendezvous/publish/flush counts are
   /// world-owner-exclusive; TLAB counters are guarded by RefillMu.
   MutatorRuntimeStats MutStats;
+  /// Most recent rendezvous snapshot (world-owner-exclusive writes).
+  SafepointRendezvousRecord LastRendezvous;
+  /// Cumulative TTSP attribution (world-owner-exclusive writes; empty
+  /// under -DDTB_ENABLE_TELEMETRY=OFF).
+  SafepointTtspStats TtspStats;
+  /// Next MutatorContext::id() to hand out (registration is
+  /// world-stopped, so a plain counter suffices).
+  uint64_t NextMutatorId = 0;
+  /// The always-on black box (mutable: see flightRecorder()).
+  mutable FlightRecorder FlightRec;
 
   /// Pause-deadline watchdog state, reset at the start of every
   /// collection (and by abortIncrementalScavenge). EffectiveBudgetBytes

@@ -120,6 +120,40 @@ dtb::runtime::collectDemographics(const Heap &H, AllocClock BaseAgeBytes) {
   Demo.TlabWastedBytes = Mut.TlabWastedBytes;
   Demo.PublishedObjects = Mut.PublishedObjects;
   Demo.BarrierFlushes = Mut.BarrierFlushes;
+
+  for (const MutatorContext *Ctx : H.mutatorContexts()) {
+    const MutatorContext::Stats &S = Ctx->stats();
+    HeapDemographics::MutatorRow Row;
+    Row.Id = Ctx->id();
+    Row.State = mutatorStateName(Ctx->state());
+    Row.Allocations = S.Allocations;
+    Row.AllocatedBytes = S.AllocatedBytes;
+    Row.TlabRefills = S.TlabRefills;
+    Row.BarrierBufferedEntries = S.BarrierBufferedEntries;
+    Row.BarrierFlushes = S.BarrierFlushes;
+    Row.SafepointYields = S.SafepointYields;
+    Row.TriggeredCollections = S.TriggeredCollections;
+#if DTB_TELEMETRY
+    Row.TlabWastedBytes = S.Obs.TlabWastedBytes;
+    Row.BarrierHighWater = S.Obs.BarrierHighWater;
+    Row.SafepointPolls = S.Obs.SafepointPolls;
+    Row.Parks = S.Obs.Parks;
+#endif
+    Demo.Mutators.push_back(std::move(Row));
+  }
+
+  const SafepointRendezvousRecord &R = H.lastSafepointRendezvous();
+  Demo.RendezvousSerial = R.Serial;
+  Demo.RendezvousTtspMillis = R.TtspMillis;
+  Demo.RendezvousArrivals = R.Contexts;
+  Demo.RendezvousStragglerContext = R.StragglerContext;
+  Demo.RendezvousStraggler = stragglerKindName(R.Straggler);
+
+  Demo.FlightEventsRecorded = H.flightRecorder().recorded();
+  for (const FlightEvent &E : H.flightRecorder().snapshot())
+    Demo.FlightEvents.push_back(
+        "[" + std::to_string(E.Seq) + "] t=" + std::to_string(E.Time) + " " +
+        describeFlightEvent(E));
   return Demo;
 }
 
@@ -193,6 +227,44 @@ void dtb::runtime::printDemographics(const HeapDemographics &Demo,
                  static_cast<unsigned long long>(Demo.TlabWastedBytes),
                  static_cast<unsigned long long>(Demo.PublishedObjects),
                  static_cast<unsigned long long>(Demo.BarrierFlushes));
+    for (const HeapDemographics::MutatorRow &Row : Demo.Mutators)
+      std::fprintf(Out,
+                   "  ctx %llu [%s]: %llu allocs / %llu bytes, %llu tlab "
+                   "refills (%llu wasted), barrier %llu buffered (hw %llu) "
+                   "/ %llu flushes, %llu yields / %llu polls / %llu parks, "
+                   "%llu triggered\n",
+                   static_cast<unsigned long long>(Row.Id), Row.State.c_str(),
+                   static_cast<unsigned long long>(Row.Allocations),
+                   static_cast<unsigned long long>(Row.AllocatedBytes),
+                   static_cast<unsigned long long>(Row.TlabRefills),
+                   static_cast<unsigned long long>(Row.TlabWastedBytes),
+                   static_cast<unsigned long long>(Row.BarrierBufferedEntries),
+                   static_cast<unsigned long long>(Row.BarrierHighWater),
+                   static_cast<unsigned long long>(Row.BarrierFlushes),
+                   static_cast<unsigned long long>(Row.SafepointYields),
+                   static_cast<unsigned long long>(Row.SafepointPolls),
+                   static_cast<unsigned long long>(Row.Parks),
+                   static_cast<unsigned long long>(Row.TriggeredCollections));
+    if (Demo.RendezvousSerial != 0)
+      std::fprintf(Out,
+                   "  safepoint: rendezvous #%llu ttsp %.3f ms, %llu "
+                   "arrival%s, straggler ctx %llu (%s)\n",
+                   static_cast<unsigned long long>(Demo.RendezvousSerial),
+                   Demo.RendezvousTtspMillis,
+                   static_cast<unsigned long long>(Demo.RendezvousArrivals),
+                   Demo.RendezvousArrivals == 1 ? "" : "s",
+                   static_cast<unsigned long long>(
+                       Demo.RendezvousStragglerContext),
+                   Demo.RendezvousStraggler.c_str());
+  }
+
+  if (Demo.FlightEventsRecorded != 0) {
+    std::fprintf(Out, "flight recorder: %llu event%s recorded, last %zu:\n",
+                 static_cast<unsigned long long>(Demo.FlightEventsRecorded),
+                 Demo.FlightEventsRecorded == 1 ? "" : "s",
+                 Demo.FlightEvents.size());
+    for (const std::string &Line : Demo.FlightEvents)
+      std::fprintf(Out, "  %s\n", Line.c_str());
   }
 
   if (Demo.DegradationEventsTotal != 0) {

@@ -80,6 +80,35 @@ struct HeapDemographics {
   uint64_t TlabWastedBytes = 0;
   uint64_t PublishedObjects = 0;
   uint64_t BarrierFlushes = 0;
+  /// One row per registered context (registration order), from
+  /// MutatorContext::stats(). The telemetry-gated fields (waste,
+  /// high-water, polls, parks) read zero under -DDTB_ENABLE_TELEMETRY=OFF.
+  struct MutatorRow {
+    uint64_t Id = 0;
+    std::string State = "at-safepoint";
+    uint64_t Allocations = 0;
+    uint64_t AllocatedBytes = 0;
+    uint64_t TlabRefills = 0;
+    uint64_t TlabWastedBytes = 0;
+    uint64_t BarrierBufferedEntries = 0;
+    uint64_t BarrierHighWater = 0;
+    uint64_t BarrierFlushes = 0;
+    uint64_t SafepointYields = 0;
+    uint64_t SafepointPolls = 0;
+    uint64_t Parks = 0;
+    uint64_t TriggeredCollections = 0;
+  };
+  std::vector<MutatorRow> Mutators;
+  /// The most recent safepoint rendezvous (Serial 0 = none yet).
+  uint64_t RendezvousSerial = 0;
+  double RendezvousTtspMillis = 0.0;
+  uint64_t RendezvousArrivals = 0;
+  uint64_t RendezvousStragglerContext = 0;
+  std::string RendezvousStraggler = "none";
+  /// Flight-recorder tail: total events ever recorded plus pre-rendered
+  /// lines for the retained ones (oldest first).
+  uint64_t FlightEventsRecorded = 0;
+  std::vector<std::string> FlightEvents;
 };
 
 /// Collects a demographics snapshot of \p H. \p BaseAgeBytes is the width

@@ -166,6 +166,16 @@ VerifyResult dtb::runtime::verifyHeap(const Heap &H) {
                   describeObject(Source));
   });
 
+  // A failed verification is a postmortem moment: stamp it into the
+  // always-on flight recorder and dump the retained tail (throttled), so
+  // the events leading up to the corruption are on record even when the
+  // full telemetry stack is compiled out.
+  if (!Result.Ok) {
+    H.flightRecorder().record(FlightEventKind::VerifierFailure, H.now(),
+                              Result.Problems.size());
+    H.flightRecorder().autoDump(H.flightDumpStream(), "verifier failure");
+  }
+
   return Result;
 }
 

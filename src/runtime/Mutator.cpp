@@ -27,6 +27,8 @@
 
 #include "runtime/Mutator.h"
 
+#include "core/MachineModel.h"
+#include "profiling/Profiler.h"
 #include "runtime/Heap.h"
 #include "support/Error.h"
 #include "support/FaultInjector.h"
@@ -55,28 +57,128 @@ void Heap::stopWorld() {
   StopDepth = 1;
   if (!Mutators.empty()) {
     // Wall time of the rendezvous (how long mutators kept us waiting) is
-    // a quarantined side channel, like every other wall measurement.
+    // a quarantined side channel, like every other wall measurement. The
+    // deterministic pause anatomy rides the profiler: the rendezvous
+    // phase covers the whole stop (cost = contexts arrived), with the
+    // publication and barrier-flush phases nested inside it.
     telemetry::TelemetrySpan Span("runtime.safepoint_rendezvous");
+    profiling::ProfilePhase RendezvousPhase(&Profiler,
+                                            profiling::phase::Rendezvous);
     SafepointRequested.store(true, std::memory_order_seq_cst);
-    bool HandshakeDistrusted = false;
-    for (MutatorContext *Ctx : Mutators) {
-      // Count the context in: wait until it is not mid-operation. The
-      // seq_cst load pairs with the context's count-in store (see the
-      // file comment); AtSafepoint/Parked both mean "counted out".
-      while (Ctx->State.load(std::memory_order_seq_cst) ==
-             MutatorState::Mutating)
+
+    // Rendezvous sweep: scan the registration list until every context is
+    // counted out, recording each context's arrival and how it was first
+    // observed (Mutating = mid-op, Parked, AtSafepoint = polling). The
+    // seq_cst loads pair with the contexts' count-in stores (see the file
+    // comment); AtSafepoint/Parked both mean "counted out". The straggler
+    // is the last context to arrive; several arriving in one sweep
+    // resolve to the highest registration index, which keeps the
+    // attribution deterministic under single-threaded driving (every
+    // context arrives on sweep 0, straggler = last registered).
+    size_t N = Mutators.size();
+    std::vector<MutatorState> FirstSeen(N, MutatorState::AtSafepoint);
+    std::vector<bool> Arrived(N, false);
+    std::vector<uint64_t> ArrivalOrder;
+    ArrivalOrder.reserve(N);
+    size_t LastArriver = 0;
+    for (size_t Remaining = N, Sweep = 0; Remaining != 0; ++Sweep) {
+      for (size_t I = 0; I != N; ++I) {
+        if (Arrived[I])
+          continue;
+        MutatorState St = Mutators[I]->State.load(std::memory_order_seq_cst);
+        if (Sweep == 0)
+          FirstSeen[I] = St;
+        if (St != MutatorState::Mutating) {
+          Arrived[I] = true;
+          ArrivalOrder.push_back(Mutators[I]->Id);
+          LastArriver = I;
+          Remaining -= 1;
+        }
+      }
+      if (Remaining != 0)
         std::this_thread::yield();
-      // The handshake fault site fires per context per rendezvous: this
-      // context's count-out acknowledgment is distrusted.
+    }
+
+    // The handshake fault site fires per context per rendezvous, in
+    // registration order: that context's count-out acknowledgment is
+    // distrusted.
+    bool HandshakeDistrusted = false;
+    for (size_t I = 0; I != N; ++I)
       if (faultRequestedAt(FaultSite::SafepointHandshake))
         HandshakeDistrusted = true;
-    }
+
     MutStats.SafepointRendezvous += 1;
-    if (telemetry::enabled())
-      telemetry::MetricsRegistry::global()
-          .counter("runtime.safepoint.rendezvous")
-          .add(1);
-    publishMutatorState();
+    PublicationSummary Pub = publishMutatorState();
+    RendezvousPhase.addCost(N);
+
+    // The rendezvous record: deterministic TTSP is the machine-model cost
+    // of the pending allocation bytes the stop drained (see
+    // runtime/Safepoint.h) — wall latency stays in the span above.
+    SafepointRendezvousRecord R;
+    R.Serial = MutStats.SafepointRendezvous;
+    R.Time = Clock.load(std::memory_order_relaxed);
+    R.Contexts = N;
+    R.PendingAllocObjects = Pub.Objects;
+    R.PendingAllocBytes = Pub.Bytes;
+    R.FlushedBarrierEntries = Pub.FlushedBarrierEntries;
+    R.TtspMillis = core::MachineModel().pauseMillisForTracedBytes(Pub.Bytes);
+    R.StragglerContext = Mutators[LastArriver]->Id;
+    R.Straggler = FirstSeen[LastArriver] == MutatorState::Mutating
+                      ? StragglerKind::MidOp
+                  : FirstSeen[LastArriver] == MutatorState::Parked
+                      ? StragglerKind::Parked
+                      : StragglerKind::Polling;
+    LastRendezvous = R;
+    FlightRec.record(FlightEventKind::SafepointRendezvous, R.Time, N,
+                     Pub.Bytes, R.StragglerContext);
+#if DTB_TELEMETRY
+    TtspStats.TtspMillis.add(R.TtspMillis);
+    TtspStats.PendingBytes.add(static_cast<double>(Pub.Bytes));
+    switch (R.Straggler) {
+    case StragglerKind::MidOp:
+      TtspStats.StragglerMidOp += 1;
+      break;
+    case StragglerKind::Parked:
+      TtspStats.StragglerParked += 1;
+      break;
+    case StragglerKind::Polling:
+      TtspStats.StragglerPolling += 1;
+      break;
+    case StragglerKind::None:
+      break;
+    }
+#endif
+    if (telemetry::enabled()) {
+      telemetry::MetricsRegistry &Registry =
+          telemetry::MetricsRegistry::global();
+      Registry.counter("runtime.safepoint.rendezvous").add(1);
+      Registry.histogram("runtime.safepoint.ttsp_ms").record(R.TtspMillis);
+      Registry.histogram("runtime.safepoint.pending_alloc_bytes")
+          .record(static_cast<double>(Pub.Bytes));
+      std::string Arrivals;
+      for (uint64_t Ctx : ArrivalOrder) {
+        if (!Arrivals.empty())
+          Arrivals += ",";
+        Arrivals += std::to_string(Ctx);
+      }
+      telemetry::Event E;
+      E.Phase = telemetry::EventPhase::Instant;
+      E.Track = TelemetryTrack;
+      E.Name = "safepoint_rendezvous";
+      E.ScavengeIndex = History.size();
+      E.TsClock = R.Time;
+      E.Args.push_back(telemetry::arg("contexts", static_cast<uint64_t>(N)));
+      E.Args.push_back(telemetry::arg("pending_alloc_bytes", Pub.Bytes));
+      E.Args.push_back(telemetry::arg("flushed_barrier_entries",
+                                      Pub.FlushedBarrierEntries));
+      E.Args.push_back(telemetry::arg("ttsp_ms", R.TtspMillis));
+      E.Args.push_back(
+          telemetry::arg("straggler_context", R.StragglerContext));
+      E.Args.push_back(telemetry::arg(
+          "straggler", std::string(stragglerKindName(R.Straggler))));
+      E.Args.push_back(telemetry::arg("arrival_order", std::move(Arrivals)));
+      telemetry::recorder().emit(std::move(E));
+    }
     if (HandshakeDistrusted && !RemSetPessimized) {
       // A distrusted handshake means the flushed barrier state may be
       // incomplete; pessimizing the next collection to a full trace makes
@@ -110,40 +212,82 @@ void Heap::resumeWorld() {
   WorldMu.unlock();
 }
 
-void Heap::publishMutatorState() {
+Heap::PublicationSummary Heap::publishMutatorState() {
+  PublicationSummary Sum;
   size_t Old = Objects.size();
-  uint64_t Added = 0;
-  for (MutatorContext *Ctx : Mutators) {
-    Added += Ctx->Pending.size();
-    Objects.insert(Objects.end(), Ctx->Pending.begin(), Ctx->Pending.end());
-    Ctx->Pending.clear();
+  {
+    profiling::ProfilePhase Publication(&Profiler,
+                                        profiling::phase::Publication);
+    for (MutatorContext *Ctx : Mutators) {
+      uint64_t Added = Ctx->Pending.size();
+      Sum.Objects += Added;
+      for (const Object *O : Ctx->Pending)
+        Sum.Bytes += O->grossBytes();
+#if DTB_TELEMETRY
+      Ctx->S.Obs.PublishedObjects += Added;
+#endif
+      Objects.insert(Objects.end(), Ctx->Pending.begin(), Ctx->Pending.end());
+      Ctx->Pending.clear();
+    }
+    if (Sum.Objects != 0) {
+      // Each context's pending run is already birth-ordered (ops on a
+      // context are sequential); sorting the combined tail and merging
+      // restores the global birth order in O(new log new + resident).
+      auto ByBirth = [](const Object *A, const Object *B) {
+        return A->birth() < B->birth();
+      };
+      std::sort(Objects.begin() + static_cast<ptrdiff_t>(Old), Objects.end(),
+                ByBirth);
+      std::inplace_merge(Objects.begin(),
+                         Objects.begin() + static_cast<ptrdiff_t>(Old),
+                         Objects.end(), ByBirth);
+      MutStats.PublishedObjects += Sum.Objects;
+    }
+    Publication.addCost(Sum.Bytes);
   }
-  if (Added != 0) {
-    // Each context's pending run is already birth-ordered (ops on a
-    // context are sequential); sorting the combined tail and merging
-    // restores the global birth order in O(new log new + resident).
-    auto ByBirth = [](const Object *A, const Object *B) {
-      return A->birth() < B->birth();
-    };
-    std::sort(Objects.begin() + static_cast<ptrdiff_t>(Old), Objects.end(),
-              ByBirth);
-    std::inplace_merge(Objects.begin(),
-                       Objects.begin() + static_cast<ptrdiff_t>(Old),
-                       Objects.end(), ByBirth);
-    MutStats.PublishedObjects += Added;
+  {
+    profiling::ProfilePhase Flush(&Profiler, profiling::phase::BarrierFlush);
+    for (MutatorContext *Ctx : Mutators)
+      Sum.FlushedBarrierEntries +=
+          Ctx->flushBarrierBuffer(/*WorldStopped=*/true);
+    Flush.addCost(Sum.FlushedBarrierEntries);
   }
-  for (MutatorContext *Ctx : Mutators)
-    Ctx->flushBarrierBuffer(/*WorldStopped=*/true);
   for (MutatorContext *Ctx : Mutators) {
     if (Inc.Active)
       Inc.PendingGray.insert(Inc.PendingGray.end(), Ctx->GreyBuffer.begin(),
                              Ctx->GreyBuffer.end());
     Ctx->GreyBuffer.clear();
   }
+  if (telemetry::enabled()) {
+    // One counter sample per context per safepoint, on a per-mutator
+    // track ("heap#0/mutator#2"): the Chrome-trace view of each
+    // context's allocation and barrier behavior over logical time.
+    uint64_t Now = Clock.load(std::memory_order_relaxed);
+    for (MutatorContext *Ctx : Mutators) {
+      telemetry::Event E;
+      E.Phase = telemetry::EventPhase::Counter;
+      E.Track = TelemetryTrack + "/mutator#" + std::to_string(Ctx->Id);
+      E.Name = "mutator";
+      E.ScavengeIndex = History.size();
+      E.TsClock = Now;
+      E.Args.push_back(telemetry::arg("alloc_bytes", Ctx->S.AllocatedBytes));
+      E.Args.push_back(telemetry::arg("allocations", Ctx->S.Allocations));
+      E.Args.push_back(
+          telemetry::arg("barrier_flushes", Ctx->S.BarrierFlushes));
+#if DTB_TELEMETRY
+      E.Args.push_back(telemetry::arg("barrier_high_water",
+                                      Ctx->S.Obs.BarrierHighWater));
+      E.Args.push_back(
+          telemetry::arg("tlab_waste_bytes", Ctx->S.Obs.TlabWastedBytes));
+#endif
+      telemetry::recorder().emit(std::move(E));
+    }
+  }
   // The demographics' allocation counter is maintained per-allocation on
   // the direct path; context allocations defer it to publication (it only
   // feeds policy decisions, which run world-stopped after this).
   Demographics.setBytesSinceLastScavenge(BytesSinceCollect);
+  return Sum;
 }
 
 void Heap::runAtSafepoint(const std::function<void(Heap &)> &AtCollect,
@@ -259,6 +403,7 @@ MutatorContext::MutatorContext(Heap &H) : H(H) {
   // Registration synchronizes with any in-flight collection by briefly
   // owning the stopped world.
   H.stopWorld();
+  Id = ++H.NextMutatorId;
   H.Mutators.push_back(this);
   H.resumeWorld();
 }
@@ -305,16 +450,25 @@ void MutatorContext::yieldAtSafepoint() {
 }
 
 void MutatorContext::safepoint() {
+#if DTB_TELEMETRY
+  S.Obs.SafepointPolls += 1;
+#endif
   if (H.SafepointRequested.load(std::memory_order_seq_cst) &&
       !H.worldOwnedByThisThread())
     yieldAtSafepoint();
 }
 
 void MutatorContext::park() {
+#if DTB_TELEMETRY
+  S.Obs.Parks += 1;
+#endif
   State.store(MutatorState::Parked, std::memory_order_release);
 }
 
 void MutatorContext::unpark() {
+#if DTB_TELEMETRY
+  S.Obs.Unparks += 1;
+#endif
   // If a rendezvous is open, honor the park contract — do not flip to
   // AtSafepoint until the world is released (both states are equally
   // invisible to the collector, but the caller's next op would block at
@@ -483,10 +637,20 @@ Object *MutatorContext::allocateHumongous(uint64_t Gross, uint32_t NumSlots,
 
 void MutatorContext::refillTlab(uint64_t Need) {
   std::lock_guard<std::mutex> Lock(H.RefillMu);
-  if (Tlab)
+  if (Tlab) {
+#if DTB_TELEMETRY
+    // The tail the heap-level retire accounting calls waste, attributed
+    // to the context that abandoned it.
+    S.Obs.TlabWastedBytes += static_cast<uint64_t>(Tlab->End - Tlab->Cursor);
+#endif
     H.retireTlab(Tlab);
-  Tlab = H.carveTlab(std::max<uint64_t>(H.Config.TlabBytes, Need));
+  }
+  uint64_t Bytes = std::max<uint64_t>(H.Config.TlabBytes, Need);
+  Tlab = H.carveTlab(Bytes);
   S.TlabRefills += 1;
+#if DTB_TELEMETRY
+  S.Obs.TlabCarvedBytes += Bytes;
+#endif
 }
 
 //===----------------------------------------------------------------------===//
@@ -518,6 +682,10 @@ void MutatorContext::writeSlot(Object *Source, uint32_t SlotIndex,
       // Free-running phase: buffer locally, flush at capacity. The flush
       // is the only store-path step that takes a lock.
       BarrierBuffer.emplace_back(Source, SlotIndex);
+#if DTB_TELEMETRY
+      if (BarrierBuffer.size() > S.Obs.BarrierHighWater)
+        S.Obs.BarrierHighWater = BarrierBuffer.size();
+#endif
       if (BarrierBuffer.size() >= BarrierFlushThreshold)
         flushBarrierBuffer(/*WorldStopped=*/false);
     } else {

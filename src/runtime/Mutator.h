@@ -107,6 +107,11 @@ public:
     return State.load(std::memory_order_relaxed);
   }
 
+  /// Stable context id, assigned in registration order (1-based; 0 means
+  /// "no context" in rendezvous records). Names this context in the GC
+  /// log's safepoint line, HeapDump, and per-mutator telemetry tracks.
+  uint64_t id() const { return Id; }
+
   /// Appends a root slot initialized to \p Initial; returns its index.
   /// Slot references are stable (deque) until truncateRoots drops them.
   size_t addRoot(Object *Initial = nullptr);
@@ -146,6 +151,10 @@ public:
     uint64_t SafepointYields = 0;
     /// Collections this context's allocations triggered.
     uint64_t TriggeredCollections = 0;
+    /// Telemetry-gated observability extension (TLAB waste, barrier
+    /// high-water, poll/park counts; empty under
+    /// -DDTB_ENABLE_TELEMETRY=OFF — see runtime/Safepoint.h).
+    MutatorObservability Obs;
   };
   const Stats &stats() const { return S; }
 
@@ -174,6 +183,8 @@ private:
   uint64_t flushBarrierBuffer(bool WorldStopped);
 
   Heap &H;
+  /// Registration-order id (see id()).
+  uint64_t Id = 0;
   std::atomic<MutatorState> State{MutatorState::AtSafepoint};
   Heap::TlabBlock *Tlab = nullptr;
   /// Objects allocated since the last safepoint, birth-ordered (ops on a

@@ -46,6 +46,9 @@
 #ifndef DTB_RUNTIME_SAFEPOINT_H
 #define DTB_RUNTIME_SAFEPOINT_H
 
+#include "support/Statistics.h"
+#include "telemetry/Telemetry.h"
+
 #include <cstdint>
 
 namespace dtb {
@@ -84,6 +87,126 @@ enum class MutatorState : uint8_t {
   /// context promises not to count in until unpark(), which blocks while
   /// a rendezvous is open.
   Parked,
+};
+
+/// Stable lowercase identifier ("mutating", "at-safepoint", "parked").
+inline const char *mutatorStateName(MutatorState State) {
+  switch (State) {
+  case MutatorState::Mutating:
+    return "mutating";
+  case MutatorState::AtSafepoint:
+    return "at-safepoint";
+  case MutatorState::Parked:
+    return "parked";
+  }
+  return "unknown";
+}
+
+/// How the last context to arrive at a rendezvous was found. "Mid-op"
+/// means the collector observed it Mutating at least once while waiting;
+/// "parked"/"polling" contexts were already counted out when first
+/// scanned (Parked vs. AtSafepoint respectively).
+enum class StragglerKind : uint8_t {
+  /// No contexts were registered (record is empty).
+  None,
+  /// Counted out between calls (or blocked at a safepoint poll).
+  Polling,
+  /// Explicitly parked.
+  Parked,
+  /// Observed inside a heap op; the rendezvous waited for its count-out.
+  MidOp,
+};
+
+inline const char *stragglerKindName(StragglerKind Kind) {
+  switch (Kind) {
+  case StragglerKind::None:
+    return "none";
+  case StragglerKind::Polling:
+    return "polling";
+  case StragglerKind::Parked:
+    return "parked";
+  case StragglerKind::MidOp:
+    return "mid-op";
+  }
+  return "unknown";
+}
+
+/// Snapshot of the most recent safepoint rendezvous, kept by the heap for
+/// the GC log's safepoint line, HeapDump, and tests (always compiled;
+/// updating it is O(1) per rendezvous on top of the publication work the
+/// rendezvous does anyway).
+///
+/// The deterministic time-to-safepoint (TtspMillis) is the machine-model
+/// cost (core::MachineModel::pauseMillisForTracedBytes) of the pending
+/// allocation bytes the rendezvous drained: the work mutators accumulated
+/// since the last safepoint is exactly what the stop had to wait behind,
+/// so it replays bit-identically across thread counts and platforms. The
+/// *wall* latency of the same rendezvous stays quarantined in the
+/// `wall.runtime.safepoint_rendezvous_ns` telemetry channel.
+struct SafepointRendezvousRecord {
+  /// Rendezvous serial (== MutatorRuntimeStats::SafepointRendezvous).
+  uint64_t Serial = 0;
+  /// Allocation clock when the world stopped.
+  uint64_t Time = 0;
+  /// Contexts that arrived.
+  uint64_t Contexts = 0;
+  /// Pending allocations published by this rendezvous.
+  uint64_t PendingAllocObjects = 0;
+  /// Gross bytes of those pending allocations (the TTSP input).
+  uint64_t PendingAllocBytes = 0;
+  /// Barrier-buffer entries flushed into the remembered set.
+  uint64_t FlushedBarrierEntries = 0;
+  /// Deterministic time-to-safepoint (see above).
+  double TtspMillis = 0.0;
+  /// Context id (MutatorContext::id) of the last arriver.
+  uint64_t StragglerContext = 0;
+  /// How that straggler was found.
+  StragglerKind Straggler = StragglerKind::None;
+};
+
+/// Cumulative deterministic TTSP attribution, snapshot via
+/// Heap::safepointTtspStats(). Compiled to an empty type (and never
+/// updated) under -DDTB_ENABLE_TELEMETRY=OFF; unlike the telemetry
+/// registry it accumulates whenever it is compiled in — like
+/// ScavengeHistory — so the bench driver can export exact percentiles
+/// without enabling the event recorder.
+struct SafepointTtspStats {
+#if DTB_TELEMETRY
+  /// One deterministic TTSP sample per rendezvous.
+  SampleSet TtspMillis;
+  /// One pending-allocation-bytes sample per rendezvous.
+  SampleSet PendingBytes;
+  /// Straggler classification tallies.
+  uint64_t StragglerMidOp = 0;
+  uint64_t StragglerParked = 0;
+  uint64_t StragglerPolling = 0;
+#endif
+};
+
+/// Per-context observability counters, the DTB_TELEMETRY-gated extension
+/// of MutatorContext::Stats (embedded there as the `Obs` member).
+/// Compiled to an empty type under -DDTB_ENABLE_TELEMETRY=OFF and every
+/// update site is compiled out with it, so the OFF build's allocation and
+/// store fast paths are exactly the pre-observability ones.
+struct MutatorObservability {
+#if DTB_TELEMETRY
+  /// Gross bytes of every TLAB block this context carved.
+  uint64_t TlabCarvedBytes = 0;
+  /// Bytes discarded in this context's retired TLAB tails (carve
+  /// granularity waste attributable to this context).
+  uint64_t TlabWastedBytes = 0;
+  /// Largest buffered barrier-entry count this context ever held (the
+  /// occupancy high-water mark; the flush threshold bounds it).
+  uint64_t BarrierHighWater = 0;
+  /// Explicit safepoint() polls issued.
+  uint64_t SafepointPolls = 0;
+  /// park() / unpark() transitions.
+  uint64_t Parks = 0;
+  uint64_t Unparks = 0;
+  /// Objects this context published into the heap's birth-ordered
+  /// allocation list at safepoints.
+  uint64_t PublishedObjects = 0;
+#endif
 };
 
 /// Heap-level counters for the mutator runtime, snapshot via

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Heap.h"
+#include "runtime/Mutator.h"
 
 #include <gtest/gtest.h>
 
@@ -67,6 +68,27 @@ TEST(GcLogTest, ReportsStrategyAndCounts) {
   EXPECT_NE(Log.find("reclaimed 64"), std::string::npos);
   EXPECT_NE(Log.find("survived 64"), std::string::npos);
   EXPECT_NE(Log.find("tb=0"), std::string::npos);
+}
+
+TEST(GcLogTest, SafepointLinePerCollectionWithContexts) {
+  // With registered contexts every collection logs a second line: the
+  // rendezvous that stopped them (TTSP, arrivals, straggler identity).
+  std::string Log = captureLog(CollectorKind::MarkSweep, [](Heap &H) {
+    MutatorContext Ctx(H);
+    Ctx.allocate(1, 64);
+    H.collectAtBoundary(0);
+    Ctx.allocate(0, 64);
+    H.collectAtBoundary(0);
+  });
+  size_t SafepointLines = 0;
+  for (size_t Pos = 0;
+       (Pos = Log.find("safepoint: ttsp", Pos)) != std::string::npos; ++Pos)
+    ++SafepointLines;
+  EXPECT_EQ(SafepointLines, 2u);
+  EXPECT_NE(Log.find("[gc 1] safepoint: ttsp"), std::string::npos);
+  EXPECT_NE(Log.find("[gc 2] safepoint: ttsp"), std::string::npos);
+  EXPECT_NE(Log.find("1 arrival"), std::string::npos);
+  EXPECT_NE(Log.find("straggler ctx 1 (polling)"), std::string::npos);
 }
 
 TEST(GcLogTest, SilentWithoutStream) {

@@ -7,8 +7,11 @@
 #include "runtime/HeapDump.h"
 
 #include "runtime/Heap.h"
+#include "runtime/Mutator.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 using namespace dtb;
 using namespace dtb::runtime;
@@ -91,6 +94,48 @@ TEST(HeapDumpTest, ReachabilityDistinguishesGarbage) {
   H.allocate(0, 500); // Garbage of the same vintage.
   HeapDemographics Demo = collectDemographics(H);
   EXPECT_EQ(Demo.ResidentBytes, Demo.ReachableBytes * 2);
+}
+
+TEST(HeapDumpTest, ReportsPerContextMutatorStats) {
+  Heap H(manualConfig());
+  MutatorContext Ctx1(H), Ctx2(H);
+  for (int I = 0; I != 20; ++I) {
+    size_t Index = Ctx1.allocateRooted(1, 32);
+    if (Index != 0)
+      Ctx1.writeSlot(Ctx1.root(Index - 1), 0, Ctx1.root(Index));
+    Ctx1.safepoint();
+  }
+  Ctx2.allocate(0, 64);
+  H.runAtSafepoint([](Heap &) {});
+
+  HeapDemographics Demo = collectDemographics(H);
+  ASSERT_EQ(Demo.Mutators.size(), 2u);
+  EXPECT_EQ(Demo.Mutators[0].Id, 1u);
+  EXPECT_EQ(Demo.Mutators[0].Allocations, 20u);
+  EXPECT_GT(Demo.Mutators[0].AllocatedBytes, 0u);
+  EXPECT_EQ(Demo.Mutators[1].Id, 2u);
+  EXPECT_EQ(Demo.Mutators[1].Allocations, 1u);
+  EXPECT_GT(Demo.RendezvousSerial, 0u);
+  EXPECT_EQ(Demo.RendezvousArrivals, 2u);
+  EXPECT_EQ(Demo.RendezvousStraggler, "polling");
+  EXPECT_GT(Demo.FlightEventsRecorded, 0u);
+  EXPECT_FALSE(Demo.FlightEvents.empty());
+
+  // Golden format: the printed dump names each context, the last
+  // rendezvous, and the flight-recorder tail.
+  char *Buffer = nullptr;
+  size_t Size = 0;
+  std::FILE *Stream = open_memstream(&Buffer, &Size);
+  printDemographics(Demo, Stream);
+  std::fclose(Stream);
+  std::string Out(Buffer, Size);
+  std::free(Buffer);
+  EXPECT_NE(Out.find("ctx 1 [at-safepoint]: 20 allocs"), std::string::npos);
+  EXPECT_NE(Out.find("ctx 2 [at-safepoint]: 1 allocs"), std::string::npos);
+  EXPECT_NE(Out.find("safepoint: rendezvous #"), std::string::npos);
+  EXPECT_NE(Out.find("straggler ctx 2 (polling)"), std::string::npos);
+  EXPECT_NE(Out.find("flight recorder:"), std::string::npos);
+  EXPECT_NE(Out.find("safepoint-rendezvous:"), std::string::npos);
 }
 
 TEST(HeapDumpTest, PrintsWithoutCrashing) {
